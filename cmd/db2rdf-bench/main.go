@@ -1,0 +1,73 @@
+// Command db2rdf-bench regenerates every table and figure of the
+// paper's evaluation (Bornea et al., SIGMOD 2013) at laptop scale.
+//
+// Usage:
+//
+//	db2rdf-bench -exp fig3          # one experiment
+//	db2rdf-bench -exp all           # everything
+//	db2rdf-bench -exp fig16 -scale small -reps 5 -timeout 30s
+//
+// Experiments: fig3, table3, table4, spills, nulls, fig14, fig15,
+// fig16, fig17, fig18, ablation-mapping, ablation-merge, ablation-k.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"db2rdf/internal/harness"
+)
+
+func main() {
+	exp := flag.String("exp", "all", "experiment to run (fig3, table3, table4, spills, nulls, fig14, fig15, fig16, fig17, fig18, ablation-mapping, ablation-merge, ablation-k, all)")
+	scale := flag.String("scale", "default", "dataset scale: small or default")
+	reps := flag.Int("reps", 3, "timed repetitions per query (after one warm-up)")
+	timeout := flag.Duration("timeout", 15*time.Second, "per-query timeout")
+	flag.Parse()
+
+	sc := harness.DefaultScales()
+	if *scale == "small" {
+		sc = harness.SmallScales()
+	}
+	opts := harness.RunOptions{Reps: *reps, Timeout: *timeout}
+
+	type experiment struct {
+		name string
+		run  func() error
+	}
+	w := os.Stdout
+	all := []experiment{
+		{"fig3", func() error { return harness.ExpFig3(w, sc, opts) }},
+		{"table3", func() error { return harness.ExpTable3(w) }},
+		{"table4", func() error { return harness.ExpTable4(w, sc) }},
+		{"spills", func() error { return harness.ExpSpills(w, sc) }},
+		{"nulls", func() error { return harness.ExpNulls(w, sc) }},
+		{"fig14", func() error { return harness.ExpFig14(w, sc, opts) }},
+		{"fig15", func() error { return harness.ExpFig15(w, sc, opts) }},
+		{"fig16", func() error { return harness.ExpFig16(w, sc, opts) }},
+		{"fig17", func() error { return harness.ExpFig17(w, sc, opts) }},
+		{"fig18", func() error { return harness.ExpFig18(w, sc, opts) }},
+		{"ablation-mapping", func() error { return harness.ExpAblationMapping(w, sc) }},
+		{"ablation-merge", func() error { return harness.ExpAblationMerge(w, sc, opts) }},
+		{"ablation-k", func() error { return harness.ExpAblationK(w, sc, opts) }},
+	}
+	ran := false
+	for _, e := range all {
+		if *exp != "all" && *exp != e.name {
+			continue
+		}
+		ran = true
+		start := time.Now()
+		if err := e.run(); err != nil {
+			fmt.Fprintf(os.Stderr, "%s: %v\n", e.name, err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(w, "[%s finished in %s]\n\n", e.name, time.Since(start).Round(time.Millisecond))
+	}
+	if !ran {
+		fmt.Fprintf(os.Stderr, "unknown experiment %q\n", *exp)
+		os.Exit(2)
+	}
+}

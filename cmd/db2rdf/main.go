@@ -1,0 +1,143 @@
+// Command db2rdf loads N-Triples data into a DB2RDF store and runs
+// SPARQL queries against it.
+//
+// Usage:
+//
+//	db2rdf -load data.nt -query 'SELECT ?s WHERE { ?s <p> ?o }'
+//	db2rdf -load data.nt -queryfile q.rq -explain
+//	db2rdf -load data.nt -stats
+//	db2rdf -load data.nt -color -k 40 -query ...   # coloring-based layout
+//
+// Multiple -load flags may be given. With -explain the optimizer flow,
+// execution tree, merged plan and generated SQL are printed instead of
+// (or before, with -run) the results.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"db2rdf"
+	"db2rdf/internal/rdf"
+)
+
+type loadList []string
+
+func (l *loadList) String() string     { return strings.Join(*l, ",") }
+func (l *loadList) Set(v string) error { *l = append(*l, v); return nil }
+
+func main() {
+	var loads loadList
+	flag.Var(&loads, "load", "N-Triples file to load (repeatable)")
+	query := flag.String("query", "", "SPARQL query to run")
+	queryFile := flag.String("queryfile", "", "file containing the SPARQL query")
+	explain := flag.Bool("explain", false, "print optimizer flow, plan and SQL")
+	run := flag.Bool("run", true, "execute the query (use -run=false with -explain)")
+	stats := flag.Bool("stats", false, "print dataset statistics after loading")
+	k := flag.Int("k", 32, "predicate/value column pairs per primary row")
+	color := flag.Bool("color", false, "build a coloring-based predicate mapping from the loaded data (requires re-load; slower load, tighter layout)")
+	noopt := flag.Bool("noopt", false, "disable the hybrid optimizer (document-order flow)")
+	flag.Parse()
+
+	if err := realMain(loads, *query, *queryFile, *explain, *run, *stats, *k, *color, *noopt); err != nil {
+		fmt.Fprintln(os.Stderr, "db2rdf:", err)
+		os.Exit(1)
+	}
+}
+
+func realMain(loads []string, query, queryFile string, explain, run, stats bool, k int, color, noopt bool) error {
+	var triples []rdf.Triple
+	for _, path := range loads {
+		f, err := os.Open(path)
+		if err != nil {
+			return err
+		}
+		ts, err := rdf.NewReader(f).ReadAll()
+		f.Close()
+		if err != nil {
+			return fmt.Errorf("%s: %w", path, err)
+		}
+		triples = append(triples, ts...)
+	}
+
+	opts := db2rdf.Options{K: k, DisableHybridOptimizer: noopt}
+	if color {
+		direct, reverse := db2rdf.ColorTriples(triples, k, k)
+		opts.Mapping, opts.ReverseMapping = direct, reverse
+	}
+	store, err := db2rdf.Open(opts)
+	if err != nil {
+		return err
+	}
+	start := time.Now()
+	if err := store.LoadTriples(triples); err != nil {
+		return err
+	}
+	if len(triples) > 0 {
+		fmt.Printf("loaded %d triples (%d subjects) in %s\n", len(triples), store.Len(), time.Since(start).Round(time.Millisecond))
+	}
+
+	if stats {
+		inner := store.Internal()
+		fmt.Printf("total triples: %.0f\n", inner.Stats().TotalTriples())
+		fmt.Printf("avg triples/subject: %.2f\n", inner.Stats().AvgPerSubject())
+		fmt.Printf("avg triples/object: %.2f\n", inner.Stats().AvgPerObject())
+		fmt.Printf("direct spills: %d, reverse spills: %d\n", inner.SpillCount(false), inner.SpillCount(true))
+		fmt.Println("top constants:")
+		for _, line := range inner.Stats().TopConstants(10, inner.Dict) {
+			fmt.Println("  " + line)
+		}
+	}
+
+	if queryFile != "" {
+		b, err := os.ReadFile(queryFile)
+		if err != nil {
+			return err
+		}
+		query = string(b)
+	}
+	if query == "" {
+		return nil
+	}
+
+	if explain {
+		ex, err := store.Explain(query)
+		if err != nil {
+			return err
+		}
+		fmt.Println("-- optimal flow tree:")
+		fmt.Println("  " + ex.Flow)
+		fmt.Println("-- execution tree:")
+		fmt.Println("  " + ex.Tree)
+		fmt.Println("-- query plan (after merging):")
+		fmt.Println("  " + ex.Plan)
+		fmt.Println("-- generated SQL:")
+		fmt.Println(ex.SQL)
+	}
+	if !run {
+		return nil
+	}
+	start = time.Now()
+	res, err := store.Query(query)
+	if err != nil {
+		return err
+	}
+	dur := time.Since(start)
+	if res.IsAsk {
+		fmt.Printf("ASK -> %v (%s)\n", res.Ask, dur.Round(time.Microsecond))
+		return nil
+	}
+	fmt.Println(strings.Join(res.Vars, "\t"))
+	for _, row := range res.Rows {
+		cells := make([]string, len(row))
+		for i, b := range row {
+			cells[i] = b.String()
+		}
+		fmt.Println(strings.Join(cells, "\t"))
+	}
+	fmt.Printf("%d solutions in %s\n", len(res.Rows), dur.Round(time.Microsecond))
+	return nil
+}

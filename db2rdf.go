@@ -1,0 +1,257 @@
+// Package db2rdf is a Go reproduction of "Building an Efficient RDF
+// Store Over a Relational Database" (Bornea et al., SIGMOD 2013), the
+// system that became RDF support in IBM DB2 v10.1.
+//
+// It stores RDF triples in the entity-oriented DB2RDF relational schema
+// (DPH/DS/RPH/RS) over an embedded relational engine, optimizes SPARQL
+// with the paper's hybrid two-step optimizer (data flow + query plan
+// builder), translates plans to SQL, and executes them.
+//
+// Quick start:
+//
+//	store, _ := db2rdf.Open(db2rdf.Options{})
+//	store.LoadReader(file)                       // N-Triples
+//	res, _ := store.Query(`SELECT ?s WHERE { ?s <p> "v" }`)
+//	for _, row := range res.Rows { fmt.Println(row) }
+package db2rdf
+
+import (
+	"fmt"
+	"io"
+
+	"db2rdf/internal/coloring"
+	"db2rdf/internal/optimizer"
+	"db2rdf/internal/rdf"
+	"db2rdf/internal/sparql"
+	"db2rdf/internal/store"
+	"db2rdf/internal/translator"
+)
+
+// Options configures a Store.
+type Options struct {
+	// K is the number of (predicate, value) column pairs in the
+	// primary relations (default 32).
+	K int
+	// KReverse overrides K for the reverse (object-keyed) relations.
+	KReverse int
+	// Mapping and ReverseMapping assign predicates to columns; nil
+	// means composed hashing. Use ColorTriples to build coloring-based
+	// mappings from a data sample.
+	Mapping        coloring.Mapping
+	ReverseMapping coloring.Mapping
+	// DisableHybridOptimizer switches query planning to the naive
+	// document-order flow (the paper's sub-optimal comparator, §3.3).
+	DisableHybridOptimizer bool
+	// DisableMerging turns off star merging in the translator (the
+	// ablation of the §2.1 join-elimination claim).
+	DisableMerging bool
+	// Inference enables RDFS subclass reasoning: type patterns match
+	// instances of subclasses via a subClassOf* closure rewrite (the
+	// expansion the paper applies by hand to LUBM queries in §4.1).
+	Inference bool
+}
+
+// Store is a DB2RDF store: the public API of this library.
+type Store struct {
+	inner *store.Store
+	opts  Options
+}
+
+// Open creates an empty store.
+func Open(opts Options) (*Store, error) {
+	s, err := store.New(nil, store.Options{
+		K:              opts.K,
+		KReverse:       opts.KReverse,
+		Mapping:        opts.Mapping,
+		ReverseMapping: opts.ReverseMapping,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &Store{inner: s, opts: opts}, nil
+}
+
+// ColorTriples analyzes a sample of triples and returns coloring-based
+// predicate mappings (direct, reverse) for budgets k and kRev,
+// suitable for Options.Mapping/ReverseMapping (§2.2).
+func ColorTriples(triples []rdf.Triple, k, kRev int) (coloring.Mapping, coloring.Mapping) {
+	d, r, _, _ := store.BuildMappings(triples, k, kRev)
+	return d, r
+}
+
+// Insert adds one triple.
+func (s *Store) Insert(t rdf.Triple) error { return s.inner.Insert(t) }
+
+// LoadReader bulk-loads N-Triples from r, returning the triple count.
+func (s *Store) LoadReader(r io.Reader) (int, error) { return s.inner.Load(r) }
+
+// LoadTriples bulk-loads a slice of triples.
+func (s *Store) LoadTriples(ts []rdf.Triple) error { return s.inner.LoadTriples(ts) }
+
+// Len returns the number of distinct subjects stored.
+func (s *Store) Len() int { return s.inner.EntityCount(false) }
+
+// Internal exposes the underlying store for the benchmark harness and
+// tools; library users should not need it.
+func (s *Store) Internal() *store.Store { return s.inner }
+
+// Binding is one variable binding; Bound is false for unbound
+// (OPTIONAL) positions.
+type Binding struct {
+	Bound bool
+	Term  rdf.Term
+}
+
+// String renders the binding.
+func (b Binding) String() string {
+	if !b.Bound {
+		return "UNBOUND"
+	}
+	return b.Term.String()
+}
+
+// Results is a decoded SPARQL result set.
+type Results struct {
+	// Vars holds the projected variable names in order.
+	Vars []string
+	// Rows holds one slice of bindings per solution, parallel to Vars.
+	Rows [][]Binding
+	// Ask holds the answer for ASK queries.
+	Ask bool
+	// IsAsk marks ASK results.
+	IsAsk bool
+}
+
+// Query parses, optimizes, translates and executes a SPARQL query.
+// Property-path closures (p+, p*, p?) are materialized into temporary
+// relations for the duration of the query.
+func (s *Store) Query(q string) (*Results, error) {
+	parsed, err := sparql.Parse(q)
+	if err != nil {
+		return nil, err
+	}
+	if s.opts.Inference {
+		inferenceRewrite(parsed)
+	}
+	sparql.UnifyEqualityFilters(parsed)
+	virtual, cleanup, err := s.materializeClosures(parsed)
+	if err != nil {
+		return nil, err
+	}
+	defer cleanup()
+	tr, err := s.translate(parsed, virtual)
+	if err != nil {
+		return nil, err
+	}
+	return s.execute(parsed, tr)
+}
+
+// Explanation reports how a query would run.
+type Explanation struct {
+	Flow string // the optimal (or naive) flow tree
+	Tree string // the execution tree
+	Plan string // the merged query plan
+	SQL  string // the generated SQL
+}
+
+// Explain returns the optimizer and translator artifacts for a query
+// without executing it.
+func (s *Store) Explain(q string) (*Explanation, error) {
+	parsed, err := sparql.Parse(q)
+	if err != nil {
+		return nil, err
+	}
+	if s.opts.Inference {
+		inferenceRewrite(parsed)
+	}
+	sparql.UnifyEqualityFilters(parsed)
+	virtual, cleanup, err := s.materializeClosures(parsed)
+	if err != nil {
+		return nil, err
+	}
+	defer cleanup()
+	exec, flow, err := s.optimize(parsed)
+	if err != nil {
+		return nil, err
+	}
+	backend := translator.NewDB2RDF(s.inner)
+	backend.Virtual = virtual
+	planner := translator.NewPlanner(backend)
+	planner.SetMerging(!s.opts.DisableMerging)
+	plan := planner.BuildPlan(exec)
+	tr, err := translator.Translate(parsed, plan, backend)
+	if err != nil {
+		return nil, err
+	}
+	return &Explanation{Flow: flow.String(), Tree: exec.String(), Plan: plan.String(), SQL: tr.SQL}, nil
+}
+
+func (s *Store) optimize(parsed *sparql.Query) (*optimizer.ExecNode, *optimizer.Flow, error) {
+	if s.opts.DisableHybridOptimizer {
+		exec, flow := optimizer.OptimizeNaive(parsed, s.inner.StatsView())
+		return exec, flow, nil
+	}
+	return optimizer.Optimize(parsed, s.inner.StatsView())
+}
+
+func (s *Store) translate(parsed *sparql.Query, virtual map[string]string) (*translator.Result, error) {
+	exec, _, err := s.optimize(parsed)
+	if err != nil {
+		return nil, err
+	}
+	backend := translator.NewDB2RDF(s.inner)
+	backend.Virtual = virtual
+	planner := translator.NewPlanner(backend)
+	planner.SetMerging(!s.opts.DisableMerging)
+	plan := planner.BuildPlan(exec)
+	return translator.Translate(parsed, plan, backend)
+}
+
+func (s *Store) execute(parsed *sparql.Query, tr *translator.Result) (*Results, error) {
+	out := &Results{IsAsk: tr.Ask}
+	if tr.SQL == "" {
+		// Empty pattern: ASK {} is true; SELECT over {} yields one
+		// empty solution.
+		if tr.Ask {
+			out.Ask = true
+			return out, nil
+		}
+		out.Vars = parsed.ProjectedVars()
+		return out, nil
+	}
+	rs, err := s.inner.DB.Query(tr.SQL)
+	if err != nil {
+		return nil, fmt.Errorf("db2rdf: executing generated SQL: %w", err)
+	}
+	if tr.Ask {
+		out.Ask = len(rs.Rows) > 0
+		return out, nil
+	}
+	keep := len(tr.Columns) - tr.Hidden
+	out.Vars = tr.Columns[:keep]
+	for _, row := range rs.Rows {
+		decoded := make([]Binding, keep)
+		for i := 0; i < keep; i++ {
+			v := row[i]
+			if v.IsNull() {
+				continue
+			}
+			t, err := s.inner.Dict.Decode(v.I)
+			if err != nil {
+				return nil, fmt.Errorf("db2rdf: decoding result id %d: %w", v.I, err)
+			}
+			decoded[i] = Binding{Bound: true, Term: t}
+		}
+		out.Rows = append(out.Rows, decoded)
+	}
+	return out, nil
+}
+
+// MustQuery is Query for tests and examples; it panics on error.
+func (s *Store) MustQuery(q string) *Results {
+	r, err := s.Query(q)
+	if err != nil {
+		panic(err)
+	}
+	return r
+}

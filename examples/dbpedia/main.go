@@ -1,0 +1,98 @@
+// This example walks through the paper's running example end to end:
+// the sample DBpedia data of Figure 1(a) is loaded into the DB2RDF
+// schema, and the Figure 6 query — people who founded or sit on the
+// board of software companies, their products and revenue, optionally
+// their employee count — is optimized (Figures 7-10), merged into the
+// Figure 11 plan, translated to SQL (Figures 12-13) and executed.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"db2rdf"
+	"db2rdf/internal/rdf"
+)
+
+func triples() []rdf.Triple {
+	iri := rdf.NewIRI
+	lit := rdf.NewLiteral
+	mk := func(s, p string, o rdf.Term) rdf.Triple {
+		return rdf.NewTriple(iri("http://dbpedia/"+s), iri("http://dbpedia/"+p), o)
+	}
+	res := func(s string) rdf.Term { return iri("http://dbpedia/" + s) }
+	return []rdf.Triple{
+		mk("Charles_Flint", "born", lit("1850")),
+		mk("Charles_Flint", "died", lit("1934")),
+		mk("Charles_Flint", "founder", res("IBM")),
+		mk("Larry_Page", "born", lit("1973")),
+		mk("Larry_Page", "founder", res("Google")),
+		mk("Larry_Page", "board", res("Google")),
+		mk("Larry_Page", "home", lit("Palo Alto")),
+		mk("Android", "developer", res("Google")),
+		mk("Android", "version", lit("4.1")),
+		mk("Android", "kernel", res("Linux")),
+		mk("Android", "preceded", lit("4.0")),
+		mk("Android", "graphics", res("OpenGL")),
+		mk("Google", "industry", lit("Software")),
+		mk("Google", "industry", lit("Internet")),
+		mk("Google", "employees", lit("54,604")),
+		mk("Google", "HQ", lit("Mountain View")),
+		mk("Google", "revenue", lit("50B")),
+		mk("IBM", "industry", lit("Software")),
+		mk("IBM", "industry", lit("Hardware")),
+		mk("IBM", "industry", lit("Services")),
+		mk("IBM", "employees", lit("433,362")),
+		mk("IBM", "HQ", lit("Armonk")),
+	}
+}
+
+const fig6 = `
+PREFIX : <http://dbpedia/>
+SELECT ?x ?y ?z ?m WHERE {
+  ?x :home "Palo Alto" .
+  { ?x :founder ?y } UNION { ?x :board ?y }
+  { ?y :industry "Software" .
+    ?z :developer ?y .
+    ?y :revenue ?n .
+    OPTIONAL { ?y :employees ?m } }
+}`
+
+func main() {
+	store, err := db2rdf.Open(db2rdf.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := store.LoadTriples(triples()); err != nil {
+		log.Fatal(err)
+	}
+
+	ex, err := store.Explain(fig6)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("== Figure 8: optimal flow tree (triple, access method) order ==")
+	fmt.Println(ex.Flow)
+	fmt.Println("\n== Figure 10: execution tree (late fusing) ==")
+	fmt.Println(ex.Tree)
+	fmt.Println("\n== Figure 11: query plan after ORMergeable/OPTMergeable merges ==")
+	fmt.Println(ex.Plan)
+	fmt.Println("\n== Figure 13: generated SQL over DPH/DS/RPH/RS ==")
+	fmt.Println(ex.SQL)
+
+	res, err := store.Query(fig6)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\n== results ==")
+	fmt.Println("x\ty\tz\tm(optional)")
+	for _, row := range res.Rows {
+		for i, b := range row {
+			if i > 0 {
+				fmt.Print("\t")
+			}
+			fmt.Print(b)
+		}
+		fmt.Println()
+	}
+}

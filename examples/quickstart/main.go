@@ -1,0 +1,53 @@
+// Quickstart: open a store, add triples, run SPARQL.
+package main
+
+import (
+	"fmt"
+	"log"
+	"strings"
+
+	"db2rdf"
+)
+
+const data = `
+<http://example.org/alice> <http://xmlns.com/foaf/0.1/name> "Alice" .
+<http://example.org/alice> <http://xmlns.com/foaf/0.1/knows> <http://example.org/bob> .
+<http://example.org/alice> <http://xmlns.com/foaf/0.1/knows> <http://example.org/carol> .
+<http://example.org/bob> <http://xmlns.com/foaf/0.1/name> "Bob" .
+<http://example.org/carol> <http://xmlns.com/foaf/0.1/name> "Carol" .
+<http://example.org/carol> <http://xmlns.com/foaf/0.1/knows> <http://example.org/bob> .
+`
+
+func main() {
+	store, err := db2rdf.Open(db2rdf.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	n, err := store.LoadReader(strings.NewReader(data))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("loaded %d triples\n", n)
+
+	res, err := store.Query(`
+		PREFIX foaf: <http://xmlns.com/foaf/0.1/>
+		SELECT ?name ?friendName WHERE {
+			?p foaf:name ?name .
+			?p foaf:knows ?f .
+			?f foaf:name ?friendName
+		} ORDER BY ?name ?friendName`)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, row := range res.Rows {
+		fmt.Printf("%s knows %s\n", row[0].Term.Value, row[1].Term.Value)
+	}
+
+	// ASK and OPTIONAL work too.
+	ask, err := store.Query(`PREFIX foaf: <http://xmlns.com/foaf/0.1/>
+		ASK { <http://example.org/bob> foaf:knows ?anyone }`)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("does Bob know anyone? %v\n", ask.Ask)
+}

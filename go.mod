@@ -1,0 +1,3 @@
+module db2rdf
+
+go 1.22

@@ -1,0 +1,178 @@
+package db2rdf
+
+import (
+	"fmt"
+	"io"
+
+	"db2rdf/internal/rdf"
+	"db2rdf/internal/sparql"
+)
+
+// QueryGraph executes a CONSTRUCT or DESCRIBE query, returning the
+// resulting triples (deduplicated, in deterministic first-seen order).
+func (s *Store) QueryGraph(q string) ([]rdf.Triple, error) {
+	parsed, err := sparql.Parse(q)
+	if err != nil {
+		return nil, err
+	}
+	switch {
+	case parsed.Construct != nil:
+		return s.construct(parsed, q)
+	case len(parsed.Describe) > 0:
+		return s.describe(parsed)
+	}
+	return nil, fmt.Errorf("db2rdf: QueryGraph wants a CONSTRUCT or DESCRIBE query; use Query for SELECT/ASK")
+}
+
+// construct runs the WHERE clause and instantiates the template once
+// per solution. Instantiations with unbound variables, literal
+// subjects or non-IRI predicates are skipped, per the SPARQL spec.
+func (s *Store) construct(parsed *sparql.Query, original string) ([]rdf.Triple, error) {
+	res, err := s.Query(original) // reparsed internally; keeps one code path
+	if err != nil {
+		return nil, err
+	}
+	varIdx := map[string]int{}
+	for i, v := range res.Vars {
+		varIdx[v] = i
+	}
+	resolve := func(tv sparql.TermOrVar, row []Binding) (rdf.Term, bool) {
+		if !tv.IsVar {
+			return tv.Term, true
+		}
+		i, ok := varIdx[tv.Var]
+		if !ok || !row[i].Bound {
+			return rdf.Term{}, false
+		}
+		return row[i].Term, true
+	}
+	var out []rdf.Triple
+	seen := map[rdf.Triple]bool{}
+	for _, row := range res.Rows {
+		for _, tmpl := range parsed.Construct {
+			sub, ok := resolve(tmpl.S, row)
+			if !ok || sub.IsLiteral() {
+				continue
+			}
+			pred, ok := resolve(tmpl.P, row)
+			if !ok || !pred.IsIRI() {
+				continue
+			}
+			obj, ok := resolve(tmpl.O, row)
+			if !ok {
+				continue
+			}
+			tr := rdf.NewTriple(sub, pred, obj)
+			if !seen[tr] {
+				seen[tr] = true
+				out = append(out, tr)
+			}
+		}
+	}
+	return out, nil
+}
+
+// describe returns every triple in which each described resource
+// appears as subject or object. Variable resources are resolved
+// through the WHERE clause first.
+func (s *Store) describe(parsed *sparql.Query) ([]rdf.Triple, error) {
+	var resources []rdf.Term
+	needWhere := false
+	for _, tv := range parsed.Describe {
+		if tv.IsVar {
+			needWhere = true
+		} else {
+			resources = append(resources, tv.Term)
+		}
+	}
+	if needWhere {
+		if len(parsed.Where.AllTriples()) == 0 {
+			return nil, fmt.Errorf("db2rdf: DESCRIBE with variables requires a WHERE clause")
+		}
+		// Re-render is avoidable: run the pattern via the normal
+		// pipeline using the parsed query (Star projection).
+		tr, err := s.translate(parsed, nil)
+		if err != nil {
+			return nil, err
+		}
+		res, err := s.execute(parsed, tr)
+		if err != nil {
+			return nil, err
+		}
+		varIdx := map[string]int{}
+		for i, v := range res.Vars {
+			varIdx[v] = i
+		}
+		seen := map[rdf.Term]bool{}
+		for _, tv := range parsed.Describe {
+			if !tv.IsVar {
+				continue
+			}
+			i, ok := varIdx[tv.Var]
+			if !ok {
+				continue
+			}
+			for _, row := range res.Rows {
+				if row[i].Bound && !seen[row[i].Term] {
+					seen[row[i].Term] = true
+					resources = append(resources, row[i].Term)
+				}
+			}
+		}
+	}
+	var out []rdf.Triple
+	seen := map[rdf.Triple]bool{}
+	add := func(tr rdf.Triple) {
+		if !seen[tr] {
+			seen[tr] = true
+			out = append(out, tr)
+		}
+	}
+	for _, r := range resources {
+		if r.IsLiteral() {
+			continue
+		}
+		// Outgoing edges.
+		res, err := s.Query(fmt.Sprintf(`SELECT ?p ?o WHERE { %s ?p ?o }`, r))
+		if err != nil {
+			return nil, err
+		}
+		for _, row := range res.Rows {
+			if row[0].Bound && row[1].Bound {
+				add(rdf.NewTriple(r, row[0].Term, row[1].Term))
+			}
+		}
+		// Incoming edges.
+		res, err = s.Query(fmt.Sprintf(`SELECT ?s ?p WHERE { ?s ?p %s }`, r))
+		if err != nil {
+			return nil, err
+		}
+		for _, row := range res.Rows {
+			if row[0].Bound && row[1].Bound {
+				add(rdf.NewTriple(row[0].Term, row[1].Term, r))
+			}
+		}
+	}
+	return out, nil
+}
+
+// Export writes the whole store back out as N-Triples (reconstructed
+// from the relational representation through the query pipeline).
+func (s *Store) Export(w io.Writer) (int, error) {
+	res, err := s.Query(`SELECT ?s ?p ?o WHERE { ?s ?p ?o }`)
+	if err != nil {
+		return 0, err
+	}
+	out := rdf.NewWriter(w)
+	n := 0
+	for _, row := range res.Rows {
+		if !row[0].Bound || !row[1].Bound || !row[2].Bound {
+			continue
+		}
+		if err := out.Write(rdf.NewTriple(row[0].Term, row[1].Term, row[2].Term)); err != nil {
+			return n, err
+		}
+		n++
+	}
+	return n, out.Flush()
+}

@@ -1,0 +1,220 @@
+package db2rdf_test
+
+import (
+	"fmt"
+	"testing"
+
+	"db2rdf"
+	"db2rdf/internal/baselines"
+	"db2rdf/internal/gen"
+	"db2rdf/internal/rdf"
+)
+
+// datasetsUnderTest returns each workload at laptop-test scale.
+func datasetsUnderTest() []*gen.Dataset {
+	return []*gen.Dataset{
+		gen.Micro(4000),
+		gen.MicroFlowData(2000),
+		gen.LUBM(2),
+		gen.SP2B(5000),
+		gen.DBpedia(5000),
+		gen.PRBench(5000),
+	}
+}
+
+// TestAllWorkloadQueriesAgreeWithTripleStore is the central
+// correctness check of the reproduction: every benchmark query must
+// produce the same number of solutions through the DB2RDF pipeline
+// (entity-oriented schema + hybrid optimizer + star-merging
+// translation) as through the independent triple-store baseline
+// (different schema, different SQL shape).
+func TestAllWorkloadQueriesAgreeWithTripleStore(t *testing.T) {
+	for _, ds := range datasetsUnderTest() {
+		ds := ds
+		t.Run(ds.Name, func(t *testing.T) {
+			main, err := db2rdf.Open(db2rdf.Options{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := main.LoadTriples(ds.Triples); err != nil {
+				t.Fatal(err)
+			}
+			ref, err := baselines.NewTripleStore(baselines.TripleOptions{IndexSubject: true, IndexObject: true})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := ref.LoadTriples(ds.Triples); err != nil {
+				t.Fatal(err)
+			}
+			empties := 0
+			for _, q := range ds.Queries {
+				got, err := main.Query(q.SPARQL)
+				if err != nil {
+					t.Errorf("%s: db2rdf failed: %v", q.Name, err)
+					continue
+				}
+				want, err := ref.Query(q.SPARQL)
+				if err != nil {
+					t.Errorf("%s: triple-store failed: %v", q.Name, err)
+					continue
+				}
+				if got.IsAsk {
+					if got.Ask != want.Ask {
+						t.Errorf("%s: ASK disagreement: db2rdf=%v triple=%v", q.Name, got.Ask, want.Ask)
+					}
+					continue
+				}
+				if len(got.Rows) != len(want.Rows) {
+					t.Errorf("%s: row count disagreement: db2rdf=%d triple=%d", q.Name, len(got.Rows), len(want.Rows))
+				}
+				if len(got.Rows) == 0 {
+					empties++
+				}
+			}
+			// The workloads are designed to return data; allow a few
+			// intentionally empty or scale-sensitive queries only.
+			if empties > len(ds.Queries)/3 {
+				t.Errorf("%d of %d queries returned no rows — workload generation is off", empties, len(ds.Queries))
+			}
+		})
+	}
+}
+
+// TestWorkloadsAgreeWithVerticalStore cross-checks a subset of each
+// workload against the predicate-oriented baseline too.
+func TestWorkloadsAgreeWithVerticalStore(t *testing.T) {
+	for _, ds := range []*gen.Dataset{gen.Micro(3000), gen.LUBM(1), gen.PRBench(3000)} {
+		ds := ds
+		t.Run(ds.Name, func(t *testing.T) {
+			main, err := db2rdf.Open(db2rdf.Options{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := main.LoadTriples(ds.Triples); err != nil {
+				t.Fatal(err)
+			}
+			vert, err := baselines.NewVerticalStore(baselines.VerticalOptions{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := vert.LoadTriples(ds.Triples); err != nil {
+				t.Fatal(err)
+			}
+			for _, q := range ds.Queries {
+				got, err := main.Query(q.SPARQL)
+				if err != nil {
+					t.Errorf("%s: db2rdf failed: %v", q.Name, err)
+					continue
+				}
+				want, err := vert.Query(q.SPARQL)
+				if err != nil {
+					t.Errorf("%s: vertical failed: %v", q.Name, err)
+					continue
+				}
+				if got.IsAsk {
+					if got.Ask != want.Ask {
+						t.Errorf("%s: ASK disagreement", q.Name)
+					}
+					continue
+				}
+				if len(got.Rows) != len(want.Rows) {
+					t.Errorf("%s: row count disagreement: db2rdf=%d vertical=%d", q.Name, len(got.Rows), len(want.Rows))
+				}
+			}
+		})
+	}
+}
+
+// TestNaiveOptimizerAgrees runs every workload query under the naive
+// (document-order) flow: plans differ, answers must not.
+func TestNaiveOptimizerAgrees(t *testing.T) {
+	ds := gen.PRBench(4000)
+	hybrid, err := db2rdf.Open(db2rdf.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	naive, err := db2rdf.Open(db2rdf.Options{DisableHybridOptimizer: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := hybrid.LoadTriples(ds.Triples); err != nil {
+		t.Fatal(err)
+	}
+	if err := naive.LoadTriples(ds.Triples); err != nil {
+		t.Fatal(err)
+	}
+	for _, q := range ds.Queries {
+		a, err := hybrid.Query(q.SPARQL)
+		if err != nil {
+			t.Errorf("%s hybrid: %v", q.Name, err)
+			continue
+		}
+		b, err := naive.Query(q.SPARQL)
+		if err != nil {
+			t.Errorf("%s naive: %v", q.Name, err)
+			continue
+		}
+		if a.IsAsk {
+			if a.Ask != b.Ask {
+				t.Errorf("%s: ASK disagreement", q.Name)
+			}
+			continue
+		}
+		if len(a.Rows) != len(b.Rows) {
+			t.Errorf("%s: hybrid=%d naive=%d", q.Name, len(a.Rows), len(b.Rows))
+		}
+	}
+}
+
+// TestColoredMappingAgrees loads LUBM under a coloring-based mapping
+// and checks answers match the hash-mapped store.
+func TestColoredMappingAgrees(t *testing.T) {
+	ds := gen.LUBM(2)
+	direct, reverse := db2rdf.ColorTriples(ds.Triples, 16, 16)
+	colored, err := db2rdf.Open(db2rdf.Options{K: 16, KReverse: 16, Mapping: direct, ReverseMapping: reverse})
+	if err != nil {
+		t.Fatal(err)
+	}
+	hashed, err := db2rdf.Open(db2rdf.Options{K: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := colored.LoadTriples(ds.Triples); err != nil {
+		t.Fatal(err)
+	}
+	if err := hashed.LoadTriples(ds.Triples); err != nil {
+		t.Fatal(err)
+	}
+	for _, q := range ds.Queries {
+		a, err := colored.Query(q.SPARQL)
+		if err != nil {
+			t.Errorf("%s colored: %v", q.Name, err)
+			continue
+		}
+		b, err := hashed.Query(q.SPARQL)
+		if err != nil {
+			t.Errorf("%s hashed: %v", q.Name, err)
+			continue
+		}
+		if len(a.Rows) != len(b.Rows) {
+			t.Errorf("%s: colored=%d hashed=%d", q.Name, len(a.Rows), len(b.Rows))
+		}
+	}
+}
+
+func ExampleStore_Query() {
+	s, _ := db2rdf.Open(db2rdf.Options{})
+	_ = s.Insert(parseTriple(`<http://e/alice> <http://e/knows> <http://e/bob> .`))
+	res, _ := s.Query(`SELECT ?who WHERE { <http://e/alice> <http://e/knows> ?who }`)
+	fmt.Println(res.Rows[0][0])
+	// Output: <http://e/bob>
+}
+
+// parseTriple is a test helper for single N-Triples lines.
+func parseTriple(line string) rdf.Triple {
+	t, err := rdf.ParseTripleLine(line)
+	if err != nil {
+		panic(err)
+	}
+	return t
+}

@@ -1,0 +1,272 @@
+// Package coloring implements the predicate-to-column assignment of
+// the DB2RDF schema (Bornea et al., SIGMOD 2013, §2.2): predicate
+// mapping functions (Definition 2.1), predicate mapping composition
+// (Definition 2.2) via composed hash functions, and interference-graph
+// coloring (Definition 2.3) with the greedy approximation the paper
+// uses, including the hybrid c ⊕ h composition for datasets (like
+// DBpedia) that are not fully colorable within the column budget.
+package coloring
+
+import (
+	"hash/fnv"
+	"sort"
+)
+
+// Mapping assigns a predicate to candidate column numbers, in
+// preference order. Insertion tries the columns left to right; lookup
+// must consider all of them.
+type Mapping interface {
+	// Columns returns the candidate column numbers for pred, each in
+	// [0, NumColumns()).
+	Columns(pred string) []int
+	// NumColumns returns m, the column budget.
+	NumColumns() int
+}
+
+// HashMapping is the composed-hash predicate mapping
+// h^n_m = h_m1 ⊕ h_m2 ⊕ ... ⊕ h_mn of §2.2: n independent hash
+// functions over the predicate URI, each restricted to [0, m).
+type HashMapping struct {
+	m     int
+	seeds []uint64
+}
+
+// NewHashMapping returns a mapping of n composed hash functions over a
+// budget of m columns.
+func NewHashMapping(m, n int) *HashMapping {
+	if m < 1 {
+		m = 1
+	}
+	if n < 1 {
+		n = 1
+	}
+	seeds := make([]uint64, n)
+	for i := range seeds {
+		seeds[i] = 0x9e3779b97f4a7c15 * uint64(i+1)
+	}
+	return &HashMapping{m: m, seeds: seeds}
+}
+
+// Columns implements Mapping. Duplicate column numbers produced by
+// different hash functions are removed (keeping first occurrence).
+func (h *HashMapping) Columns(pred string) []int {
+	out := make([]int, 0, len(h.seeds))
+	seen := make(map[int]bool, len(h.seeds))
+	for _, seed := range h.seeds {
+		f := fnv.New64a()
+		var buf [8]byte
+		for i := 0; i < 8; i++ {
+			buf[i] = byte(seed >> (8 * i))
+		}
+		f.Write(buf[:])
+		f.Write([]byte(pred))
+		c := int(f.Sum64() % uint64(h.m))
+		if !seen[c] {
+			seen[c] = true
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+// NumColumns implements Mapping.
+func (h *HashMapping) NumColumns() int { return h.m }
+
+// FuncMapping adapts an explicit function to the Mapping interface
+// (used by tests reproducing the paper's Table 3 example).
+type FuncMapping struct {
+	M  int
+	Fn func(pred string) []int
+}
+
+// Columns implements Mapping.
+func (f *FuncMapping) Columns(pred string) []int { return f.Fn(pred) }
+
+// NumColumns implements Mapping.
+func (f *FuncMapping) NumColumns() int { return f.M }
+
+// Compose implements Definition 2.2: the composition of several
+// mappings tries each mapping's columns in order.
+func Compose(ms ...Mapping) Mapping {
+	m := 0
+	for _, x := range ms {
+		if x.NumColumns() > m {
+			m = x.NumColumns()
+		}
+	}
+	return &FuncMapping{M: m, Fn: func(pred string) []int {
+		var out []int
+		seen := map[int]bool{}
+		for _, x := range ms {
+			for _, c := range x.Columns(pred) {
+				if !seen[c] {
+					seen[c] = true
+					out = append(out, c)
+				}
+			}
+		}
+		return out
+	}}
+}
+
+// Interference is the predicate interference graph G_D of §2.2: nodes
+// are predicates, and an edge joins every pair of predicates that
+// co-occur on some entity.
+type Interference struct {
+	adj   map[string]map[string]bool
+	count map[string]int // entity occurrences per predicate
+}
+
+// NewInterference returns an empty graph.
+func NewInterference() *Interference {
+	return &Interference{adj: make(map[string]map[string]bool), count: make(map[string]int)}
+}
+
+// AddEntity records one entity's predicate set, adding interference
+// edges between all pairs.
+func (g *Interference) AddEntity(preds []string) {
+	// Deduplicate.
+	uniq := preds[:0:0]
+	seen := make(map[string]bool, len(preds))
+	for _, p := range preds {
+		if !seen[p] {
+			seen[p] = true
+			uniq = append(uniq, p)
+		}
+	}
+	for _, p := range uniq {
+		g.count[p]++
+		if g.adj[p] == nil {
+			g.adj[p] = make(map[string]bool)
+		}
+	}
+	for i, p := range uniq {
+		for _, q := range uniq[i+1:] {
+			g.adj[p][q] = true
+			g.adj[q][p] = true
+		}
+	}
+}
+
+// Predicates returns all predicates sorted by descending degree (ties
+// by descending occurrence count, then name), the greedy coloring
+// order.
+func (g *Interference) Predicates() []string {
+	out := make([]string, 0, len(g.adj))
+	for p := range g.adj {
+		out = append(out, p)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		di, dj := len(g.adj[out[i]]), len(g.adj[out[j]])
+		if di != dj {
+			return di > dj
+		}
+		ci, cj := g.count[out[i]], g.count[out[j]]
+		if ci != cj {
+			return ci > cj
+		}
+		return out[i] < out[j]
+	})
+	return out
+}
+
+// Degree returns the interference degree of pred.
+func (g *Interference) Degree(pred string) int { return len(g.adj[pred]) }
+
+// Len returns the number of predicates in the graph.
+func (g *Interference) Len() int { return len(g.adj) }
+
+// Coloring is the result of greedy graph coloring.
+type Coloring struct {
+	// Colors maps each colored predicate to its column.
+	Colors map[string]int
+	// NumColors is the number of distinct colors used.
+	NumColors int
+	// Uncolored holds predicates that could not be colored within the
+	// budget (the complement of the paper's subset P).
+	Uncolored map[string]bool
+}
+
+// Greedy colors the interference graph with at most maxColors colors
+// using the greedy largest-degree-first heuristic the paper describes.
+// Predicates whose neighborhoods exhaust the budget are left uncolored
+// (to be handled by a composed hash mapping).
+func Greedy(g *Interference, maxColors int) *Coloring {
+	c := &Coloring{Colors: make(map[string]int), Uncolored: make(map[string]bool)}
+	for _, p := range g.Predicates() {
+		used := make(map[int]bool)
+		for q := range g.adj[p] {
+			if col, ok := c.Colors[q]; ok {
+				used[col] = true
+			}
+		}
+		assigned := -1
+		for col := 0; col < maxColors; col++ {
+			if !used[col] {
+				assigned = col
+				break
+			}
+		}
+		if assigned < 0 {
+			c.Uncolored[p] = true
+			continue
+		}
+		c.Colors[p] = assigned
+		if assigned+1 > c.NumColors {
+			c.NumColors = assigned + 1
+		}
+	}
+	return c
+}
+
+// Coverage returns the fraction of entity-predicate occurrences whose
+// predicate was colored (the paper's "percent covered" in Table 4).
+func (c *Coloring) Coverage(g *Interference) float64 {
+	total, covered := 0, 0
+	for p, n := range g.count {
+		total += n
+		if _, ok := c.Colors[p]; ok {
+			covered += n
+		}
+	}
+	if total == 0 {
+		return 1
+	}
+	return float64(covered) / float64(total)
+}
+
+// ColoredMapping implements the hybrid mapping c^{D⊗P}_m ⊕ h of §2.2:
+// colored predicates map to exactly one column; everything else (the
+// uncolored subset and predicates first seen after coloring) falls
+// back to the composed-hash mapping.
+type ColoredMapping struct {
+	coloring *Coloring
+	fallback Mapping
+	m        int
+}
+
+// NewColoredMapping builds the hybrid mapping over a budget of m
+// columns with the given fallback (pass nil for a 2-way composed hash).
+func NewColoredMapping(c *Coloring, m int, fallback Mapping) *ColoredMapping {
+	if fallback == nil {
+		fallback = NewHashMapping(m, 2)
+	}
+	return &ColoredMapping{coloring: c, fallback: fallback, m: m}
+}
+
+// Columns implements Mapping.
+func (cm *ColoredMapping) Columns(pred string) []int {
+	if col, ok := cm.coloring.Colors[pred]; ok {
+		return []int{col}
+	}
+	return cm.fallback.Columns(pred)
+}
+
+// NumColumns implements Mapping.
+func (cm *ColoredMapping) NumColumns() int { return cm.m }
+
+// Colored reports whether pred got a dedicated column.
+func (cm *ColoredMapping) Colored(pred string) bool {
+	_, ok := cm.coloring.Colors[pred]
+	return ok
+}

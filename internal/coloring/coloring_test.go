@@ -1,0 +1,214 @@
+package coloring
+
+import (
+	"fmt"
+	"testing"
+	"testing/quick"
+)
+
+func TestHashMappingDeterministicAndInRange(t *testing.T) {
+	h := NewHashMapping(10, 3)
+	f := func(pred string) bool {
+		a := h.Columns(pred)
+		b := h.Columns(pred)
+		if len(a) == 0 || len(a) > 3 {
+			return false
+		}
+		if len(a) != len(b) {
+			return false
+		}
+		seen := map[int]bool{}
+		for i, c := range a {
+			if c < 0 || c >= 10 || c != b[i] || seen[c] {
+				return false
+			}
+			seen[c] = true
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHashMappingSingleFunction(t *testing.T) {
+	h := NewHashMapping(5, 1)
+	if got := len(h.Columns("anything")); got != 1 {
+		t.Fatalf("single hash must give one column, got %d", got)
+	}
+}
+
+// TestComposedHashAndroidExample reproduces the paper's Table 3 walk
+// through: predicates developer, version, kernel, preceded, graphics
+// inserted one by one with two hash functions h1, h2; kernel collides
+// with developer in pred1 and lands in pred3 via h2; graphics finds
+// both its candidates full and must spill.
+func TestComposedHashAndroidExample(t *testing.T) {
+	k := 5 // columns pred1..predk, 1-based in the paper; we use 0-based
+	h1 := map[string]int{"developer": 0, "version": 1, "kernel": 0, "preceded": 4, "graphics": 2}
+	h2 := map[string]int{"developer": 2, "version": 0, "kernel": 2, "preceded": 0, "graphics": 1}
+	m := Compose(
+		&FuncMapping{M: k, Fn: func(p string) []int { return []int{h1[p]} }},
+		&FuncMapping{M: k, Fn: func(p string) []int { return []int{h2[p]} }},
+	)
+
+	// Simulate insertion into one DPH row.
+	row := map[int]string{}
+	var spilled []string
+	insert := func(pred string) {
+		for _, c := range m.Columns(pred) {
+			if _, occupied := row[c]; !occupied {
+				row[c] = pred
+				return
+			}
+		}
+		spilled = append(spilled, pred)
+	}
+	for _, p := range []string{"developer", "version", "kernel", "preceded", "graphics"} {
+		insert(p)
+	}
+	if row[0] != "developer" {
+		t.Errorf("developer should land in pred1 (col 0), row=%v", row)
+	}
+	if row[1] != "version" {
+		t.Errorf("version should land in pred2 (col 1), row=%v", row)
+	}
+	if row[2] != "kernel" {
+		t.Errorf("kernel should land in pred3 (col 2) via h2, row=%v", row)
+	}
+	if row[4] != "preceded" {
+		t.Errorf("preceded should land in predk (col 4), row=%v", row)
+	}
+	if len(spilled) != 1 || spilled[0] != "graphics" {
+		t.Errorf("graphics should spill (both candidates full), spilled=%v", spilled)
+	}
+}
+
+// TestFig4Coloring reproduces Figure 4: 13 predicates from the sample
+// DBpedia data need only 5 colors, and board/died share a color
+// because they never co-occur.
+func TestFig4Coloring(t *testing.T) {
+	g := NewInterference()
+	// Entity predicate sets from Figure 1(a).
+	g.AddEntity([]string{"born", "died", "founder"})                                // Charles Flint
+	g.AddEntity([]string{"born", "founder", "board", "home"})                       // Larry Page
+	g.AddEntity([]string{"developer", "version", "kernel", "preceded", "graphics"}) // Android
+	g.AddEntity([]string{"industry", "employees", "headquarters"})                  // Google
+	g.AddEntity([]string{"industry", "employees", "headquarters"})                  // IBM
+
+	c := Greedy(g, 13)
+	if len(c.Uncolored) != 0 {
+		t.Fatalf("everything must be colorable: %v", c.Uncolored)
+	}
+	if c.NumColors > 5 {
+		t.Errorf("paper needs only 5 colors for 13 predicates, got %d", c.NumColors)
+	}
+	// Coloring must be proper: no co-occurring pair shares a color.
+	for p, ns := range g.adj {
+		for q := range ns {
+			if c.Colors[p] == c.Colors[q] {
+				t.Errorf("conflict: %s and %s co-occur but share color %d", p, q, c.Colors[p])
+			}
+		}
+	}
+	if c.Coverage(g) != 1.0 {
+		t.Errorf("full coloring must cover 100%%, got %f", c.Coverage(g))
+	}
+}
+
+func TestGreedyProperColoringProperty(t *testing.T) {
+	// Random interference graphs: greedy coloring is always proper and
+	// never uses more colors than max degree + 1.
+	f := func(seed uint8) bool {
+		g := NewInterference()
+		n := int(seed%13) + 2
+		for e := 0; e < n; e++ {
+			var preds []string
+			for i := 0; i <= int(seed)%5; i++ {
+				preds = append(preds, fmt.Sprintf("p%d", (e*7+i*int(seed+1))%n))
+			}
+			g.AddEntity(preds)
+		}
+		maxDeg := 0
+		for p := range g.adj {
+			if d := g.Degree(p); d > maxDeg {
+				maxDeg = d
+			}
+		}
+		c := Greedy(g, maxDeg+1)
+		if len(c.Uncolored) != 0 {
+			return false
+		}
+		if c.NumColors > maxDeg+1 {
+			return false
+		}
+		for p, ns := range g.adj {
+			for q := range ns {
+				if c.Colors[p] == c.Colors[q] {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGreedyBudgetExhaustion(t *testing.T) {
+	g := NewInterference()
+	// A clique of 5 predicates cannot be colored with 3 colors.
+	g.AddEntity([]string{"a", "b", "c", "d", "e"})
+	c := Greedy(g, 3)
+	if len(c.Uncolored) != 2 {
+		t.Fatalf("want 2 uncolored in K5 with 3 colors, got %d", len(c.Uncolored))
+	}
+	if cov := c.Coverage(g); cov != 0.6 {
+		t.Fatalf("coverage = %f, want 0.6", cov)
+	}
+}
+
+func TestColoredMappingFallback(t *testing.T) {
+	g := NewInterference()
+	g.AddEntity([]string{"a", "b"})
+	c := Greedy(g, 4)
+	cm := NewColoredMapping(c, 4, nil)
+	if cols := cm.Columns("a"); len(cols) != 1 {
+		t.Fatalf("colored predicate must map to exactly one column: %v", cols)
+	}
+	if !cm.Colored("a") || cm.Colored("zzz") {
+		t.Fatal("Colored() wrong")
+	}
+	// Unknown predicate goes through the hash fallback, still in range.
+	for _, col := range cm.Columns("never-seen") {
+		if col < 0 || col >= 4 {
+			t.Fatalf("fallback column %d out of range", col)
+		}
+	}
+}
+
+func TestComposeDeduplicates(t *testing.T) {
+	m := Compose(
+		&FuncMapping{M: 8, Fn: func(string) []int { return []int{3} }},
+		&FuncMapping{M: 8, Fn: func(string) []int { return []int{3, 5} }},
+	)
+	cols := m.Columns("x")
+	if len(cols) != 2 || cols[0] != 3 || cols[1] != 5 {
+		t.Fatalf("composition must deduplicate preserving order: %v", cols)
+	}
+	if m.NumColumns() != 8 {
+		t.Fatalf("NumColumns = %d", m.NumColumns())
+	}
+}
+
+func TestInterferenceDedupWithinEntity(t *testing.T) {
+	g := NewInterference()
+	g.AddEntity([]string{"p", "p", "q"})
+	if g.count["p"] != 1 {
+		t.Fatalf("duplicate predicate within entity must count once, got %d", g.count["p"])
+	}
+	if !g.adj["p"]["q"] || g.adj["p"]["p"] {
+		t.Fatal("bad adjacency")
+	}
+}

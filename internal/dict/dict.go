@@ -1,0 +1,100 @@
+// Package dict implements the dictionary encoding layer shared by every
+// relational RDF schema in this repository. RDF terms are interned to
+// dense int64 ids; the DB2RDF Direct/Reverse Secondary relations (DS/RS)
+// additionally need list ids ("lid"s, the paper's lid:1, lid:2, ...)
+// drawn from a disjoint id space so a val_i column can hold either a
+// term id or a lid without ambiguity.
+package dict
+
+import (
+	"fmt"
+	"sync"
+
+	"db2rdf/internal/rdf"
+)
+
+// LidBase is the first list id. Term ids grow upward from 1; lids grow
+// upward from LidBase, so the two spaces never collide in practice
+// (2^62 terms would be needed).
+const LidBase int64 = 1 << 62
+
+// IsLid reports whether id denotes a multi-value list id rather than a
+// term id.
+func IsLid(id int64) bool { return id >= LidBase }
+
+// Dict interns RDF terms and hands out list ids. It is safe for
+// concurrent use.
+type Dict struct {
+	mu      sync.RWMutex
+	byKey   map[string]int64
+	byID    []rdf.Term // index i holds the term with id i+1
+	nextLid int64
+}
+
+// New returns an empty dictionary.
+func New() *Dict {
+	return &Dict{byKey: make(map[string]int64), nextLid: LidBase}
+}
+
+// Encode interns t, returning its id (allocating one if new).
+func (d *Dict) Encode(t rdf.Term) int64 {
+	key := t.Key()
+	d.mu.RLock()
+	id, ok := d.byKey[key]
+	d.mu.RUnlock()
+	if ok {
+		return id
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if id, ok = d.byKey[key]; ok {
+		return id
+	}
+	d.byID = append(d.byID, t)
+	id = int64(len(d.byID))
+	d.byKey[key] = id
+	return id
+}
+
+// Lookup returns the id of t without interning, and whether it exists.
+func (d *Dict) Lookup(t rdf.Term) (int64, bool) {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	id, ok := d.byKey[t.Key()]
+	return id, ok
+}
+
+// Decode returns the term for a term id.
+func (d *Dict) Decode(id int64) (rdf.Term, error) {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	if id < 1 || id > int64(len(d.byID)) {
+		return rdf.Term{}, fmt.Errorf("dict: unknown term id %d", id)
+	}
+	return d.byID[id-1], nil
+}
+
+// MustDecode is Decode for callers that already validated the id.
+func (d *Dict) MustDecode(id int64) rdf.Term {
+	t, err := d.Decode(id)
+	if err != nil {
+		panic(err)
+	}
+	return t
+}
+
+// NextLid allocates a fresh list id.
+func (d *Dict) NextLid() int64 {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	lid := d.nextLid
+	d.nextLid++
+	return lid
+}
+
+// Len returns the number of interned terms.
+func (d *Dict) Len() int {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	return len(d.byID)
+}

@@ -1,0 +1,146 @@
+package gen
+
+import (
+	"fmt"
+	"math"
+
+	"db2rdf/internal/rdf"
+)
+
+// DBpedia namespaces.
+const (
+	dbr = "http://dbpedia/resource/"
+	dbo = "http://dbpedia/ontology/"
+)
+
+// DBpedia generates a DBpedia-like dataset: power-law out-degrees (a
+// few entities with very many predicates, a long tail with few),
+// power-law in-degrees (a few celebrity objects shared by very many
+// subjects), a large predicate vocabulary (scaled down from the real
+// 53,976), and ~40 ontology types. This is the dataset whose
+// interference graph is NOT fully colorable within a row budget, which
+// exercises the hybrid coloring ⊕ hashing mapping (§2.2-2.3).
+func DBpedia(targetTriples int) *Dataset {
+	r := rng(13)
+	nPreds := 300
+	preds := make([]string, nPreds)
+	for i := range preds {
+		preds[i] = fmt.Sprintf("%sprop%d", dbo, i)
+	}
+	nTypes := 40
+	// Popular objects: zipf-ish popularity.
+	nObjects := targetTriples / 8
+	if nObjects < 200 {
+		nObjects = 200
+	}
+	popular := make([]string, nObjects)
+	for i := range popular {
+		popular[i] = fmt.Sprintf("%sentity%d", dbr, i)
+	}
+	zipfObj := func() string {
+		// Inverse-CDF sample of a 1/x distribution.
+		u := r.Float64()
+		idx := int(math.Pow(float64(nObjects), u)) - 1
+		if idx < 0 {
+			idx = 0
+		}
+		if idx >= nObjects {
+			idx = nObjects - 1
+		}
+		return popular[idx]
+	}
+	zipfPred := func() int {
+		u := r.Float64()
+		idx := int(math.Pow(float64(nPreds), u)) - 1
+		if idx < 0 {
+			idx = 0
+		}
+		if idx >= nPreds {
+			idx = nPreds - 1
+		}
+		return idx
+	}
+
+	var ts []rdf.Triple
+	add := func(s, p string, o rdf.Term) {
+		ts = append(ts, rdf.NewTriple(iri(s), iri(p), o))
+	}
+	subject := 0
+	for len(ts) < targetTriples {
+		s := fmt.Sprintf("%sentity%d", dbr, subject)
+		subject++
+		// Out-degree: power law with average ~14 (the paper's
+		// reported DBpedia out-degree).
+		deg := 3 + int(math.Pow(30, r.Float64()))
+		add(s, rdf.RDFType, iri(fmt.Sprintf("%sType%d", dbo, r.Intn(nTypes))))
+		add(s, rdfsNS+"label", lit(fmt.Sprintf("Entity %d", subject-1)))
+		seen := map[int]bool{}
+		for d := 0; d < deg; d++ {
+			pi := zipfPred()
+			if seen[pi] && r.Intn(3) != 0 {
+				continue // only some predicates are multi-valued
+			}
+			seen[pi] = true
+			if r.Intn(3) == 0 {
+				add(s, preds[pi], lit(fmt.Sprintf("value-%d-%d", pi, r.Intn(1000))))
+			} else {
+				add(s, preds[pi], iri(zipfObj()))
+			}
+		}
+	}
+	return &Dataset{Name: "dbpedia", Triples: ts, Queries: DBpediaQueries()}
+}
+
+// DBpediaQueries returns 20 queries (DQ1-DQ20) modeled on the DBpedia
+// SPARQL benchmark's template classes: entity describes, type +
+// property selections, stars with OPTIONALs, UNIONs of properties,
+// regex filters, chains, and reverse lookups with variable predicates
+// — the query-log-derived shapes of Morsey et al. that §4.1 uses.
+func DBpediaQueries() []Query {
+	p := fmt.Sprintf(`PREFIX dbr: <%s> PREFIX dbo: <%s> PREFIX rdfs: <%s> PREFIX rdf: <http://www.w3.org/1999/02/22-rdf-syntax-ns#> `, dbr, dbo, rdfsNS)
+	q := []Query{
+		// Describe-style: all properties of one entity.
+		{"DQ1", p + `SELECT ?p ?o WHERE { dbr:entity5 ?p ?o }`},
+		// Reverse describe: everything pointing at a popular entity.
+		{"DQ2", p + `SELECT ?s ?p WHERE { ?s ?p dbr:entity0 }`},
+		// Type selection.
+		{"DQ3", p + `SELECT ?s WHERE { ?s rdf:type dbo:Type1 }`},
+		// Type plus property.
+		{"DQ4", p + `SELECT ?s ?v WHERE { ?s rdf:type dbo:Type2 . ?s dbo:prop0 ?v }`},
+		// Star with two properties.
+		{"DQ5", p + `SELECT ?s ?a ?b WHERE { ?s dbo:prop0 ?a . ?s dbo:prop1 ?b }`},
+		// Star with OPTIONAL.
+		{"DQ6", p + `SELECT ?s ?a ?b WHERE { ?s dbo:prop0 ?a OPTIONAL { ?s dbo:prop7 ?b } }`},
+		// UNION of two properties.
+		{"DQ7", p + `SELECT ?s ?v WHERE { { ?s dbo:prop2 ?v } UNION { ?s dbo:prop3 ?v } }`},
+		// Label regex filter.
+		{"DQ8", p + `SELECT ?s WHERE { ?s rdfs:label ?l . FILTER regex(?l, "Entity 1[0-3]$") }`},
+		// Chain of length 2 through a shared object (mid-tail
+		// predicates: joining two hub predicates through unconstrained
+		// shared objects explodes quadratically at any scale).
+		{"DQ9", p + `SELECT ?a ?b WHERE { ?a dbo:prop20 ?x . ?b dbo:prop21 ?x }`},
+		// Properties of entities of a type pointing at a popular hub.
+		{"DQ10", p + `SELECT ?s WHERE { ?s dbo:prop0 dbr:entity0 }`},
+		// Entity lookup with specific property.
+		{"DQ11", p + `SELECT ?v WHERE { dbr:entity10 dbo:prop0 ?v }`},
+		// Two-hop chain from a constant.
+		{"DQ12", p + `SELECT ?x ?y WHERE { dbr:entity3 dbo:prop0 ?x . ?x dbo:prop0 ?y }`},
+		// Type + label.
+		{"DQ13", p + `SELECT ?s ?l WHERE { ?s rdf:type dbo:Type3 . ?s rdfs:label ?l }`},
+		// Star of three.
+		{"DQ14", p + `SELECT ?s WHERE { ?s dbo:prop0 ?a . ?s dbo:prop1 ?b . ?s dbo:prop2 ?c }`},
+		// UNION with different subjects.
+		{"DQ15", p + `SELECT ?s WHERE { { ?s dbo:prop4 dbr:entity1 } UNION { ?s dbo:prop5 dbr:entity1 } }`},
+		// OPTIONAL + !bound negation.
+		{"DQ16", p + `SELECT ?s WHERE { ?s rdf:type dbo:Type4 OPTIONAL { ?s dbo:prop0 ?v } FILTER (!bound(?v)) }`},
+		// DISTINCT types of entities referencing a hub.
+		{"DQ17", p + `SELECT DISTINCT ?t WHERE { ?s dbo:prop1 dbr:entity0 . ?s rdf:type ?t }`},
+		// Ordered labels with limit.
+		{"DQ18", p + `SELECT ?s ?l WHERE { ?s rdf:type dbo:Type5 . ?s rdfs:label ?l } ORDER BY ?l LIMIT 10`},
+		// ASK for a hub link.
+		{"DQ19", p + `ASK { ?s dbo:prop0 dbr:entity0 }`},
+		// Variable predicate between two constants.
+		{"DQ20", p + `SELECT ?p WHERE { dbr:entity5 ?p dbr:entity0 }`},
+	}
+	return q
+}

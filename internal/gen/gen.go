@@ -1,0 +1,35 @@
+// Package gen contains deterministic, scaled-down generators for the
+// four workloads of the paper's evaluation (§4) — LUBM, SP2Bench, a
+// DBpedia-like power-law dataset, and a PRBench-like tool-integration
+// dataset — plus the §2.1 micro-benchmark. Each generator produces
+// triples with the degree distributions and predicate co-occurrence
+// structure that drive the paper's results, and the associated query
+// workload (shapes faithful to the published benchmarks, adapted to
+// SPARQL 1.0 without aggregates).
+package gen
+
+import (
+	"math/rand"
+
+	"db2rdf/internal/rdf"
+)
+
+// Query is a named benchmark query.
+type Query struct {
+	Name   string
+	SPARQL string
+}
+
+// Dataset couples generated triples with their query workload.
+type Dataset struct {
+	Name    string
+	Triples []rdf.Triple
+	Queries []Query
+}
+
+// rng returns a deterministic random source so every run regenerates
+// identical datasets.
+func rng(seed int64) *rand.Rand { return rand.New(rand.NewSource(seed)) }
+
+func iri(s string) rdf.Term { return rdf.NewIRI(s) }
+func lit(s string) rdf.Term { return rdf.NewLiteral(s) }

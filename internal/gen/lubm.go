@@ -1,0 +1,187 @@
+package gen
+
+import (
+	"fmt"
+
+	"db2rdf/internal/rdf"
+)
+
+// LUBM namespace.
+const ub = "http://lubm/"
+
+// LUBM generates a scaled-down LUBM universe: universities with
+// departments, faculty (full/associate/assistant professors and
+// lecturers), students (undergraduate and graduate), courses,
+// research groups and publications, wired with the benchmark's
+// predicates (memberOf, worksFor, advisor, takesCourse, teacherOf,
+// publicationAuthor, degree predicates, ...). The degree distribution
+// matches the benchmark's published profile: ~6 triples per subject on
+// average with an 8-ish average in-degree driven by heavily shared
+// objects (types, departments, courses).
+func LUBM(universities int) *Dataset {
+	r := rng(7)
+	var ts []rdf.Triple
+	add := func(s, p string, o rdf.Term) {
+		ts = append(ts, rdf.NewTriple(iri(s), iri(p), o))
+	}
+	typ := func(s, class string) { add(s, rdf.RDFType, iri(ub+class)) }
+
+	for u := 0; u < universities; u++ {
+		uni := fmt.Sprintf("%sUniversity%d", ub, u)
+		typ(uni, "University")
+		add(uni, ub+"name", lit(fmt.Sprintf("University%d", u)))
+		depts := 4 + r.Intn(3)
+		for d := 0; d < depts; d++ {
+			dept := fmt.Sprintf("%sDept%d.U%d", ub, d, u)
+			typ(dept, "Department")
+			add(dept, ub+"subOrganizationOf", iri(uni))
+			add(dept, ub+"name", lit(fmt.Sprintf("Department%d", d)))
+
+			// Research groups.
+			for g := 0; g < 2; g++ {
+				grp := fmt.Sprintf("%sGroup%d.D%d.U%d", ub, g, d, u)
+				typ(grp, "ResearchGroup")
+				add(grp, ub+"subOrganizationOf", iri(dept))
+			}
+
+			// Faculty.
+			var faculty []string
+			mkFaculty := func(class string, n int) {
+				for i := 0; i < n; i++ {
+					f := fmt.Sprintf("%s%s%d.D%d.U%d", ub, class, i, d, u)
+					faculty = append(faculty, f)
+					typ(f, class)
+					add(f, ub+"worksFor", iri(dept))
+					add(f, ub+"name", lit(fmt.Sprintf("%s%d", class, i)))
+					add(f, ub+"emailAddress", lit(fmt.Sprintf("%s%d@d%d.u%d.edu", class, i, d, u)))
+					add(f, ub+"telephone", lit(fmt.Sprintf("555-%04d", r.Intn(10000))))
+					add(f, ub+"undergraduateDegreeFrom", iri(fmt.Sprintf("%sUniversity%d", ub, r.Intn(universities))))
+					add(f, ub+"mastersDegreeFrom", iri(fmt.Sprintf("%sUniversity%d", ub, r.Intn(universities))))
+					add(f, ub+"doctoralDegreeFrom", iri(fmt.Sprintf("%sUniversity%d", ub, r.Intn(universities))))
+					add(f, ub+"researchInterest", lit(fmt.Sprintf("Research%d", r.Intn(30))))
+				}
+			}
+			mkFaculty("FullProfessor", 2)
+			mkFaculty("AssociateProfessor", 3)
+			mkFaculty("AssistantProfessor", 3)
+			mkFaculty("Lecturer", 2)
+			add(faculty[0], ub+"headOf", iri(dept))
+
+			// Courses: the first half are undergraduate, the rest
+			// graduate; each taught by one faculty member.
+			var courses, gradCourses []string
+			for c := 0; c < 10; c++ {
+				course := fmt.Sprintf("%sCourse%d.D%d.U%d", ub, c, d, u)
+				if c < 5 {
+					typ(course, "Course")
+					courses = append(courses, course)
+				} else {
+					typ(course, "GraduateCourse")
+					gradCourses = append(gradCourses, course)
+				}
+				add(course, ub+"name", lit(fmt.Sprintf("Course%d", c)))
+				teacher := faculty[r.Intn(len(faculty))]
+				add(teacher, ub+"teacherOf", iri(course))
+			}
+
+			// Undergraduate students.
+			for i := 0; i < 20+r.Intn(10); i++ {
+				s := fmt.Sprintf("%sUGStudent%d.D%d.U%d", ub, i, d, u)
+				typ(s, "UndergraduateStudent")
+				add(s, ub+"memberOf", iri(dept))
+				add(s, ub+"name", lit(fmt.Sprintf("UGStudent%d", i)))
+				for c := 0; c < 2+r.Intn(2); c++ {
+					add(s, ub+"takesCourse", iri(courses[r.Intn(len(courses))]))
+				}
+				if r.Intn(5) == 0 {
+					add(s, ub+"advisor", iri(faculty[r.Intn(len(faculty))]))
+				}
+			}
+
+			// Graduate students.
+			for i := 0; i < 8+r.Intn(5); i++ {
+				s := fmt.Sprintf("%sGradStudent%d.D%d.U%d", ub, i, d, u)
+				typ(s, "GraduateStudent")
+				add(s, ub+"memberOf", iri(dept))
+				add(s, ub+"name", lit(fmt.Sprintf("GradStudent%d", i)))
+				add(s, ub+"undergraduateDegreeFrom", iri(fmt.Sprintf("%sUniversity%d", ub, r.Intn(universities))))
+				add(s, ub+"emailAddress", lit(fmt.Sprintf("grad%d@d%d.u%d.edu", i, d, u)))
+				for c := 0; c < 1+r.Intn(3); c++ {
+					add(s, ub+"takesCourse", iri(gradCourses[r.Intn(len(gradCourses))]))
+				}
+				add(s, ub+"advisor", iri(faculty[r.Intn(8)]))
+				if r.Intn(4) == 0 {
+					add(s, ub+"teachingAssistantOf", iri(courses[r.Intn(len(courses))]))
+				}
+			}
+
+			// Publications by professors and their students.
+			for i := 0; i < 15; i++ {
+				pub := fmt.Sprintf("%sPub%d.D%d.U%d", ub, i, d, u)
+				typ(pub, "Publication")
+				add(pub, ub+"name", lit(fmt.Sprintf("Publication%d", i)))
+				add(pub, ub+"publicationAuthor", iri(faculty[r.Intn(8)]))
+				if r.Intn(2) == 0 {
+					add(pub, ub+"publicationAuthor", iri(fmt.Sprintf("%sGradStudent%d.D%d.U%d", ub, r.Intn(8), d, u)))
+				}
+			}
+		}
+	}
+	return &Dataset{Name: "lubm", Triples: ts, Queries: LUBMQueries()}
+}
+
+// LUBMQueries returns the 12 benchmark queries the paper evaluates
+// (LQ1-LQ10, LQ13, LQ14), pre-expanded for inference exactly as §4.1
+// describes: a query over Student becomes a UNION over
+// UndergraduateStudent and GraduateStudent, Professor expands to its
+// three subclasses, and so on.
+func LUBMQueries() []Query {
+	p := fmt.Sprintf(`PREFIX ub: <%s> PREFIX rdf: <http://www.w3.org/1999/02/22-rdf-syntax-ns#> `, ub)
+	professorArms := func(v string) string {
+		return fmt.Sprintf(`{ %[1]s rdf:type ub:FullProfessor } UNION { %[1]s rdf:type ub:AssociateProfessor } UNION { %[1]s rdf:type ub:AssistantProfessor }`, v)
+	}
+	studentArms := func(v string) string {
+		return fmt.Sprintf(`{ %[1]s rdf:type ub:UndergraduateStudent } UNION { %[1]s rdf:type ub:GraduateStudent }`, v)
+	}
+	return []Query{
+		{"LQ1", p + `SELECT ?x WHERE { ?x rdf:type ub:GraduateStudent . ?x ub:takesCourse <` + ub + `Course5.D0.U0> }`},
+		{"LQ2", p + `SELECT ?x ?y ?z WHERE {
+			?x rdf:type ub:GraduateStudent .
+			?y rdf:type ub:University .
+			?z rdf:type ub:Department .
+			?x ub:memberOf ?z .
+			?z ub:subOrganizationOf ?y .
+			?x ub:undergraduateDegreeFrom ?y }`},
+		{"LQ3", p + `SELECT ?x WHERE { ?x rdf:type ub:Publication . ?x ub:publicationAuthor <` + ub + `AssistantProfessor0.D0.U0> }`},
+		{"LQ4", p + `SELECT ?x ?name ?email ?tel WHERE {
+			` + professorArms("?x") + `
+			?x ub:worksFor <` + ub + `Dept0.U0> .
+			?x ub:name ?name .
+			?x ub:emailAddress ?email .
+			?x ub:telephone ?tel }`},
+		{"LQ5", p + `SELECT ?x WHERE {
+			{ ?x ub:memberOf <` + ub + `Dept0.U0> } UNION { ?x ub:worksFor <` + ub + `Dept0.U0> } }`},
+		{"LQ6", p + `SELECT ?x WHERE { ` + studentArms("?x") + ` }`},
+		{"LQ7", p + `SELECT ?x ?y WHERE {
+			` + studentArms("?x") + `
+			<` + ub + `AssociateProfessor0.D0.U0> ub:teacherOf ?y .
+			?x ub:takesCourse ?y }`},
+		{"LQ8", p + `SELECT ?x ?y ?email WHERE {
+			?x rdf:type ub:GraduateStudent .
+			?y rdf:type ub:Department .
+			?x ub:memberOf ?y .
+			?y ub:subOrganizationOf <` + ub + `University0> .
+			?x ub:emailAddress ?email }`},
+		{"LQ9", p + `SELECT ?x ?y ?z WHERE {
+			?x rdf:type ub:GraduateStudent .
+			?x ub:advisor ?y .
+			?y ub:teacherOf ?z .
+			?x ub:takesCourse ?z }`},
+		{"LQ10", p + `SELECT ?x WHERE { ` + studentArms("?x") + ` ?x ub:takesCourse <` + ub + `Course5.D0.U0> }`},
+		{"LQ13", p + `SELECT ?x WHERE {
+			{ ?x ub:undergraduateDegreeFrom <` + ub + `University0> }
+			UNION { ?x ub:mastersDegreeFrom <` + ub + `University0> }
+			UNION { ?x ub:doctoralDegreeFrom <` + ub + `University0> } }`},
+		{"LQ14", p + `SELECT ?x WHERE { ?x rdf:type ub:UndergraduateStudent }`},
+	}
+}

@@ -1,0 +1,130 @@
+package gen
+
+import (
+	"fmt"
+
+	"db2rdf/internal/rdf"
+)
+
+// Micro generates the §2.1 micro-benchmark: subjects drawn from the
+// predicate-set distribution of Table 1 (the paper uses 1M triples;
+// pass a smaller target for laptop-scale runs). Single-valued
+// predicates SV1-SV8 get one object each; multi-valued predicates
+// MV1-MV4 get three objects each. The predicate sets are arranged so a
+// star over all of SV1-SV4 (or MV1-MV4) is highly selective while the
+// individual predicates are not, and SV5-SV8 are individually
+// selective (1% of subjects) — exactly the selectivity structure
+// Table 1 encodes.
+func Micro(targetTriples int) *Dataset {
+	r := rng(42)
+	// Predicate sets and relative frequencies from Table 1.
+	type predSet struct {
+		svs, mvs []int
+		freq     float64
+	}
+	sets := []predSet{
+		{svs: []int{1, 2, 3, 4}, mvs: []int{1, 2, 3, 4}, freq: .01},
+		{svs: []int{1, 2, 3}, mvs: []int{1, 2, 3}, freq: .24},
+		{svs: []int{1, 3, 4}, mvs: []int{1, 3, 4}, freq: .25},
+		{svs: []int{2, 3, 4}, mvs: []int{2, 3, 4}, freq: .25},
+		{svs: []int{1, 2, 4}, mvs: []int{1, 2, 4}, freq: .24},
+		{svs: []int{5, 6, 7, 8}, freq: .01},
+	}
+	// Triples per subject: |svs| + 3*|mvs|. Expected triples per
+	// subject across the distribution ~ 0.01*16 + 0.98*12 + 0.01*4 =
+	// 11.96.
+	const expPerSubject = 11.96
+	subjects := int(float64(targetTriples) / expPerSubject)
+	if subjects < 100 {
+		subjects = 100
+	}
+	var triples []rdf.Triple
+	cum := make([]float64, len(sets))
+	acc := 0.0
+	for i, s := range sets {
+		acc += s.freq
+		cum[i] = acc
+	}
+	objPool := 97 // small pool so individual predicates are unselective
+	for i := 0; i < subjects; i++ {
+		x := r.Float64()
+		si := len(sets) - 1
+		for j, c := range cum {
+			if x < c {
+				si = j
+				break
+			}
+		}
+		s := iri(fmt.Sprintf("http://micro/e%d", i))
+		for _, sv := range sets[si].svs {
+			o := lit(fmt.Sprintf("sv%d-o%d", sv, r.Intn(objPool)))
+			triples = append(triples, rdf.NewTriple(s, iri(fmt.Sprintf("http://micro/SV%d", sv)), o))
+		}
+		for _, mv := range sets[si].mvs {
+			for v := 0; v < 3; v++ {
+				o := lit(fmt.Sprintf("mv%d-o%d", mv, r.Intn(objPool)))
+				triples = append(triples, rdf.NewTriple(s, iri(fmt.Sprintf("http://micro/MV%d", mv)), o))
+			}
+		}
+	}
+	return &Dataset{Name: "micro", Triples: triples, Queries: MicroQueries()}
+}
+
+// MicroQueries returns the ten star queries of Table 2.
+func MicroQueries() []Query {
+	star := func(name string, preds ...string) Query {
+		q := "SELECT ?s WHERE {"
+		for i, p := range preds {
+			q += fmt.Sprintf(" ?s <http://micro/%s> ?o%d .", p, i)
+		}
+		q += " }"
+		return Query{Name: name, SPARQL: q}
+	}
+	return []Query{
+		star("Q1", "SV1", "SV2", "SV3", "SV4"),
+		star("Q2", "MV1", "MV2", "MV3", "MV4"),
+		star("Q3", "SV1", "MV1", "MV2", "MV3", "MV4"),
+		star("Q4", "SV1", "SV2", "MV1", "MV2", "MV3", "MV4"),
+		star("Q5", "SV1", "SV2", "SV3", "MV1", "MV2", "MV3", "MV4"),
+		star("Q6", "SV1", "SV2", "SV3", "SV4", "MV1", "MV2", "MV3", "MV4"),
+		star("Q7", "SV5"),
+		star("Q8", "SV5", "SV6"),
+		star("Q9", "SV5", "SV6", "SV7"),
+		star("Q10", "SV5", "SV6", "SV7", "SV8"),
+	}
+}
+
+// MicroFlowData generates the §3.3 flow-direction experiment data: two
+// constants, O1 with relative frequency ~.75 and O2 with ~.01, joined
+// through shared subjects (Figure 14).
+func MicroFlowData(targetTriples int) *Dataset {
+	r := rng(43)
+	subjects := targetTriples / 2
+	if subjects < 100 {
+		subjects = 100
+	}
+	var triples []rdf.Triple
+	for i := 0; i < subjects; i++ {
+		s := iri(fmt.Sprintf("http://flow/e%d", i))
+		// SV1 = O1 for 75% of subjects, a scattered value otherwise.
+		if r.Float64() < .75 {
+			triples = append(triples, rdf.NewTriple(s, iri("http://flow/SV1"), lit("O1")))
+		} else {
+			triples = append(triples, rdf.NewTriple(s, iri("http://flow/SV1"), lit(fmt.Sprintf("x%d", i))))
+		}
+		// SV2 = O2 for 1% of subjects.
+		if r.Float64() < .01 {
+			triples = append(triples, rdf.NewTriple(s, iri("http://flow/SV2"), lit("O2")))
+		} else {
+			triples = append(triples, rdf.NewTriple(s, iri("http://flow/SV2"), lit(fmt.Sprintf("y%d", i))))
+		}
+	}
+	return &Dataset{
+		Name:    "microflow",
+		Triples: triples,
+		Queries: []Query{{
+			Name:   "FQ1",
+			SPARQL: `SELECT ?s WHERE { ?s <http://flow/SV1> "O1" . ?s <http://flow/SV2> "O2" }`,
+		}},
+	}
+}

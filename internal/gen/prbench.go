@@ -1,0 +1,199 @@
+package gen
+
+import (
+	"fmt"
+	"strings"
+
+	"db2rdf/internal/rdf"
+)
+
+// PRBench namespace.
+const pr = "http://prbench/"
+
+// PRBench generates a tool-integration dataset in the spirit of the
+// paper's private benchmark: software artifacts (requirements, bugs,
+// test cases, change sets, builds, comments) produced by different
+// tools about the same projects, densely cross-linked (fixes,
+// verifies, blockedBy, implements, partOf). The original is a quad
+// dataset with one graph per artifact; as in the paper's own setup for
+// triple-only systems, graphs are flattened away.
+func PRBench(targetTriples int) *Dataset {
+	r := rng(17)
+	var ts []rdf.Triple
+	add := func(s, p string, o rdf.Term) {
+		ts = append(ts, rdf.NewTriple(iri(s), iri(p), o))
+	}
+	typ := func(s, class string) { add(s, rdf.RDFType, iri(pr+class)) }
+
+	statuses := []string{"open", "in-progress", "resolved", "closed", "verified"}
+	severities := []string{"critical", "major", "minor", "trivial"}
+
+	nProjects := 10
+	nPersons := 120
+	for i := 0; i < nPersons; i++ {
+		p := fmt.Sprintf("%sperson%d", pr, i)
+		typ(p, "Person")
+		add(p, pr+"name", lit(fmt.Sprintf("Person %d", i)))
+	}
+	units := targetTriples / 40 // one unit = 1 req + 2 bugs + 1 test + 1 commit (+ extras)
+	if units < 20 {
+		units = 20
+	}
+	person := func() rdf.Term { return iri(fmt.Sprintf("%sperson%d", pr, r.Intn(nPersons))) }
+	project := func(u int) rdf.Term { return iri(fmt.Sprintf("%sproject%d", pr, u%nProjects)) }
+
+	for i := 0; i < nProjects; i++ {
+		pj := fmt.Sprintf("%sproject%d", pr, i)
+		typ(pj, "Project")
+		add(pj, pr+"name", lit(fmt.Sprintf("Project %d", i)))
+	}
+
+	var bugs []string
+	for u := 0; u < units; u++ {
+		req := fmt.Sprintf("%sreq%d", pr, u)
+		typ(req, "Requirement")
+		add(req, pr+"belongsTo", project(u))
+		add(req, pr+"title", lit(fmt.Sprintf("Requirement %d", u)))
+		add(req, pr+"status", lit(statuses[r.Intn(len(statuses))]))
+		add(req, pr+"createdBy", person())
+		add(req, pr+"priority", rdf.NewInteger(int64(1+r.Intn(5))))
+
+		test := fmt.Sprintf("%stest%d", pr, u)
+		typ(test, "TestCase")
+		add(test, pr+"belongsTo", project(u))
+		add(test, pr+"verifies", iri(req))
+		if r.Intn(3) == 0 && u > 0 {
+			add(test, pr+"verifies", iri(fmt.Sprintf("%sreq%d", pr, r.Intn(u))))
+		}
+		add(test, pr+"status", lit(statuses[r.Intn(len(statuses))]))
+		add(test, pr+"title", lit(fmt.Sprintf("Test %d", u)))
+
+		build := fmt.Sprintf("%sbuild%d", pr, u/8)
+		if u%8 == 0 {
+			typ(build, "Build")
+			add(build, pr+"status", lit([]string{"green", "red"}[r.Intn(2)]))
+			add(build, pr+"belongsTo", project(u))
+		}
+
+		for b := 0; b < 2; b++ {
+			bug := fmt.Sprintf("%sbug%d_%d", pr, u, b)
+			bugs = append(bugs, bug)
+			typ(bug, "Bug")
+			add(bug, pr+"belongsTo", project(u))
+			add(bug, pr+"title", lit(fmt.Sprintf("Bug %d-%d", u, b)))
+			add(bug, pr+"status", lit(statuses[r.Intn(len(statuses))]))
+			add(bug, pr+"severity", lit(severities[r.Intn(len(severities))]))
+			add(bug, pr+"assignedTo", person())
+			add(bug, pr+"reportedBy", person())
+			add(bug, pr+"implements", iri(req))
+			if len(bugs) > 3 && r.Intn(4) == 0 {
+				add(bug, pr+"blockedBy", iri(bugs[r.Intn(len(bugs)-1)]))
+			}
+
+			// ~10% of bugs have no fixing commit yet (negation
+			// queries need orphans).
+			if r.Intn(10) == 0 {
+				continue
+			}
+			commit := fmt.Sprintf("%scommit%d_%d", pr, u, b)
+			typ(commit, "ChangeSet")
+			add(commit, pr+"fixes", iri(bug))
+			add(commit, pr+"author", person())
+			add(commit, pr+"partOf", iri(build))
+			add(commit, pr+"message", lit(fmt.Sprintf("fix for bug %d-%d", u, b)))
+		}
+	}
+	return &Dataset{Name: "prbench", Triples: ts, Queries: PRBenchQueries()}
+}
+
+// PRBenchQueries returns the 29-query workload (PQ1-PQ29): selective
+// artifact lookups, cross-tool joins, optional enrichments, and the
+// very large disjunctive queries the paper highlights (PQ26 is a UNION
+// of 100 conjunctive patterns, mirroring the 500-triple/100-OR query
+// of §3.1.1).
+func PRBenchQueries() []Query {
+	p := fmt.Sprintf(`PREFIX pr: <%s> PREFIX rdf: <http://www.w3.org/1999/02/22-rdf-syntax-ns#> `, pr)
+	var qs []Query
+	addq := func(name, body string) { qs = append(qs, Query{Name: name, SPARQL: p + body}) }
+
+	// PQ1: star lookup on one bug (the paper's 4ms query).
+	addq("PQ1", `SELECT ?st ?sev ?who WHERE { <`+pr+`bug5_0> pr:status ?st . <`+pr+`bug5_0> pr:severity ?sev . <`+pr+`bug5_0> pr:assignedTo ?who }`)
+	// PQ2: open bugs of one project.
+	addq("PQ2", `SELECT ?b WHERE { ?b rdf:type pr:Bug . ?b pr:belongsTo pr:project0 . ?b pr:status "open" }`)
+	// PQ3: critical bugs and their assignees.
+	addq("PQ3", `SELECT ?b ?who WHERE { ?b rdf:type pr:Bug . ?b pr:severity "critical" . ?b pr:assignedTo ?who }`)
+	// PQ4: requirements implemented by bugs assigned to person1.
+	addq("PQ4", `SELECT ?r WHERE { ?b pr:assignedTo pr:person1 . ?b pr:implements ?r }`)
+	// PQ5: tests verifying requirements of project0.
+	addq("PQ5", `SELECT ?t ?r WHERE { ?t rdf:type pr:TestCase . ?t pr:verifies ?r . ?r pr:belongsTo pr:project0 }`)
+	// PQ6: commits fixing critical bugs.
+	addq("PQ6", `SELECT ?c ?b WHERE { ?c rdf:type pr:ChangeSet . ?c pr:fixes ?b . ?b pr:severity "critical" }`)
+	// PQ7: bug with optional blocker.
+	addq("PQ7", `SELECT ?b ?blk WHERE { ?b rdf:type pr:Bug . ?b pr:status "open" OPTIONAL { ?b pr:blockedBy ?blk } }`)
+	// PQ8: who reported and who fixes (commit author) per bug.
+	addq("PQ8", `SELECT ?b ?rep ?auth WHERE { ?b pr:reportedBy ?rep . ?c pr:fixes ?b . ?c pr:author ?auth }`)
+	// PQ9: bug or requirement titles of project1.
+	addq("PQ9", `SELECT ?a ?t WHERE { { ?a rdf:type pr:Bug } UNION { ?a rdf:type pr:Requirement } ?a pr:belongsTo pr:project1 . ?a pr:title ?t }`)
+	// PQ10: full traceability chain (the Fig. 17 long-runner):
+	// requirement -> bug -> commit -> build, with test verification.
+	addq("PQ10", `SELECT ?r ?b ?c ?bd ?t WHERE {
+		?b pr:implements ?r .
+		?c pr:fixes ?b .
+		?c pr:partOf ?bd .
+		?t pr:verifies ?r }`)
+	// PQ11: priorities of requirements with open bugs.
+	addq("PQ11", `SELECT ?r ?pri WHERE { ?b pr:implements ?r . ?b pr:status "open" . ?r pr:priority ?pri }`)
+	// PQ12: high priority requirements (numeric filter).
+	addq("PQ12", `SELECT ?r WHERE { ?r rdf:type pr:Requirement . ?r pr:priority ?p . FILTER (?p >= 4) }`)
+	// PQ13: everything about person2's assignments (var predicate).
+	addq("PQ13", `SELECT ?b ?p ?o WHERE { ?b pr:assignedTo pr:person2 . ?b ?p ?o }`)
+	// PQ14: bugs blocked by resolved bugs (Fig. 18 medium).
+	addq("PQ14", `SELECT ?b ?blk WHERE { ?b pr:blockedBy ?blk . ?blk pr:status "resolved" }`)
+	// PQ15: tests of red builds' projects.
+	addq("PQ15", `SELECT ?t WHERE { ?bd rdf:type pr:Build . ?bd pr:status "red" . ?bd pr:belongsTo ?pj . ?t rdf:type pr:TestCase . ?t pr:belongsTo ?pj }`)
+	// PQ16: commit messages regex.
+	addq("PQ16", `SELECT ?c ?m WHERE { ?c pr:message ?m . FILTER regex(?m, "bug 1[0-9]-") }`)
+	// PQ17: artifacts of project2 with optional status.
+	addq("PQ17", `SELECT ?a ?st WHERE { ?a pr:belongsTo pr:project2 OPTIONAL { ?a pr:status ?st } }`)
+	// PQ18: bug count proxy: distinct assignees of open bugs.
+	addq("PQ18", `SELECT DISTINCT ?who WHERE { ?b pr:status "open" . ?b pr:assignedTo ?who . ?b rdf:type pr:Bug }`)
+	// PQ19: person names ordered.
+	addq("PQ19", `SELECT ?n WHERE { ?p rdf:type pr:Person . ?p pr:name ?n } ORDER BY ?n LIMIT 20`)
+	// PQ20: ASK for a critical open bug.
+	addq("PQ20", `ASK { ?b pr:severity "critical" . ?b pr:status "open" }`)
+	// PQ21: requirements verified by multiple tests (self join).
+	addq("PQ21", `SELECT DISTINCT ?r WHERE { ?t1 pr:verifies ?r . ?t2 pr:verifies ?r . FILTER (?t1 != ?t2) }`)
+	// PQ22: chains of blocked bugs (length 2).
+	addq("PQ22", `SELECT ?a ?c WHERE { ?a pr:blockedBy ?b . ?b pr:blockedBy ?c }`)
+	// PQ23: union of statuses across artifact kinds.
+	addq("PQ23", `SELECT ?a WHERE { { ?a pr:status "verified" } UNION { ?a pr:status "closed" } }`)
+	// PQ24: cross-tool star on requirement5 (Fig. 18 medium).
+	addq("PQ24", `SELECT ?b ?t ?st WHERE { ?b pr:implements <`+pr+`req5> . ?t pr:verifies <`+pr+`req5> . <`+pr+`req5> pr:status ?st }`)
+	// PQ25: optional chain: bugs with optional fixing commit and its build.
+	addq("PQ25", `SELECT ?b ?c ?bd WHERE { ?b rdf:type pr:Bug . ?b pr:severity "major" OPTIONAL { ?c pr:fixes ?b . ?c pr:partOf ?bd } }`)
+	// PQ26: the 100-arm disjunction (50 people x 2 statuses), as in
+	// the 100-OR tool-integration query of §3.1.1.
+	var arms []string
+	for i := 0; i < 50; i++ {
+		for _, st := range []string{"open", "resolved"} {
+			arms = append(arms, fmt.Sprintf(`{ ?b rdf:type pr:Bug . ?b pr:assignedTo pr:person%d . ?b pr:status "%s" . ?b pr:severity "critical" . ?b pr:belongsTo ?pj }`, i, st))
+		}
+	}
+	addq("PQ26", `SELECT ?b ?pj WHERE { `+strings.Join(arms, " UNION ")+` }`)
+	// PQ27: large multi-way join across all artifact kinds (Fig. 17).
+	addq("PQ27", `SELECT ?pj ?r ?b ?t ?c WHERE {
+		?r rdf:type pr:Requirement . ?r pr:belongsTo ?pj .
+		?b pr:implements ?r . ?b pr:status "open" .
+		?t pr:verifies ?r .
+		?c pr:fixes ?b }`)
+	// PQ28: union of three cross-tool traces (Fig. 17).
+	addq("PQ28", `SELECT ?x WHERE {
+		{ ?x pr:fixes ?b . ?b pr:severity "critical" }
+		UNION { ?x pr:verifies ?r . ?r pr:priority ?p . FILTER (?p >= 4) }
+		UNION { ?x pr:blockedBy ?y . ?y pr:status "open" } }`)
+	// PQ29: everyone touching project3 artifacts in any role (Fig. 18).
+	addq("PQ29", `SELECT DISTINCT ?who WHERE {
+		?a pr:belongsTo pr:project3 .
+		{ ?a pr:assignedTo ?who } UNION { ?a pr:reportedBy ?who } UNION { ?a pr:createdBy ?who } }`)
+	return qs
+}

@@ -1,0 +1,213 @@
+package gen
+
+import (
+	"fmt"
+
+	"db2rdf/internal/rdf"
+)
+
+// SP2Bench namespaces.
+const (
+	benchNS = "http://localhost/vocabulary/bench/"
+	dcNS    = "http://purl.org/dc/elements/1.1/"
+	dctNS   = "http://purl.org/dc/terms/"
+	swrcNS  = "http://swrc.ontoware.org/ontology#"
+	foafNS  = "http://xmlns.com/foaf/0.1/"
+	rdfsNS  = "http://www.w3.org/2000/01/rdf-schema#"
+	dblpNS  = "http://dblp/"
+)
+
+// SP2B generates a scaled-down SP2Bench DBLP-like dataset: journals
+// and proceedings per year starting 1940, articles and inproceedings
+// with the benchmark's property profile (creator, title, issued year,
+// journal, pages, abstracts, citations, seeAlso), persons with names
+// and homepages, and the special author "Paul Erdoes" the benchmark
+// queries single out.
+func SP2B(targetTriples int) *Dataset {
+	r := rng(11)
+	var ts []rdf.Triple
+	add := func(s, p string, o rdf.Term) {
+		ts = append(ts, rdf.NewTriple(iri(s), iri(p), o))
+	}
+	typ := func(s, class string) { add(s, rdf.RDFType, iri(benchNS+class)) }
+	year := func(y int) rdf.Term { return rdf.NewInteger(int64(y)) }
+
+	// Person pool, including Paul Erdoes.
+	persons := []string{dblpNS + "persons/Paul_Erdoes"}
+	add(persons[0], foafNS+"name", lit("Paul Erdoes"))
+	typ(persons[0], "Person")
+	nPersons := targetTriples / 40
+	if nPersons < 50 {
+		nPersons = 50
+	}
+	for i := 0; i < nPersons; i++ {
+		p := fmt.Sprintf("%spersons/Person%d", dblpNS, i)
+		persons = append(persons, p)
+		typ(p, "Person")
+		add(p, foafNS+"name", lit(fmt.Sprintf("Person %d", i)))
+		if r.Intn(3) == 0 {
+			add(p, foafNS+"homepage", iri(fmt.Sprintf("http://people/%d", i)))
+		}
+	}
+
+	// Documents per year, growing like DBLP does.
+	var articles []string
+	y := 1940
+	docBudget := targetTriples * 7 / 10
+	used := 0
+	docID := 0
+	for used < docBudget {
+		perYear := 2 + (y-1940)/3
+		journal := fmt.Sprintf("%sjournals/Journal%d_%d", dblpNS, 1, y)
+		typ(journal, "Journal")
+		add(journal, dcNS+"title", lit(fmt.Sprintf("Journal 1 (%d)", y)))
+		add(journal, dctNS+"issued", year(y))
+		proc := fmt.Sprintf("%sproc/Proc%d", dblpNS, y)
+		typ(proc, "Proceedings")
+		add(proc, dctNS+"issued", year(y))
+		add(proc, swrcNS+"editor", iri(persons[r.Intn(len(persons))]))
+		for i := 0; i < perYear && used < docBudget; i++ {
+			docID++
+			if i%2 == 0 {
+				a := fmt.Sprintf("%sarticles/Article%d", dblpNS, docID)
+				articles = append(articles, a)
+				typ(a, "Article")
+				add(a, dcNS+"title", lit(fmt.Sprintf("Article %d", docID)))
+				add(a, dcNS+"creator", iri(persons[r.Intn(len(persons))]))
+				if r.Intn(4) == 0 {
+					add(a, dcNS+"creator", iri(persons[r.Intn(len(persons))]))
+				}
+				// Paul Erdoes co-authors a slice of the literature.
+				if r.Intn(20) == 0 {
+					add(a, dcNS+"creator", iri(persons[0]))
+				}
+				add(a, dctNS+"issued", year(y))
+				add(a, swrcNS+"journal", iri(journal))
+				add(a, swrcNS+"pages", rdf.NewInteger(int64(1+r.Intn(300))))
+				if r.Intn(2) == 0 {
+					add(a, benchNS+"abstract", lit(fmt.Sprintf("abstract of article %d", docID)))
+				}
+				if r.Intn(3) == 0 {
+					add(a, rdfsNS+"seeAlso", iri(fmt.Sprintf("http://see/%d", docID)))
+				}
+				// Citations: multi-valued references.
+				if len(articles) > 5 && r.Intn(3) == 0 {
+					for c := 0; c < 1+r.Intn(3); c++ {
+						add(a, dctNS+"references", iri(articles[r.Intn(len(articles))]))
+					}
+				}
+				used += 8
+			} else {
+				ip := fmt.Sprintf("%sinproc/Inproc%d", dblpNS, docID)
+				typ(ip, "Inproceedings")
+				add(ip, dcNS+"title", lit(fmt.Sprintf("Inproc %d", docID)))
+				add(ip, dcNS+"creator", iri(persons[r.Intn(len(persons))]))
+				add(ip, dctNS+"issued", year(y))
+				add(ip, dctNS+"partOf", iri(proc))
+				add(ip, benchNS+"booktitle", lit(fmt.Sprintf("Conference %d", y)))
+				if r.Intn(2) == 0 {
+					add(ip, benchNS+"abstract", lit(fmt.Sprintf("abstract of inproc %d", docID)))
+				}
+				used += 7
+			}
+		}
+		y++
+	}
+	return &Dataset{Name: "sp2b", Triples: ts, Queries: SP2BQueries()}
+}
+
+// SP2BQueries returns the 17 SP2Bench queries (SQ1-SQ17, following the
+// benchmark's Q1, Q2, Q3abc, Q4, Q5ab, Q6, Q7, Q8, Q9, Q10, Q11,
+// Q12abc), adapted to the SPARQL 1.0 subset (no aggregates).
+func SP2BQueries() []Query {
+	p := fmt.Sprintf(`PREFIX bench: <%s> PREFIX dc: <%s> PREFIX dcterms: <%s> PREFIX swrc: <%s> PREFIX foaf: <%s> PREFIX rdfs: <%s> PREFIX rdf: <http://www.w3.org/1999/02/22-rdf-syntax-ns#> `,
+		benchNS, dcNS, dctNS, swrcNS, foafNS, rdfsNS)
+	erdoes := "<" + dblpNS + "persons/Paul_Erdoes>"
+	return []Query{
+		// Q1: the year of publication of Journal 1 (1940).
+		{"SQ1", p + `SELECT ?yr WHERE { ?journal rdf:type bench:Journal . ?journal dc:title "Journal 1 (1940)" . ?journal dcterms:issued ?yr }`},
+		// Q2: inproceedings with all their required properties and an
+		// optional abstract, ordered by year.
+		{"SQ2", p + `SELECT ?inproc ?author ?booktitle ?title ?proc ?yr ?abstract WHERE {
+			?inproc rdf:type bench:Inproceedings .
+			?inproc dc:creator ?author .
+			?inproc bench:booktitle ?booktitle .
+			?inproc dc:title ?title .
+			?inproc dcterms:partOf ?proc .
+			?inproc dcterms:issued ?yr
+			OPTIONAL { ?inproc bench:abstract ?abstract }
+		} ORDER BY ?yr`},
+		// Q3a/b/c: articles with a given property.
+		{"SQ3a", p + `SELECT ?article WHERE { ?article rdf:type bench:Article . ?article ?property ?value . FILTER (?property = swrc:pages) }`},
+		{"SQ3b", p + `SELECT ?article WHERE { ?article rdf:type bench:Article . ?article ?property ?value . FILTER (?property = bench:abstract) }`},
+		{"SQ3c", p + `SELECT ?article WHERE { ?article rdf:type bench:Article . ?article ?property ?value . FILTER (?property = rdfs:seeAlso) }`},
+		// Q4: pairs of articles in the same journal by different
+		// authors — the deliberate near-cross-product.
+		{"SQ4", p + `SELECT DISTINCT ?name1 ?name2 WHERE {
+			?article1 rdf:type bench:Article .
+			?article2 rdf:type bench:Article .
+			?article1 dc:creator ?author1 .
+			?author1 foaf:name ?name1 .
+			?article2 dc:creator ?author2 .
+			?author2 foaf:name ?name2 .
+			?article1 swrc:journal ?journal .
+			?article2 swrc:journal ?journal
+			FILTER (?name1 < ?name2)
+		}`},
+		// Q5a: authors of articles, joined on name equality (implicit
+		// join via FILTER).
+		{"SQ5a", p + `SELECT DISTINCT ?person ?name WHERE {
+			?article rdf:type bench:Article .
+			?article dc:creator ?person .
+			?person foaf:name ?name
+		}`},
+		// Q5b: same with the join made explicit.
+		{"SQ5b", p + `SELECT DISTINCT ?person ?name WHERE {
+			?article rdf:type bench:Article .
+			?article dc:creator ?person2 .
+			?person foaf:name ?name .
+			FILTER (?person = ?person2)
+		}`},
+		// Q6: documents with an optional French... adapted: documents
+		// whose creator has no homepage (OPTIONAL + !bound negation).
+		{"SQ6", p + `SELECT ?doc ?author WHERE {
+			?doc dcterms:issued ?yr .
+			?doc dc:creator ?author
+			OPTIONAL { ?author foaf:homepage ?hp }
+			FILTER (!bound(?hp))
+		}`},
+		// Q7: documents cited at least... citations of cited articles
+		// (nested references).
+		{"SQ7", p + `SELECT DISTINCT ?title WHERE {
+			?doc dc:title ?title .
+			?doc dcterms:references ?cited .
+			?cited dcterms:references ?cited2
+		}`},
+		// Q8: people connected to Paul Erdoes via co-authorship, by
+		// either direction of the union.
+		{"SQ8", p + `SELECT DISTINCT ?name WHERE {
+			{ ?article dc:creator ` + erdoes + ` .
+			  ?article dc:creator ?author .
+			  ?author foaf:name ?name }
+			UNION
+			{ ?article dc:creator ?author .
+			  ?article dc:creator ` + erdoes + ` .
+			  ?author foaf:name ?name }
+		}`},
+		// Q9: all predicates on persons, incoming and outgoing.
+		{"SQ9", p + `SELECT DISTINCT ?predicate WHERE {
+			{ ?person rdf:type bench:Person . ?subject ?predicate ?person }
+			UNION
+			{ ?person rdf:type bench:Person . ?person ?predicate ?object }
+		}`},
+		// Q10: everything pointing at Paul Erdoes (reverse variable
+		// predicate).
+		{"SQ10", p + `SELECT ?subject ?predicate WHERE { ?subject ?predicate ` + erdoes + ` }`},
+		// Q11: seeAlso with ORDER/LIMIT/OFFSET.
+		{"SQ11", p + `SELECT ?ee WHERE { ?publication rdfs:seeAlso ?ee } ORDER BY ?ee LIMIT 10 OFFSET 5`},
+		// Q12a/b/c: ASK variants.
+		{"SQ12a", p + `ASK { ?article rdf:type bench:Article . ?article dc:creator ?person . ?person foaf:name "Paul Erdoes" }`},
+		{"SQ12b", p + `ASK { ?subject ?predicate ` + erdoes + ` }`},
+		{"SQ12c", p + `ASK { ?person foaf:name "John Q. Public" }`},
+	}
+}

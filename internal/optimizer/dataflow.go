@@ -1,0 +1,197 @@
+package optimizer
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"db2rdf/internal/sparql"
+)
+
+// Node is one (triple, method) pair in the data flow graph
+// (Definition 3.8).
+type Node struct {
+	Triple *sparql.TriplePattern
+	Method Method
+	Cost   float64
+	req    map[string]bool
+	prod   map[string]bool
+}
+
+// Edge is a directed data-flow edge; From == nil denotes an edge from
+// the artificial root (the target requires no variables).
+type Edge struct {
+	From, To *Node
+	W        float64
+}
+
+// Graph is the weighted data flow graph of Definition 3.8.
+type Graph struct {
+	Nodes []*Node
+	Edges []*Edge // sorted ascending by weight
+	n     int     // number of distinct triples
+}
+
+// BuildDataFlow constructs the data flow graph for a query.
+func BuildDataFlow(q *sparql.Query, stats Stats) *Graph {
+	triples := q.Where.AllTriples()
+	g := &Graph{n: len(triples)}
+	for _, t := range triples {
+		for _, m := range []Method{ACS, ACO, SC} {
+			node := &Node{
+				Triple: t,
+				Method: m,
+				Cost:   TMC(t, m, stats),
+				req:    Required(t, m),
+				prod:   Produced(t, m),
+			}
+			g.Nodes = append(g.Nodes, node)
+		}
+	}
+	for _, n := range g.Nodes {
+		if len(n.req) == 0 {
+			g.Edges = append(g.Edges, &Edge{To: n, W: n.Cost})
+		}
+	}
+	for _, a := range g.Nodes {
+		for _, b := range g.Nodes {
+			if a.Triple == b.Triple || len(b.req) == 0 {
+				continue
+			}
+			if !produces(a.prod, b.req) {
+				continue
+			}
+			// Definition 3.8 exclusions: no flow between OR-connected
+			// triples; no flow out of an OPTIONAL into its guard's
+			// scope (∩(t', t): a is optional with respect to b).
+			if sparql.OrConnected(a.Triple, b.Triple) || sparql.OptionalGuarded(b.Triple, a.Triple) {
+				continue
+			}
+			g.Edges = append(g.Edges, &Edge{From: a, To: b, W: b.Cost})
+		}
+	}
+	sort.SliceStable(g.Edges, func(i, j int) bool { return g.Edges[i].W < g.Edges[j].W })
+	return g
+}
+
+func produces(prod, req map[string]bool) bool {
+	for v := range req {
+		if !prod[v] {
+			return false
+		}
+	}
+	return true
+}
+
+// FlowNode is one step of the optimal flow tree.
+type FlowNode struct {
+	Triple *sparql.TriplePattern
+	Method Method
+	Cost   float64
+	Parent *FlowNode // nil for root-fed nodes
+}
+
+// Flow is the optimal flow tree: an access method and evaluation rank
+// for every triple in the query.
+type Flow struct {
+	Order []*FlowNode
+	rank  map[*sparql.TriplePattern]int
+}
+
+// Rank returns the position of t in the flow (lower evaluates first).
+func (f *Flow) Rank(t *sparql.TriplePattern) int { return f.rank[t] }
+
+// MethodFor returns the access method chosen for t.
+func (f *Flow) MethodFor(t *sparql.TriplePattern) Method {
+	return f.Order[f.rank[t]].Method
+}
+
+// String renders the flow as "(t4,aco) (t2,aco) ...".
+func (f *Flow) String() string {
+	var b strings.Builder
+	for i, n := range f.Order {
+		if i > 0 {
+			b.WriteByte(' ')
+		}
+		fmt.Fprintf(&b, "(t%d,%s)", n.Triple.ID, n.Method)
+	}
+	return b.String()
+}
+
+// TotalCost sums the edge weights of the flow tree.
+func (f *Flow) TotalCost() float64 {
+	var c float64
+	for _, n := range f.Order {
+		c += n.Cost
+	}
+	return c
+}
+
+// OptimalFlowTree implements the greedy algorithm of Figure 9: grow a
+// tree from the root, always taking the cheapest edge that reaches a
+// triple not yet covered. The underlying minimal-cover problem is
+// NP-hard (Theorem 3.1), so greedy it is.
+func (g *Graph) OptimalFlowTree() (*Flow, error) {
+	inTree := map[*Node]*FlowNode{}
+	covered := map[*sparql.TriplePattern]bool{}
+	flow := &Flow{rank: make(map[*sparql.TriplePattern]int)}
+	for len(flow.Order) < g.n {
+		var chosen *Edge
+		for _, e := range g.Edges {
+			if covered[e.To.Triple] {
+				continue
+			}
+			if e.From != nil {
+				if _, ok := inTree[e.From]; !ok {
+					continue
+				}
+			}
+			chosen = e
+			break
+		}
+		if chosen == nil {
+			return nil, fmt.Errorf("optimizer: data flow graph disconnected (%d of %d triples covered)", len(flow.Order), g.n)
+		}
+		fn := &FlowNode{Triple: chosen.To.Triple, Method: chosen.To.Method, Cost: chosen.W}
+		if chosen.From != nil {
+			fn.Parent = inTree[chosen.From]
+		}
+		inTree[chosen.To] = fn
+		covered[chosen.To.Triple] = true
+		flow.rank[chosen.To.Triple] = len(flow.Order)
+		flow.Order = append(flow.Order, fn)
+	}
+	return flow, nil
+}
+
+// NaiveFlow returns the document-order flow a non-optimizing system
+// would use: each triple takes its cheapest *constant-driven* method if
+// one exists, then any variable-driven method whose variable was bound
+// by an earlier triple, and a full scan otherwise. It is the
+// "sub-optimal flow" comparator of §3.3 and the db2rdf-noopt system of
+// the benchmark harness.
+func NaiveFlow(q *sparql.Query, stats Stats) *Flow {
+	triples := q.Where.AllTriples()
+	flow := &Flow{rank: make(map[*sparql.TriplePattern]int)}
+	bound := map[string]bool{}
+	for _, t := range triples {
+		m := SC
+		switch {
+		case !t.S.IsVar:
+			m = ACS
+		case !t.O.IsVar:
+			m = ACO
+		case t.S.IsVar && bound[t.S.Var]:
+			m = ACS
+		case t.O.IsVar && bound[t.O.Var]:
+			m = ACO
+		}
+		fn := &FlowNode{Triple: t, Method: m, Cost: TMC(t, m, stats)}
+		flow.rank[t] = len(flow.Order)
+		flow.Order = append(flow.Order, fn)
+		for _, v := range t.Vars() {
+			bound[v] = true
+		}
+	}
+	return flow
+}

@@ -1,0 +1,258 @@
+package rdf
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strings"
+	"unicode/utf8"
+)
+
+// Reader parses N-Triples (with the common Turtle niceties of '#'
+// comments and blank lines) from an io.Reader, one triple at a time.
+type Reader struct {
+	scan *bufio.Scanner
+	line int
+}
+
+// NewReader returns a Reader over r.
+func NewReader(r io.Reader) *Reader {
+	s := bufio.NewScanner(r)
+	s.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
+	return &Reader{scan: s}
+}
+
+// Read returns the next triple. It returns io.EOF when the input is
+// exhausted.
+func (r *Reader) Read() (Triple, error) {
+	for r.scan.Scan() {
+		r.line++
+		line := strings.TrimSpace(r.scan.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		t, err := ParseTripleLine(line)
+		if err != nil {
+			return Triple{}, fmt.Errorf("line %d: %w", r.line, err)
+		}
+		return t, nil
+	}
+	if err := r.scan.Err(); err != nil {
+		return Triple{}, err
+	}
+	return Triple{}, io.EOF
+}
+
+// ReadAll reads every remaining triple.
+func (r *Reader) ReadAll() ([]Triple, error) {
+	var out []Triple
+	for {
+		t, err := r.Read()
+		if err == io.EOF {
+			return out, nil
+		}
+		if err != nil {
+			return out, err
+		}
+		out = append(out, t)
+	}
+}
+
+// ParseTripleLine parses a single N-Triples statement terminated by '.'.
+func ParseTripleLine(line string) (Triple, error) {
+	p := &ntParser{in: line}
+	s, err := p.term()
+	if err != nil {
+		return Triple{}, err
+	}
+	pr, err := p.term()
+	if err != nil {
+		return Triple{}, err
+	}
+	o, err := p.term()
+	if err != nil {
+		return Triple{}, err
+	}
+	p.ws()
+	if p.pos >= len(p.in) || p.in[p.pos] != '.' {
+		return Triple{}, fmt.Errorf("expected '.' terminator in %q", line)
+	}
+	if s.IsLiteral() {
+		return Triple{}, fmt.Errorf("subject cannot be a literal in %q", line)
+	}
+	if !pr.IsIRI() {
+		return Triple{}, fmt.Errorf("predicate must be an IRI in %q", line)
+	}
+	return Triple{S: s, P: pr, O: o}, nil
+}
+
+type ntParser struct {
+	in  string
+	pos int
+}
+
+func (p *ntParser) ws() {
+	for p.pos < len(p.in) && (p.in[p.pos] == ' ' || p.in[p.pos] == '\t') {
+		p.pos++
+	}
+}
+
+func (p *ntParser) term() (Term, error) {
+	p.ws()
+	if p.pos >= len(p.in) {
+		return Term{}, fmt.Errorf("unexpected end of statement")
+	}
+	switch p.in[p.pos] {
+	case '<':
+		return p.iri()
+	case '_':
+		return p.blank()
+	case '"':
+		return p.literal()
+	}
+	return Term{}, fmt.Errorf("unexpected character %q at offset %d", p.in[p.pos], p.pos)
+}
+
+func (p *ntParser) iri() (Term, error) {
+	end := strings.IndexByte(p.in[p.pos:], '>')
+	if end < 0 {
+		return Term{}, fmt.Errorf("unterminated IRI")
+	}
+	iri := p.in[p.pos+1 : p.pos+end]
+	p.pos += end + 1
+	return NewIRI(iri), nil
+}
+
+func (p *ntParser) blank() (Term, error) {
+	if p.pos+1 >= len(p.in) || p.in[p.pos+1] != ':' {
+		return Term{}, fmt.Errorf("malformed blank node")
+	}
+	start := p.pos + 2
+	i := start
+	for i < len(p.in) && !isNTWhitespace(p.in[i]) {
+		i++
+	}
+	label := p.in[start:i]
+	if label == "" {
+		return Term{}, fmt.Errorf("empty blank node label")
+	}
+	p.pos = i
+	return NewBlank(label), nil
+}
+
+func (p *ntParser) literal() (Term, error) {
+	var b strings.Builder
+	i := p.pos + 1
+	for {
+		if i >= len(p.in) {
+			return Term{}, fmt.Errorf("unterminated literal")
+		}
+		c := p.in[i]
+		if c == '"' {
+			i++
+			break
+		}
+		if c == '\\' {
+			if i+1 >= len(p.in) {
+				return Term{}, fmt.Errorf("dangling escape in literal")
+			}
+			i++
+			switch p.in[i] {
+			case 't':
+				b.WriteByte('\t')
+			case 'n':
+				b.WriteByte('\n')
+			case 'r':
+				b.WriteByte('\r')
+			case '"':
+				b.WriteByte('"')
+			case '\\':
+				b.WriteByte('\\')
+			case 'u', 'U':
+				width := 4
+				if p.in[i] == 'U' {
+					width = 8
+				}
+				if i+width >= len(p.in) {
+					return Term{}, fmt.Errorf("truncated unicode escape")
+				}
+				var r rune
+				for j := 1; j <= width; j++ {
+					d := hexVal(p.in[i+j])
+					if d < 0 {
+						return Term{}, fmt.Errorf("bad unicode escape")
+					}
+					r = r<<4 | rune(d)
+				}
+				if !utf8.ValidRune(r) {
+					r = utf8.RuneError
+				}
+				b.WriteRune(r)
+				i += width
+			default:
+				return Term{}, fmt.Errorf("unknown escape \\%c", p.in[i])
+			}
+			i++
+			continue
+		}
+		b.WriteByte(c)
+		i++
+	}
+	lex := b.String()
+	// Optional language tag or datatype suffix.
+	if i < len(p.in) && p.in[i] == '@' {
+		start := i + 1
+		j := start
+		for j < len(p.in) && !isNTWhitespace(p.in[j]) && p.in[j] != '.' {
+			j++
+		}
+		p.pos = j
+		return NewLangLiteral(lex, p.in[start:j]), nil
+	}
+	if i+1 < len(p.in) && p.in[i] == '^' && p.in[i+1] == '^' {
+		p.pos = i + 2
+		if p.pos >= len(p.in) || p.in[p.pos] != '<' {
+			return Term{}, fmt.Errorf("expected datatype IRI")
+		}
+		dt, err := p.iri()
+		if err != nil {
+			return Term{}, err
+		}
+		return NewTypedLiteral(lex, dt.Value), nil
+	}
+	p.pos = i
+	return NewLiteral(lex), nil
+}
+
+func isNTWhitespace(c byte) bool { return c == ' ' || c == '\t' }
+
+func hexVal(c byte) int {
+	switch {
+	case c >= '0' && c <= '9':
+		return int(c - '0')
+	case c >= 'a' && c <= 'f':
+		return int(c-'a') + 10
+	case c >= 'A' && c <= 'F':
+		return int(c-'A') + 10
+	}
+	return -1
+}
+
+// Writer serializes triples as N-Triples.
+type Writer struct {
+	w *bufio.Writer
+}
+
+// NewWriter returns a Writer targeting w.
+func NewWriter(w io.Writer) *Writer { return &Writer{w: bufio.NewWriter(w)} }
+
+// Write emits one triple.
+func (w *Writer) Write(t Triple) error {
+	if _, err := w.w.WriteString(t.String()); err != nil {
+		return err
+	}
+	return w.w.WriteByte('\n')
+}
+
+// Flush flushes buffered output.
+func (w *Writer) Flush() error { return w.w.Flush() }

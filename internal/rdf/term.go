@@ -1,0 +1,212 @@
+// Package rdf implements the RDF data model: terms (IRIs, literals and
+// blank nodes), triples, and readers/writers for the N-Triples syntax
+// plus the Turtle subset needed by the workload generators.
+//
+// The model follows the RDF 1.0 abstract syntax referenced by the paper
+// (Bornea et al., SIGMOD 2013, section 1): a dataset is a set of
+// (subject, predicate, object) triples where subjects are IRIs or blank
+// nodes, predicates are IRIs and objects are IRIs, blank nodes or
+// literals.
+package rdf
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// TermKind discriminates the three kinds of RDF terms.
+type TermKind uint8
+
+const (
+	// IRI is an internationalized resource identifier, e.g.
+	// <http://dbpedia.org/resource/IBM>.
+	IRI TermKind = iota
+	// Literal is a (possibly typed or language-tagged) literal value.
+	Literal
+	// Blank is a blank node with a document-scoped label.
+	Blank
+)
+
+// Common XSD datatype IRIs used by the generators and FILTER evaluation.
+const (
+	XSDString  = "http://www.w3.org/2001/XMLSchema#string"
+	XSDInteger = "http://www.w3.org/2001/XMLSchema#integer"
+	XSDDecimal = "http://www.w3.org/2001/XMLSchema#decimal"
+	XSDDouble  = "http://www.w3.org/2001/XMLSchema#double"
+	XSDBoolean = "http://www.w3.org/2001/XMLSchema#boolean"
+	XSDDate    = "http://www.w3.org/2001/XMLSchema#date"
+	RDFType    = "http://www.w3.org/1999/02/22-rdf-syntax-ns#type"
+)
+
+// Term is one RDF term. The zero Term is invalid; construct terms with
+// NewIRI, NewLiteral, NewTypedLiteral, NewLangLiteral or NewBlank.
+type Term struct {
+	// Kind says which of the three RDF term kinds this is.
+	Kind TermKind
+	// Value is the IRI string, the literal lexical form, or the blank
+	// node label (without the "_:" prefix).
+	Value string
+	// Datatype is the datatype IRI for typed literals ("" otherwise).
+	Datatype string
+	// Lang is the language tag for language-tagged literals ("" otherwise).
+	Lang string
+}
+
+// NewIRI returns an IRI term.
+func NewIRI(iri string) Term { return Term{Kind: IRI, Value: iri} }
+
+// NewLiteral returns a plain literal term.
+func NewLiteral(lex string) Term { return Term{Kind: Literal, Value: lex} }
+
+// NewTypedLiteral returns a literal with an explicit datatype IRI.
+func NewTypedLiteral(lex, datatype string) Term {
+	return Term{Kind: Literal, Value: lex, Datatype: datatype}
+}
+
+// NewLangLiteral returns a language-tagged literal.
+func NewLangLiteral(lex, lang string) Term {
+	return Term{Kind: Literal, Value: lex, Lang: lang}
+}
+
+// NewInteger returns an xsd:integer literal for n.
+func NewInteger(n int64) Term {
+	return Term{Kind: Literal, Value: strconv.FormatInt(n, 10), Datatype: XSDInteger}
+}
+
+// NewBlank returns a blank node term with the given label.
+func NewBlank(label string) Term { return Term{Kind: Blank, Value: label} }
+
+// IsIRI reports whether the term is an IRI.
+func (t Term) IsIRI() bool { return t.Kind == IRI }
+
+// IsLiteral reports whether the term is a literal.
+func (t Term) IsLiteral() bool { return t.Kind == Literal }
+
+// IsBlank reports whether the term is a blank node.
+func (t Term) IsBlank() bool { return t.Kind == Blank }
+
+// Integer returns the literal interpreted as an int64 and whether the
+// conversion succeeded.
+func (t Term) Integer() (int64, bool) {
+	if t.Kind != Literal {
+		return 0, false
+	}
+	n, err := strconv.ParseInt(t.Value, 10, 64)
+	return n, err == nil
+}
+
+// Float returns the literal interpreted as a float64 and whether the
+// conversion succeeded.
+func (t Term) Float() (float64, bool) {
+	if t.Kind != Literal {
+		return 0, false
+	}
+	f, err := strconv.ParseFloat(t.Value, 64)
+	return f, err == nil
+}
+
+// String renders the term in N-Triples syntax.
+func (t Term) String() string {
+	switch t.Kind {
+	case IRI:
+		return "<" + t.Value + ">"
+	case Blank:
+		return "_:" + t.Value
+	default:
+		var b strings.Builder
+		b.WriteByte('"')
+		escapeLiteral(&b, t.Value)
+		b.WriteByte('"')
+		if t.Lang != "" {
+			b.WriteByte('@')
+			b.WriteString(t.Lang)
+		} else if t.Datatype != "" {
+			b.WriteString("^^<")
+			b.WriteString(t.Datatype)
+			b.WriteByte('>')
+		}
+		return b.String()
+	}
+}
+
+// Key returns a canonical string key that uniquely identifies the term
+// across kinds; it is the encoding stored in the dictionary.
+func (t Term) Key() string {
+	switch t.Kind {
+	case IRI:
+		return "<" + t.Value
+	case Blank:
+		return "_" + t.Value
+	default:
+		switch {
+		case t.Lang != "":
+			return "@" + t.Lang + "\x00" + t.Value
+		case t.Datatype != "":
+			return "^" + t.Datatype + "\x00" + t.Value
+		default:
+			return "\"" + t.Value
+		}
+	}
+}
+
+// TermFromKey is the inverse of Term.Key.
+func TermFromKey(key string) (Term, error) {
+	if key == "" {
+		return Term{}, fmt.Errorf("rdf: empty term key")
+	}
+	rest := key[1:]
+	switch key[0] {
+	case '<':
+		return NewIRI(rest), nil
+	case '_':
+		return NewBlank(rest), nil
+	case '"':
+		return NewLiteral(rest), nil
+	case '@':
+		i := strings.IndexByte(rest, 0)
+		if i < 0 {
+			return Term{}, fmt.Errorf("rdf: malformed lang literal key %q", key)
+		}
+		return NewLangLiteral(rest[i+1:], rest[:i]), nil
+	case '^':
+		i := strings.IndexByte(rest, 0)
+		if i < 0 {
+			return Term{}, fmt.Errorf("rdf: malformed typed literal key %q", key)
+		}
+		return NewTypedLiteral(rest[i+1:], rest[:i]), nil
+	}
+	return Term{}, fmt.Errorf("rdf: malformed term key %q", key)
+}
+
+func escapeLiteral(b *strings.Builder, s string) {
+	for _, r := range s {
+		switch r {
+		case '"':
+			b.WriteString(`\"`)
+		case '\\':
+			b.WriteString(`\\`)
+		case '\n':
+			b.WriteString(`\n`)
+		case '\r':
+			b.WriteString(`\r`)
+		case '\t':
+			b.WriteString(`\t`)
+		default:
+			b.WriteRune(r)
+		}
+	}
+}
+
+// Triple is one RDF statement.
+type Triple struct {
+	S, P, O Term
+}
+
+// NewTriple is a convenience constructor.
+func NewTriple(s, p, o Term) Triple { return Triple{S: s, P: p, O: o} }
+
+// String renders the triple as one N-Triples line (without newline).
+func (t Triple) String() string {
+	return t.S.String() + " " + t.P.String() + " " + t.O.String() + " ."
+}

@@ -1,0 +1,174 @@
+package rel
+
+import "strings"
+
+// The SQL abstract syntax tree. Only the subset used by the SPARQL
+// translators is modeled; see the package comment for the inventory.
+
+// Query is a full statement: optional CTEs plus a select body.
+type Query struct {
+	CTEs []CTE
+	Body *Select
+}
+
+// CTE is one WITH entry: name AS (select).
+type CTE struct {
+	Name   string
+	Select *Select
+}
+
+// Select is a select statement, possibly a UNION chain. Each arm of the
+// union is a SelectCore; modifiers apply to the union result.
+type Select struct {
+	Cores    []*SelectCore
+	UnionAll []bool // UnionAll[i] says whether the union joining core i and i+1 is UNION ALL
+	OrderBy  []OrderItem
+	Limit    int64 // -1 when absent
+	Offset   int64 // 0 when absent
+}
+
+// SelectCore is one SELECT ... FROM ... WHERE ... block.
+type SelectCore struct {
+	Distinct bool
+	Items    []SelectItem
+	From     []FromItem
+	Where    Expr // nil when absent
+}
+
+// SelectItem is either a star (alias may qualify it) or an expression
+// with an optional alias.
+type SelectItem struct {
+	Star      bool
+	StarAlias string // for "T.*"
+	Expr      Expr
+	Alias     string
+}
+
+// FromItem is a table reference or subquery, optionally followed by a
+// chain of explicit joins.
+type FromItem struct {
+	Table string  // table or CTE name when Sub is nil
+	Sub   *Select // derived table
+	Alias string
+	Joins []JoinClause
+}
+
+// JoinClause is an explicit join hanging off a FromItem.
+type JoinClause struct {
+	Left  bool // LEFT OUTER JOIN when true, INNER JOIN when false
+	Right FromItem
+	On    Expr
+}
+
+// OrderItem is one ORDER BY key.
+type OrderItem struct {
+	Expr Expr
+	Desc bool
+}
+
+// Expr is a SQL expression node.
+type Expr interface{ exprNode() }
+
+// ColRef references alias.column or a bare column name.
+type ColRef struct {
+	Alias  string // may be ""
+	Column string
+}
+
+// Lit is a literal constant value.
+type Lit struct{ V Value }
+
+// BinOp is a binary operation. Op is one of: = != < <= > >= AND OR + - * /.
+type BinOp struct {
+	Op   string
+	L, R Expr
+}
+
+// UnOp is a unary operation: NOT or - (negation).
+type UnOp struct {
+	Op string
+	X  Expr
+}
+
+// IsNullExpr is "x IS [NOT] NULL".
+type IsNullExpr struct {
+	X   Expr
+	Not bool
+}
+
+// InExpr is "x [NOT] IN (e1, e2, ...)".
+type InExpr struct {
+	X    Expr
+	Not  bool
+	List []Expr
+}
+
+// CaseExpr is a searched CASE expression.
+type CaseExpr struct {
+	Whens []CaseWhen
+	Else  Expr // nil means NULL
+}
+
+// CaseWhen is one WHEN cond THEN result arm.
+type CaseWhen struct {
+	Cond   Expr
+	Result Expr
+}
+
+// FuncCall is a scalar function call; COALESCE is handled here too.
+type FuncCall struct {
+	Name string
+	Args []Expr
+}
+
+func (*ColRef) exprNode()     {}
+func (*Lit) exprNode()        {}
+func (*BinOp) exprNode()      {}
+func (*UnOp) exprNode()       {}
+func (*IsNullExpr) exprNode() {}
+func (*InExpr) exprNode()     {}
+func (*CaseExpr) exprNode()   {}
+func (*FuncCall) exprNode()   {}
+
+// conjuncts splits an expression on top-level ANDs.
+func conjuncts(e Expr, out []Expr) []Expr {
+	if b, ok := e.(*BinOp); ok && b.Op == "AND" {
+		out = conjuncts(b.L, out)
+		return conjuncts(b.R, out)
+	}
+	return append(out, e)
+}
+
+// exprAliases collects the lower-cased FROM aliases referenced by e.
+func exprAliases(e Expr, set map[string]bool) {
+	switch x := e.(type) {
+	case *ColRef:
+		if x.Alias != "" {
+			set[strings.ToLower(x.Alias)] = true
+		}
+	case *BinOp:
+		exprAliases(x.L, set)
+		exprAliases(x.R, set)
+	case *UnOp:
+		exprAliases(x.X, set)
+	case *IsNullExpr:
+		exprAliases(x.X, set)
+	case *InExpr:
+		exprAliases(x.X, set)
+		for _, a := range x.List {
+			exprAliases(a, set)
+		}
+	case *CaseExpr:
+		for _, w := range x.Whens {
+			exprAliases(w.Cond, set)
+			exprAliases(w.Result, set)
+		}
+		if x.Else != nil {
+			exprAliases(x.Else, set)
+		}
+	case *FuncCall:
+		for _, a := range x.Args {
+			exprAliases(a, set)
+		}
+	}
+}

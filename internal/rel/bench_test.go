@@ -1,0 +1,127 @@
+package rel
+
+import (
+	"fmt"
+	"testing"
+)
+
+func benchDB(b *testing.B, rows int) *DB {
+	b.Helper()
+	db := NewDB()
+	t, err := db.CreateTable("t", Schema{
+		{Name: "id", Type: TInt},
+		{Name: "grp", Type: TInt},
+		{Name: "val", Type: TInt},
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := t.CreateIndex("id"); err != nil {
+		b.Fatal(err)
+	}
+	if err := t.CreateIndex("grp"); err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < rows; i++ {
+		if err := t.Insert(Row{Int(int64(i)), Int(int64(i % 100)), Int(int64(i * 3))}); err != nil {
+			b.Fatal(err)
+		}
+	}
+	return db
+}
+
+func BenchmarkSQLParse(b *testing.B) {
+	q := `WITH a AS (SELECT T.id AS id, T.val AS v FROM t AS T WHERE T.grp = 5)
+SELECT a.id, COALESCE(a.v, 0), CASE WHEN a.v > 10 THEN 1 ELSE 0 END FROM a AS a ORDER BY a.id LIMIT 10`
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := ParseQuery(q); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkIndexPointLookup(b *testing.B) {
+	db := benchDB(b, 100000)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rs, err := db.Query(fmt.Sprintf("SELECT T.val FROM t AS T WHERE T.id = %d", i%100000))
+		if err != nil || len(rs.Rows) != 1 {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkIndexGroupLookup(b *testing.B) {
+	db := benchDB(b, 100000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rs, err := db.Query("SELECT T.val FROM t AS T WHERE T.grp = 7")
+		if err != nil || len(rs.Rows) != 1000 {
+			b.Fatalf("err=%v rows=%d", err, len(rs.Rows))
+		}
+	}
+}
+
+func BenchmarkHashJoin(b *testing.B) {
+	db := benchDB(b, 20000)
+	q := "SELECT a.id FROM t AS a, t AS b WHERE a.val = b.val AND a.grp = 3"
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := db.Query(q); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkIndexNestedLoopJoin(b *testing.B) {
+	db := benchDB(b, 100000)
+	// Selective left side drives an indexed probe into the base table.
+	q := "SELECT a.id, b.val FROM t AS a, t AS b WHERE a.grp = 3 AND b.id = a.val"
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := db.Query(q); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFullScanFilter(b *testing.B) {
+	db := benchDB(b, 100000)
+	q := "SELECT T.id FROM t AS T WHERE T.val = 300"
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := db.Query(q); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkLeftOuterJoin(b *testing.B) {
+	db := benchDB(b, 20000)
+	q := "SELECT a.id, b.val FROM t AS a LEFT OUTER JOIN t AS b ON b.id = a.val"
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := db.Query(q); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkInsertIndexed(b *testing.B) {
+	db := NewDB()
+	t, err := db.CreateTable("ins", Schema{{Name: "a", Type: TInt}, {Name: "b", Type: TInt}})
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := t.CreateIndex("a"); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := t.Insert(Row{Int(int64(i)), Int(int64(i * 2))}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

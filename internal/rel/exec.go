@@ -1,0 +1,985 @@
+package rel
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// ResultSet is the outcome of a query.
+type ResultSet struct {
+	Columns []string
+	Rows    []Row
+}
+
+// Query parses and executes one SQL statement.
+func (db *DB) Query(sql string) (*ResultSet, error) {
+	q, err := ParseQuery(sql)
+	if err != nil {
+		return nil, err
+	}
+	return db.Exec(q)
+}
+
+// Exec executes a parsed query.
+func (db *DB) Exec(q *Query) (*ResultSet, error) {
+	env := make(map[string]*relation)
+	for _, cte := range q.CTEs {
+		rs, err := db.evalSelect(cte.Select, env)
+		if err != nil {
+			return nil, fmt.Errorf("in CTE %s: %w", cte.Name, err)
+		}
+		env[strings.ToLower(cte.Name)] = resultToRelation(rs)
+	}
+	return db.evalSelect(q.Body, env)
+}
+
+// resultToRelation wraps a result set as an unqualified relation.
+func resultToRelation(rs *ResultSet) *relation {
+	cols := make([]string, len(rs.Columns))
+	for i, c := range rs.Columns {
+		cols[i] = strings.ToLower(c)
+	}
+	r := newRelation(cols)
+	r.rows = rs.Rows
+	return r
+}
+
+// aliased returns a copy of base with columns qualified by alias.
+func aliased(base *relation, alias string) *relation {
+	alias = strings.ToLower(alias)
+	cols := make([]string, len(base.cols))
+	for i, c := range base.cols {
+		// Strip any existing qualification.
+		if j := strings.LastIndexByte(c, '.'); j >= 0 {
+			c = c[j+1:]
+		}
+		cols[i] = alias + "." + c
+	}
+	r := newRelation(cols)
+	r.rows = base.rows
+	r.aliases[alias] = true
+	return r
+}
+
+func (db *DB) evalSelect(s *Select, env map[string]*relation) (*ResultSet, error) {
+	var out *ResultSet
+	for i, core := range s.Cores {
+		rs, err := db.evalCore(core, env)
+		if err != nil {
+			return nil, err
+		}
+		if out == nil {
+			out = rs
+			continue
+		}
+		if len(rs.Columns) != len(out.Columns) {
+			return nil, fmt.Errorf("sql: UNION arms have %d vs %d columns", len(out.Columns), len(rs.Columns))
+		}
+		out.Rows = append(out.Rows, rs.Rows...)
+		if !s.UnionAll[i-1] {
+			out.Rows = dedupRows(out.Rows)
+		}
+	}
+	if len(s.OrderBy) > 0 {
+		if err := db.applyOrderBy(out, s.OrderBy); err != nil {
+			return nil, err
+		}
+	}
+	if s.Offset > 0 {
+		if s.Offset >= int64(len(out.Rows)) {
+			out.Rows = nil
+		} else {
+			out.Rows = out.Rows[s.Offset:]
+		}
+	}
+	if s.Limit >= 0 && int64(len(out.Rows)) > s.Limit {
+		out.Rows = out.Rows[:s.Limit]
+	}
+	return out, nil
+}
+
+func (db *DB) applyOrderBy(rs *ResultSet, items []OrderItem) error {
+	rel := resultToRelation(rs)
+	type keyed struct {
+		row  Row
+		keys []Value
+	}
+	ks := make([]keyed, len(rs.Rows))
+	ctx := newRowCtx(rel, db)
+	for i, row := range rs.Rows {
+		ctx.row = row
+		keys := make([]Value, len(items))
+		for j, it := range items {
+			v, err := evalExpr(it.Expr, ctx)
+			if err != nil {
+				return err
+			}
+			keys[j] = v
+		}
+		ks[i] = keyed{row: row, keys: keys}
+	}
+	sort.SliceStable(ks, func(a, b int) bool {
+		for j, it := range items {
+			ka, kb := ks[a].keys[j], ks[b].keys[j]
+			// NULLs sort last (first under DESC).
+			if ka.IsNull() || kb.IsNull() {
+				if ka.IsNull() && kb.IsNull() {
+					continue
+				}
+				less := kb.IsNull()
+				if it.Desc {
+					less = !less
+				}
+				return less
+			}
+			c, _ := Compare(ka, kb)
+			if c == 0 {
+				continue
+			}
+			if it.Desc {
+				return c > 0
+			}
+			return c < 0
+		}
+		return false
+	})
+	for i := range ks {
+		rs.Rows[i] = ks[i].row
+	}
+	return nil
+}
+
+func dedupRows(rows []Row) []Row {
+	seen := make(map[string]bool, len(rows))
+	out := rows[:0:0]
+	var b strings.Builder
+	for _, r := range rows {
+		b.Reset()
+		for _, v := range r {
+			b.WriteString(v.key())
+			b.WriteByte('\x1f')
+		}
+		k := b.String()
+		if !seen[k] {
+			seen[k] = true
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+func (db *DB) evalCore(core *SelectCore, env map[string]*relation) (*ResultSet, error) {
+	// Split WHERE into conjuncts.
+	var conjs []Expr
+	if core.Where != nil {
+		conjs = conjuncts(core.Where, nil)
+	}
+	applied := make([]bool, len(conjs))
+
+	// Build each FROM unit, pushing single-alias filters into pure base scans.
+	units := make([]*relation, 0, len(core.From))
+	for _, fi := range core.From {
+		u, err := db.buildUnit(fi, conjs, applied, env)
+		if err != nil {
+			return nil, err
+		}
+		units = append(units, u)
+	}
+
+	cur, err := db.joinUnits(units, conjs, applied)
+	if err != nil {
+		return nil, err
+	}
+	cur, err = db.materialize(cur)
+	if err != nil {
+		return nil, err
+	}
+
+	// Any unapplied conjunct must now be fully bound.
+	var residual []Expr
+	for i, c := range conjs {
+		if !applied[i] {
+			residual = append(residual, c)
+			applied[i] = true
+		}
+	}
+	if len(residual) > 0 {
+		cur, err = db.filterRelation(cur, residual)
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	return db.project(core, cur)
+}
+
+// buildUnit materializes one FROM item including its explicit join chain.
+func (db *DB) buildUnit(fi FromItem, conjs []Expr, applied []bool, env map[string]*relation) (*relation, error) {
+	pushable := len(fi.Joins) == 0
+	left, err := db.buildPrimary(fi, conjs, applied, env, pushable)
+	if err != nil {
+		return nil, err
+	}
+	for _, jc := range fi.Joins {
+		right, err := db.buildPrimary(jc.Right, nil, nil, env, false)
+		if err != nil {
+			return nil, err
+		}
+		left, err = db.joinOn(left, right, jc.On, jc.Left)
+		if err != nil {
+			return nil, err
+		}
+	}
+	return left, nil
+}
+
+// buildPrimary resolves a table name, CTE, or derived table. When push
+// is true and the item is a base table, single-alias equality filters
+// from conjs are pushed into the scan (index-accelerated) and marked
+// applied.
+func (db *DB) buildPrimary(fi FromItem, conjs []Expr, applied []bool, env map[string]*relation, push bool) (*relation, error) {
+	alias := strings.ToLower(fi.Alias)
+	if fi.Sub != nil {
+		rs, err := db.evalSelect(fi.Sub, env)
+		if err != nil {
+			return nil, err
+		}
+		return aliased(resultToRelation(rs), alias), nil
+	}
+	if cte, ok := env[strings.ToLower(fi.Table)]; ok {
+		r := aliased(cte, alias)
+		if push {
+			return db.pushFilters(r, alias, conjs, applied, nil)
+		}
+		return r, nil
+	}
+	t := db.Table(fi.Table)
+	if t == nil {
+		return nil, fmt.Errorf("sql: unknown table %q", fi.Table)
+	}
+	cols := make([]string, len(t.Schema))
+	for i, c := range t.Schema {
+		cols[i] = alias + "." + strings.ToLower(c.Name)
+	}
+	r := newRelation(cols)
+	r.aliases[alias] = true
+	if push {
+		return db.scanWithFilters(t, r, alias, conjs, applied)
+	}
+	r.rows = t.Rows()
+	r.base = t
+	return r, nil
+}
+
+// scanWithFilters scans a base table applying this alias's conjuncts,
+// using a hash index for the first "col = constant" conjunct if any.
+func (db *DB) scanWithFilters(t *Table, shape *relation, alias string, conjs []Expr, applied []bool) (*relation, error) {
+	var mine []Expr
+	var mineIdx []int
+	for i, c := range conjs {
+		if applied[i] {
+			continue
+		}
+		set := map[string]bool{}
+		exprAliases(c, set)
+		ok := len(set) == 1 && set[alias]
+		if len(set) == 0 {
+			// Unqualified references: claim the conjunct when every
+			// bare column resolves in this table's schema.
+			bare := bareCols(c, nil)
+			ok = len(bare) > 0
+			for _, col := range bare {
+				if t.Schema.ColumnIndex(col) < 0 {
+					ok = false
+					break
+				}
+			}
+		}
+		if ok {
+			mine = append(mine, c)
+			mineIdx = append(mineIdx, i)
+		}
+	}
+	// Look for an index-usable equality.
+	indexCol, indexVal := "", Null
+	indexConj := -1
+	for k, c := range mine {
+		b, ok := c.(*BinOp)
+		if !ok || b.Op != "=" {
+			continue
+		}
+		col, lit, ok := constEquality(b, alias, db)
+		if !ok {
+			continue
+		}
+		if t.HasIndex(col) {
+			indexCol, indexVal, indexConj = col, lit, k
+			break
+		}
+	}
+	var rest []Expr
+	for k := range mine {
+		if k != indexConj {
+			rest = append(rest, mine[k])
+		}
+	}
+	out := newRelation(shape.cols)
+	out.aliases[alias] = true
+	ctx := newRowCtx(out, db)
+	emit := func(row Row) error {
+		ctx.row = row
+		for _, c := range rest {
+			v, err := evalExpr(c, ctx)
+			if err != nil {
+				return err
+			}
+			if !v.Truth() {
+				return nil
+			}
+		}
+		out.rows = append(out.rows, row)
+		return nil
+	}
+	if indexConj >= 0 {
+		ids, _ := t.lookup(indexCol, indexVal)
+		for _, id := range ids {
+			if err := emit(t.RowAt(int(id))); err != nil {
+				return nil, err
+			}
+		}
+	} else {
+		// Defer the filters: a later index nested-loop join can apply
+		// them per probed row, avoiding a filtered copy of the table.
+		out.rows = t.Rows()
+		out.base = t
+		out.pending = rest
+	}
+	for _, i := range mineIdx {
+		applied[i] = true
+	}
+	return out, nil
+}
+
+// bareCols collects unqualified column names referenced by e.
+func bareCols(e Expr, out []string) []string {
+	switch x := e.(type) {
+	case *ColRef:
+		if x.Alias == "" {
+			out = append(out, x.Column)
+		}
+	case *BinOp:
+		out = bareCols(x.L, out)
+		out = bareCols(x.R, out)
+	case *UnOp:
+		out = bareCols(x.X, out)
+	case *IsNullExpr:
+		out = bareCols(x.X, out)
+	case *InExpr:
+		out = bareCols(x.X, out)
+		for _, a := range x.List {
+			out = bareCols(a, out)
+		}
+	case *CaseExpr:
+		for _, w := range x.Whens {
+			out = bareCols(w.Cond, out)
+			out = bareCols(w.Result, out)
+		}
+		if x.Else != nil {
+			out = bareCols(x.Else, out)
+		}
+	case *FuncCall:
+		for _, a := range x.Args {
+			out = bareCols(a, out)
+		}
+	}
+	return out
+}
+
+// constEquality recognizes "alias.col = <constant expr>" (either side,
+// the column possibly unqualified) and returns the column and value.
+func constEquality(b *BinOp, alias string, db *DB) (string, Value, bool) {
+	try := func(l, r Expr) (string, Value, bool) {
+		cr, ok := l.(*ColRef)
+		if !ok || (cr.Alias != "" && !strings.EqualFold(cr.Alias, alias)) {
+			return "", Null, false
+		}
+		set := map[string]bool{}
+		exprAliases(r, set)
+		if len(set) != 0 {
+			return "", Null, false
+		}
+		v, err := evalExpr(r, &rowCtx{db: db})
+		if err != nil {
+			return "", Null, false
+		}
+		return cr.Column, v, true
+	}
+	if col, v, ok := try(b.L, b.R); ok {
+		return col, v, true
+	}
+	return try(b.R, b.L)
+}
+
+// pushFilters applies this alias's single-alias conjuncts to an already
+// materialized relation (CTE reference).
+func (db *DB) pushFilters(r *relation, alias string, conjs []Expr, applied []bool, _ any) (*relation, error) {
+	var mine []Expr
+	for i, c := range conjs {
+		if applied[i] {
+			continue
+		}
+		set := map[string]bool{}
+		exprAliases(c, set)
+		if len(set) == 1 && set[alias] {
+			mine = append(mine, c)
+			applied[i] = true
+		}
+	}
+	if len(mine) == 0 {
+		return r, nil
+	}
+	return db.filterRelation(r, mine)
+}
+
+func (db *DB) filterRelation(r *relation, conds []Expr) (*relation, error) {
+	out := newRelation(r.cols)
+	for a := range r.aliases {
+		out.aliases[a] = true
+	}
+	ctx := newRowCtx(r, db)
+	for _, row := range r.rows {
+		ctx.row = row
+		keep := true
+		for _, c := range conds {
+			v, err := evalExpr(c, ctx)
+			if err != nil {
+				return nil, err
+			}
+			if !v.Truth() {
+				keep = false
+				break
+			}
+		}
+		if keep {
+			out.rows = append(out.rows, row)
+		}
+	}
+	return out, nil
+}
+
+// joinUnits combines the comma-separated FROM units using the WHERE
+// conjuncts: greedy ordering, hash joins on equality predicates,
+// cross products as a last resort.
+func (db *DB) joinUnits(units []*relation, conjs []Expr, applied []bool) (*relation, error) {
+	if len(units) == 1 {
+		return units[0], nil
+	}
+	used := make([]bool, len(units))
+	// Start from the smallest unit.
+	start := 0
+	for i := 1; i < len(units); i++ {
+		if len(units[i].rows) < len(units[start].rows) {
+			start = i
+		}
+	}
+	cur := units[start]
+	used[start] = true
+	for joined := 1; joined < len(units); joined++ {
+		best, bestEq := -1, 0
+		for i, u := range units {
+			if used[i] {
+				continue
+			}
+			eq := countEqLinks(cur, u, conjs, applied)
+			switch {
+			case best < 0,
+				eq > bestEq,
+				eq == bestEq && len(u.rows) < len(units[best].rows):
+				best, bestEq = i, eq
+			}
+		}
+		next := units[best]
+		used[best] = true
+		var err error
+		cur, err = db.joinPair(cur, next, conjs, applied)
+		if err != nil {
+			return nil, err
+		}
+		// Apply any conjunct now fully bound.
+		var ready []Expr
+		for i, c := range conjs {
+			if applied[i] {
+				continue
+			}
+			if boundIn(c, cur) {
+				ready = append(ready, c)
+				applied[i] = true
+			}
+		}
+		if len(ready) > 0 {
+			cur, err = db.filterRelation(cur, ready)
+			if err != nil {
+				return nil, err
+			}
+		}
+	}
+	return cur, nil
+}
+
+func boundIn(c Expr, r *relation) bool {
+	set := map[string]bool{}
+	exprAliases(c, set)
+	for a := range set {
+		if !r.aliases[a] {
+			return false
+		}
+	}
+	return true
+}
+
+// eqLink describes an equality conjunct joining two relations.
+type eqLink struct {
+	conj int
+	li   int // column position in left
+	ri   int // column position in right
+}
+
+func eqLinks(l, r *relation, conjs []Expr, applied []bool) []eqLink {
+	var out []eqLink
+	for i, c := range conjs {
+		if applied != nil && applied[i] {
+			continue
+		}
+		b, ok := c.(*BinOp)
+		if !ok || b.Op != "=" {
+			continue
+		}
+		lc, lok := b.L.(*ColRef)
+		rc, rok := b.R.(*ColRef)
+		if !lok || !rok {
+			continue
+		}
+		if li := l.colIndex(lc.Alias, lc.Column); li >= 0 {
+			if ri := r.colIndex(rc.Alias, rc.Column); ri >= 0 {
+				out = append(out, eqLink{conj: i, li: li, ri: ri})
+				continue
+			}
+		}
+		if li := l.colIndex(rc.Alias, rc.Column); li >= 0 {
+			if ri := r.colIndex(lc.Alias, lc.Column); ri >= 0 {
+				out = append(out, eqLink{conj: i, li: li, ri: ri})
+			}
+		}
+	}
+	return out
+}
+
+func countEqLinks(l, r *relation, conjs []Expr, applied []bool) int {
+	return len(eqLinks(l, r, conjs, applied))
+}
+
+// materialize applies any pending filters, detaching the relation from
+// its base table.
+func (db *DB) materialize(r *relation) (*relation, error) {
+	if len(r.pending) == 0 {
+		return r, nil
+	}
+	out, err := db.filterRelation(r, r.pending)
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// pendingOK evaluates a relation's pending filters against one row,
+// reusing the given cached context (created once per probe loop).
+func pendingOK(ctx *rowCtx, r *relation, row Row) (bool, error) {
+	if len(r.pending) == 0 {
+		return true, nil
+	}
+	ctx.row = row
+	for _, c := range r.pending {
+		v, err := evalExpr(c, ctx)
+		if err != nil {
+			return false, err
+		}
+		if !v.Truth() {
+			return false, nil
+		}
+	}
+	return true, nil
+}
+
+// indexLink finds a join link whose probe side is an indexed column of
+// a base-scan relation, returning the link index and column name.
+func indexLink(r *relation, links []eqLink, right bool) (int, string) {
+	if r.base == nil {
+		return -1, ""
+	}
+	for i, lk := range links {
+		pos := lk.ri
+		if !right {
+			pos = lk.li
+		}
+		col := r.cols[pos]
+		if j := strings.LastIndexByte(col, '.'); j >= 0 {
+			col = col[j+1:]
+		}
+		if r.base.HasIndex(col) {
+			return i, col
+		}
+	}
+	return -1, ""
+}
+
+// joinPair joins cur with next using the available equality conjuncts
+// (hash join) or a cross product when none apply.
+func (db *DB) joinPair(cur, next *relation, conjs []Expr, applied []bool) (*relation, error) {
+	links := eqLinks(cur, next, conjs, applied)
+	out := combineShape(cur, next)
+	if len(links) == 0 {
+		var err error
+		if cur, err = db.materialize(cur); err != nil {
+			return nil, err
+		}
+		if next, err = db.materialize(next); err != nil {
+			return nil, err
+		}
+		for _, lr := range cur.rows {
+			for _, rr := range next.rows {
+				out.rows = append(out.rows, combineRows(lr, rr))
+			}
+		}
+		return out, nil
+	}
+	for _, lk := range links {
+		applied[lk.conj] = true
+	}
+	// Index nested-loop when one side is an indexed base table and the
+	// other side is smaller: probe the index per row instead of
+	// hashing the whole table. Pending filters of the probed side are
+	// evaluated per probe.
+	if li, col := indexLink(next, links, true); li >= 0 && len(cur.rows) < len(next.rows) {
+		mcur, err := db.materialize(cur)
+		if err != nil {
+			return nil, err
+		}
+		pctx := newRowCtx(next, db)
+		for _, lr := range mcur.rows {
+			v := lr[links[li].li]
+			if v.IsNull() {
+				continue
+			}
+			ids, _ := next.base.lookup(col, v)
+		probeNext:
+			for _, id := range ids {
+				rr := next.base.RowAt(int(id))
+				for _, lk := range links {
+					if !Equal(lr[lk.li], rr[lk.ri]) {
+						continue probeNext
+					}
+				}
+				ok, err := pendingOK(pctx, next, rr)
+				if err != nil {
+					return nil, err
+				}
+				if !ok {
+					continue probeNext
+				}
+				out.rows = append(out.rows, combineRows(lr, rr))
+			}
+		}
+		return out, nil
+	}
+	if li, col := indexLink(cur, links, false); li >= 0 && len(next.rows) < len(cur.rows) {
+		mnext, err := db.materialize(next)
+		if err != nil {
+			return nil, err
+		}
+		pctx := newRowCtx(cur, db)
+		for _, rr := range mnext.rows {
+			v := rr[links[li].ri]
+			if v.IsNull() {
+				continue
+			}
+			ids, _ := cur.base.lookup(col, v)
+		probeCur:
+			for _, id := range ids {
+				lr := cur.base.RowAt(int(id))
+				for _, lk := range links {
+					if !Equal(lr[lk.li], rr[lk.ri]) {
+						continue probeCur
+					}
+				}
+				ok, err := pendingOK(pctx, cur, lr)
+				if err != nil {
+					return nil, err
+				}
+				if !ok {
+					continue probeCur
+				}
+				out.rows = append(out.rows, combineRows(lr, rr))
+			}
+		}
+		return out, nil
+	}
+	// Build hash on next.
+	var err error
+	if cur, err = db.materialize(cur); err != nil {
+		return nil, err
+	}
+	if next, err = db.materialize(next); err != nil {
+		return nil, err
+	}
+	build := make(map[string][]Row, len(next.rows))
+	var b strings.Builder
+	for _, rr := range next.rows {
+		k, ok := joinKey(&b, rr, links, false)
+		if !ok {
+			continue
+		}
+		build[k] = append(build[k], rr)
+	}
+	for _, lr := range cur.rows {
+		k, ok := joinKey(&b, lr, links, true)
+		if !ok {
+			continue
+		}
+		for _, rr := range build[k] {
+			out.rows = append(out.rows, combineRows(lr, rr))
+		}
+	}
+	return out, nil
+}
+
+// joinKey builds the composite hash key for a row; left selects li/ri.
+// Rows with a NULL key column never join.
+func joinKey(b *strings.Builder, row Row, links []eqLink, left bool) (string, bool) {
+	b.Reset()
+	for _, lk := range links {
+		i := lk.ri
+		if left {
+			i = lk.li
+		}
+		v := row[i]
+		if v.IsNull() {
+			return "", false
+		}
+		b.WriteString(v.key())
+		b.WriteByte('\x1f')
+	}
+	return b.String(), true
+}
+
+func combineShape(l, r *relation) *relation {
+	cols := make([]string, 0, len(l.cols)+len(r.cols))
+	cols = append(cols, l.cols...)
+	cols = append(cols, r.cols...)
+	out := newRelation(cols)
+	for a := range l.aliases {
+		out.aliases[a] = true
+	}
+	for a := range r.aliases {
+		out.aliases[a] = true
+	}
+	return out
+}
+
+func combineRows(l, r Row) Row {
+	row := make(Row, 0, len(l)+len(r))
+	row = append(row, l...)
+	return append(row, r...)
+}
+
+// joinOn implements explicit [LEFT OUTER] JOIN ... ON.
+func (db *DB) joinOn(left, right *relation, on Expr, outer bool) (*relation, error) {
+	out := combineShape(left, right)
+	onConjs := conjuncts(on, nil)
+	// Equality links usable for hashing.
+	var links []eqLink
+	var residual []Expr
+	for _, c := range onConjs {
+		b, ok := c.(*BinOp)
+		if ok && b.Op == "=" {
+			lc, lok := b.L.(*ColRef)
+			rc, rok := b.R.(*ColRef)
+			if lok && rok {
+				if li := left.colIndex(lc.Alias, lc.Column); li >= 0 {
+					if ri := right.colIndex(rc.Alias, rc.Column); ri >= 0 {
+						links = append(links, eqLink{li: li, ri: ri})
+						continue
+					}
+				}
+				if li := left.colIndex(rc.Alias, rc.Column); li >= 0 {
+					if ri := right.colIndex(lc.Alias, lc.Column); ri >= 0 {
+						links = append(links, eqLink{li: li, ri: ri})
+						continue
+					}
+				}
+			}
+		}
+		residual = append(residual, c)
+	}
+	ctx := newRowCtx(out, db)
+	matchResidual := func(row Row) (bool, error) {
+		ctx.row = row
+		for _, c := range residual {
+			v, err := evalExpr(c, ctx)
+			if err != nil {
+				return false, err
+			}
+			if !v.Truth() {
+				return false, nil
+			}
+		}
+		return true, nil
+	}
+	nulls := make(Row, len(right.cols))
+	if li, col := indexLink(right, links, true); li >= 0 && len(left.rows) < len(right.rows) {
+		for _, lr := range left.rows {
+			matched := false
+			v := lr[links[li].li]
+			if !v.IsNull() {
+				ids, _ := right.base.lookup(col, v)
+			probeOn:
+				for _, id := range ids {
+					rr := right.base.RowAt(int(id))
+					for _, lk := range links {
+						if !Equal(lr[lk.li], rr[lk.ri]) {
+							continue probeOn
+						}
+					}
+					row := combineRows(lr, rr)
+					ok, err := matchResidual(row)
+					if err != nil {
+						return nil, err
+					}
+					if ok {
+						out.rows = append(out.rows, row)
+						matched = true
+					}
+				}
+			}
+			if outer && !matched {
+				out.rows = append(out.rows, combineRows(lr, nulls))
+			}
+		}
+		return out, nil
+	}
+	if len(links) > 0 {
+		build := make(map[string][]Row, len(right.rows))
+		var b strings.Builder
+		for _, rr := range right.rows {
+			k, ok := joinKey(&b, rr, links, false)
+			if !ok {
+				continue
+			}
+			build[k] = append(build[k], rr)
+		}
+		for _, lr := range left.rows {
+			matched := false
+			if k, ok := joinKey(&b, lr, links, true); ok {
+				for _, rr := range build[k] {
+					row := combineRows(lr, rr)
+					ok, err := matchResidual(row)
+					if err != nil {
+						return nil, err
+					}
+					if ok {
+						out.rows = append(out.rows, row)
+						matched = true
+					}
+				}
+			}
+			if outer && !matched {
+				out.rows = append(out.rows, combineRows(lr, nulls))
+			}
+		}
+		return out, nil
+	}
+	// Nested loop.
+	for _, lr := range left.rows {
+		matched := false
+		for _, rr := range right.rows {
+			row := combineRows(lr, rr)
+			ok, err := matchResidual(row)
+			if err != nil {
+				return nil, err
+			}
+			if ok {
+				out.rows = append(out.rows, row)
+				matched = true
+			}
+		}
+		if outer && !matched {
+			out.rows = append(out.rows, combineRows(lr, nulls))
+		}
+	}
+	return out, nil
+}
+
+// project evaluates the SELECT list over the joined relation.
+func (db *DB) project(core *SelectCore, r *relation) (*ResultSet, error) {
+	var names []string
+	var exprs []Expr // nil entry means direct column copy at positions[i]
+	var positions []int
+	for _, item := range core.Items {
+		if item.Star {
+			alias := strings.ToLower(item.StarAlias)
+			for i, c := range r.cols {
+				if alias != "" && !strings.HasPrefix(c, alias+".") {
+					continue
+				}
+				name := c
+				if j := strings.LastIndexByte(c, '.'); j >= 0 {
+					name = c[j+1:]
+				}
+				names = append(names, name)
+				exprs = append(exprs, nil)
+				positions = append(positions, i)
+			}
+			continue
+		}
+		name := item.Alias
+		if name == "" {
+			if cr, ok := item.Expr.(*ColRef); ok {
+				name = cr.Column
+			} else {
+				name = fmt.Sprintf("col%d", len(names)+1)
+			}
+		}
+		names = append(names, strings.ToLower(name))
+		if cr, ok := item.Expr.(*ColRef); ok {
+			if i := r.colIndex(cr.Alias, cr.Column); i >= 0 {
+				exprs = append(exprs, nil)
+				positions = append(positions, i)
+				continue
+			}
+		}
+		exprs = append(exprs, item.Expr)
+		positions = append(positions, -1)
+	}
+	rs := &ResultSet{Columns: names}
+	ctx := newRowCtx(r, db)
+	for _, row := range r.rows {
+		ctx.row = row
+		outRow := make(Row, len(names))
+		for i := range names {
+			if exprs[i] == nil {
+				outRow[i] = row[positions[i]]
+				continue
+			}
+			v, err := evalExpr(exprs[i], ctx)
+			if err != nil {
+				return nil, err
+			}
+			outRow[i] = v
+		}
+		rs.Rows = append(rs.Rows, outRow)
+	}
+	if core.Distinct {
+		rs.Rows = dedupRows(rs.Rows)
+	}
+	return rs, nil
+}

@@ -1,0 +1,633 @@
+package rel
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// ParseQuery parses one SQL statement into its AST.
+func ParseQuery(sql string) (*Query, error) {
+	toks, err := lexSQL(sql)
+	if err != nil {
+		return nil, err
+	}
+	p := &sqlParser{toks: toks, src: sql}
+	q, err := p.query()
+	if err != nil {
+		return nil, err
+	}
+	if !p.atEOF() {
+		return nil, p.errf("trailing input starting at %q", p.peek().text)
+	}
+	return q, nil
+}
+
+type sqlParser struct {
+	toks []token
+	pos  int
+	src  string
+}
+
+func (p *sqlParser) peek() token { return p.toks[p.pos] }
+func (p *sqlParser) next() token { t := p.toks[p.pos]; p.pos++; return t }
+func (p *sqlParser) atEOF() bool { return p.peek().kind == tokEOF }
+
+func (p *sqlParser) errf(format string, args ...any) error {
+	return fmt.Errorf("sql: %s (near offset %d)", fmt.Sprintf(format, args...), p.peek().pos)
+}
+
+func (p *sqlParser) isKeyword(kw string) bool {
+	t := p.peek()
+	return t.kind == tokKeyword && t.text == kw
+}
+
+func (p *sqlParser) acceptKeyword(kw string) bool {
+	if p.isKeyword(kw) {
+		p.pos++
+		return true
+	}
+	return false
+}
+
+func (p *sqlParser) expectKeyword(kw string) error {
+	if !p.acceptKeyword(kw) {
+		return p.errf("expected %s, got %q", kw, p.peek().text)
+	}
+	return nil
+}
+
+func (p *sqlParser) isPunct(s string) bool {
+	t := p.peek()
+	return t.kind == tokPunct && t.text == s
+}
+
+func (p *sqlParser) acceptPunct(s string) bool {
+	if p.isPunct(s) {
+		p.pos++
+		return true
+	}
+	return false
+}
+
+func (p *sqlParser) expectPunct(s string) error {
+	if !p.acceptPunct(s) {
+		return p.errf("expected %q, got %q", s, p.peek().text)
+	}
+	return nil
+}
+
+func (p *sqlParser) ident() (string, error) {
+	t := p.peek()
+	if t.kind != tokIdent {
+		return "", p.errf("expected identifier, got %q", t.text)
+	}
+	p.pos++
+	return t.text, nil
+}
+
+func (p *sqlParser) query() (*Query, error) {
+	q := &Query{}
+	if p.acceptKeyword("WITH") {
+		for {
+			name, err := p.ident()
+			if err != nil {
+				return nil, err
+			}
+			if err := p.expectKeyword("AS"); err != nil {
+				return nil, err
+			}
+			if err := p.expectPunct("("); err != nil {
+				return nil, err
+			}
+			sel, err := p.selectStmt()
+			if err != nil {
+				return nil, err
+			}
+			if err := p.expectPunct(")"); err != nil {
+				return nil, err
+			}
+			q.CTEs = append(q.CTEs, CTE{Name: name, Select: sel})
+			if !p.acceptPunct(",") {
+				break
+			}
+		}
+	}
+	body, err := p.selectStmt()
+	if err != nil {
+		return nil, err
+	}
+	q.Body = body
+	return q, nil
+}
+
+// selectStmt parses a select with optional UNION chain and modifiers.
+func (p *sqlParser) selectStmt() (*Select, error) {
+	s := &Select{Limit: -1}
+	core, err := p.selectCore()
+	if err != nil {
+		return nil, err
+	}
+	s.Cores = append(s.Cores, core)
+	for p.acceptKeyword("UNION") {
+		all := p.acceptKeyword("ALL")
+		var next *SelectCore
+		if p.acceptPunct("(") {
+			inner, err := p.selectStmt()
+			if err != nil {
+				return nil, err
+			}
+			if err := p.expectPunct(")"); err != nil {
+				return nil, err
+			}
+			if len(inner.Cores) != 1 || inner.OrderBy != nil || inner.Limit != -1 {
+				return nil, p.errf("parenthesized UNION arms must be plain selects")
+			}
+			next = inner.Cores[0]
+		} else {
+			next, err = p.selectCore()
+			if err != nil {
+				return nil, err
+			}
+		}
+		s.Cores = append(s.Cores, next)
+		s.UnionAll = append(s.UnionAll, all)
+	}
+	if p.acceptKeyword("ORDER") {
+		if err := p.expectKeyword("BY"); err != nil {
+			return nil, err
+		}
+		for {
+			e, err := p.expr()
+			if err != nil {
+				return nil, err
+			}
+			item := OrderItem{Expr: e}
+			if p.acceptKeyword("DESC") {
+				item.Desc = true
+			} else {
+				p.acceptKeyword("ASC")
+			}
+			s.OrderBy = append(s.OrderBy, item)
+			if !p.acceptPunct(",") {
+				break
+			}
+		}
+	}
+	if p.acceptKeyword("LIMIT") {
+		n, err := p.intLiteral()
+		if err != nil {
+			return nil, err
+		}
+		s.Limit = n
+	}
+	if p.acceptKeyword("OFFSET") {
+		n, err := p.intLiteral()
+		if err != nil {
+			return nil, err
+		}
+		s.Offset = n
+	}
+	return s, nil
+}
+
+func (p *sqlParser) intLiteral() (int64, error) {
+	t := p.peek()
+	if t.kind != tokNumber {
+		return 0, p.errf("expected number, got %q", t.text)
+	}
+	p.pos++
+	n, err := strconv.ParseInt(t.text, 10, 64)
+	if err != nil {
+		return 0, p.errf("bad integer %q", t.text)
+	}
+	return n, nil
+}
+
+func (p *sqlParser) selectCore() (*SelectCore, error) {
+	if err := p.expectKeyword("SELECT"); err != nil {
+		return nil, err
+	}
+	core := &SelectCore{}
+	core.Distinct = p.acceptKeyword("DISTINCT")
+	for {
+		item, err := p.selectItem()
+		if err != nil {
+			return nil, err
+		}
+		core.Items = append(core.Items, item)
+		if !p.acceptPunct(",") {
+			break
+		}
+	}
+	if err := p.expectKeyword("FROM"); err != nil {
+		return nil, err
+	}
+	for {
+		fi, err := p.fromItem()
+		if err != nil {
+			return nil, err
+		}
+		core.From = append(core.From, fi)
+		if !p.acceptPunct(",") {
+			break
+		}
+	}
+	if p.acceptKeyword("WHERE") {
+		e, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		core.Where = e
+	}
+	return core, nil
+}
+
+func (p *sqlParser) selectItem() (SelectItem, error) {
+	// "*" or "alias.*"
+	if p.isPunct("*") {
+		p.pos++
+		return SelectItem{Star: true}, nil
+	}
+	if p.peek().kind == tokIdent && p.pos+2 < len(p.toks) &&
+		p.toks[p.pos+1].kind == tokPunct && p.toks[p.pos+1].text == "." &&
+		p.toks[p.pos+2].kind == tokPunct && p.toks[p.pos+2].text == "*" {
+		alias := p.next().text
+		p.pos += 2
+		return SelectItem{Star: true, StarAlias: alias}, nil
+	}
+	e, err := p.expr()
+	if err != nil {
+		return SelectItem{}, err
+	}
+	item := SelectItem{Expr: e}
+	if p.acceptKeyword("AS") {
+		name, err := p.ident()
+		if err != nil {
+			return SelectItem{}, err
+		}
+		item.Alias = name
+	} else if p.peek().kind == tokIdent {
+		item.Alias = p.next().text
+	}
+	return item, nil
+}
+
+func (p *sqlParser) fromItem() (FromItem, error) {
+	fi, err := p.fromPrimary()
+	if err != nil {
+		return FromItem{}, err
+	}
+	for {
+		if p.isKeyword("LEFT") {
+			p.pos++
+			p.acceptKeyword("OUTER")
+			if err := p.expectKeyword("JOIN"); err != nil {
+				return FromItem{}, err
+			}
+			right, err := p.fromPrimary()
+			if err != nil {
+				return FromItem{}, err
+			}
+			if err := p.expectKeyword("ON"); err != nil {
+				return FromItem{}, err
+			}
+			on, err := p.expr()
+			if err != nil {
+				return FromItem{}, err
+			}
+			fi.Joins = append(fi.Joins, JoinClause{Left: true, Right: right, On: on})
+			continue
+		}
+		if p.isKeyword("INNER") || p.isKeyword("JOIN") {
+			p.acceptKeyword("INNER")
+			if err := p.expectKeyword("JOIN"); err != nil {
+				return FromItem{}, err
+			}
+			right, err := p.fromPrimary()
+			if err != nil {
+				return FromItem{}, err
+			}
+			if err := p.expectKeyword("ON"); err != nil {
+				return FromItem{}, err
+			}
+			on, err := p.expr()
+			if err != nil {
+				return FromItem{}, err
+			}
+			fi.Joins = append(fi.Joins, JoinClause{Left: false, Right: right, On: on})
+			continue
+		}
+		return fi, nil
+	}
+}
+
+func (p *sqlParser) fromPrimary() (FromItem, error) {
+	var fi FromItem
+	if p.acceptPunct("(") {
+		sel, err := p.selectStmt()
+		if err != nil {
+			return FromItem{}, err
+		}
+		if err := p.expectPunct(")"); err != nil {
+			return FromItem{}, err
+		}
+		fi.Sub = sel
+	} else {
+		name, err := p.ident()
+		if err != nil {
+			return FromItem{}, err
+		}
+		fi.Table = name
+	}
+	if p.acceptKeyword("AS") {
+		alias, err := p.ident()
+		if err != nil {
+			return FromItem{}, err
+		}
+		fi.Alias = alias
+	} else if p.peek().kind == tokIdent {
+		fi.Alias = p.next().text
+	}
+	if fi.Alias == "" {
+		if fi.Table == "" {
+			return FromItem{}, p.errf("derived table requires an alias")
+		}
+		fi.Alias = fi.Table
+	}
+	return fi, nil
+}
+
+// Expression grammar (highest binding last):
+//   expr   := orExpr
+//   orExpr := andExpr (OR andExpr)*
+//   andExpr:= notExpr (AND notExpr)*
+//   notExpr:= NOT notExpr | cmpExpr
+//   cmpExpr:= addExpr (( = | != | <> | < | <= | > | >= ) addExpr
+//           | IS [NOT] NULL | [NOT] IN (expr, ...))?
+//   addExpr:= mulExpr (( + | - ) mulExpr)*
+//   mulExpr:= unary (( * | / ) unary)*
+//   unary  := - unary | primary
+//   primary:= literal | CASE ... END | func(args) | colref | ( expr )
+
+func (p *sqlParser) expr() (Expr, error) { return p.orExpr() }
+
+func (p *sqlParser) orExpr() (Expr, error) {
+	l, err := p.andExpr()
+	if err != nil {
+		return nil, err
+	}
+	for p.acceptKeyword("OR") {
+		r, err := p.andExpr()
+		if err != nil {
+			return nil, err
+		}
+		l = &BinOp{Op: "OR", L: l, R: r}
+	}
+	return l, nil
+}
+
+func (p *sqlParser) andExpr() (Expr, error) {
+	l, err := p.notExpr()
+	if err != nil {
+		return nil, err
+	}
+	for p.acceptKeyword("AND") {
+		r, err := p.notExpr()
+		if err != nil {
+			return nil, err
+		}
+		l = &BinOp{Op: "AND", L: l, R: r}
+	}
+	return l, nil
+}
+
+func (p *sqlParser) notExpr() (Expr, error) {
+	if p.acceptKeyword("NOT") {
+		x, err := p.notExpr()
+		if err != nil {
+			return nil, err
+		}
+		return &UnOp{Op: "NOT", X: x}, nil
+	}
+	return p.cmpExpr()
+}
+
+func (p *sqlParser) cmpExpr() (Expr, error) {
+	l, err := p.addExpr()
+	if err != nil {
+		return nil, err
+	}
+	t := p.peek()
+	if t.kind == tokPunct {
+		switch t.text {
+		case "=", "!=", "<>", "<", "<=", ">", ">=":
+			p.pos++
+			r, err := p.addExpr()
+			if err != nil {
+				return nil, err
+			}
+			op := t.text
+			if op == "<>" {
+				op = "!="
+			}
+			return &BinOp{Op: op, L: l, R: r}, nil
+		}
+	}
+	if p.acceptKeyword("IS") {
+		not := p.acceptKeyword("NOT")
+		if err := p.expectKeyword("NULL"); err != nil {
+			return nil, err
+		}
+		return &IsNullExpr{X: l, Not: not}, nil
+	}
+	not := false
+	if p.isKeyword("NOT") && p.pos+1 < len(p.toks) && p.toks[p.pos+1].kind == tokKeyword && p.toks[p.pos+1].text == "IN" {
+		p.pos++
+		not = true
+	}
+	if p.acceptKeyword("IN") {
+		if err := p.expectPunct("("); err != nil {
+			return nil, err
+		}
+		var list []Expr
+		for {
+			e, err := p.expr()
+			if err != nil {
+				return nil, err
+			}
+			list = append(list, e)
+			if !p.acceptPunct(",") {
+				break
+			}
+		}
+		if err := p.expectPunct(")"); err != nil {
+			return nil, err
+		}
+		return &InExpr{X: l, Not: not, List: list}, nil
+	}
+	return l, nil
+}
+
+func (p *sqlParser) addExpr() (Expr, error) {
+	l, err := p.mulExpr()
+	if err != nil {
+		return nil, err
+	}
+	for p.isPunct("+") || p.isPunct("-") {
+		op := p.next().text
+		r, err := p.mulExpr()
+		if err != nil {
+			return nil, err
+		}
+		l = &BinOp{Op: op, L: l, R: r}
+	}
+	return l, nil
+}
+
+func (p *sqlParser) mulExpr() (Expr, error) {
+	l, err := p.unaryExpr()
+	if err != nil {
+		return nil, err
+	}
+	for p.isPunct("*") || p.isPunct("/") {
+		op := p.next().text
+		r, err := p.unaryExpr()
+		if err != nil {
+			return nil, err
+		}
+		l = &BinOp{Op: op, L: l, R: r}
+	}
+	return l, nil
+}
+
+func (p *sqlParser) unaryExpr() (Expr, error) {
+	if p.acceptPunct("-") {
+		x, err := p.unaryExpr()
+		if err != nil {
+			return nil, err
+		}
+		return &UnOp{Op: "-", X: x}, nil
+	}
+	return p.primaryExpr()
+}
+
+func (p *sqlParser) primaryExpr() (Expr, error) {
+	t := p.peek()
+	switch t.kind {
+	case tokNumber:
+		p.pos++
+		if strings.Contains(t.text, ".") {
+			f, err := strconv.ParseFloat(t.text, 64)
+			if err != nil {
+				return nil, p.errf("bad number %q", t.text)
+			}
+			return &Lit{V: Float(f)}, nil
+		}
+		n, err := strconv.ParseInt(t.text, 10, 64)
+		if err != nil {
+			return nil, p.errf("bad number %q", t.text)
+		}
+		return &Lit{V: Int(n)}, nil
+	case tokString:
+		p.pos++
+		return &Lit{V: Str(t.text)}, nil
+	case tokKeyword:
+		switch t.text {
+		case "NULL":
+			p.pos++
+			return &Lit{V: Null}, nil
+		case "TRUE":
+			p.pos++
+			return &Lit{V: Bool(true)}, nil
+		case "FALSE":
+			p.pos++
+			return &Lit{V: Bool(false)}, nil
+		case "CASE":
+			return p.caseExpr()
+		}
+		return nil, p.errf("unexpected keyword %q in expression", t.text)
+	case tokPunct:
+		if t.text == "(" {
+			p.pos++
+			e, err := p.expr()
+			if err != nil {
+				return nil, err
+			}
+			if err := p.expectPunct(")"); err != nil {
+				return nil, err
+			}
+			return e, nil
+		}
+		return nil, p.errf("unexpected %q in expression", t.text)
+	case tokIdent:
+		name := p.next().text
+		// function call?
+		if p.isPunct("(") {
+			p.pos++
+			var args []Expr
+			if !p.isPunct(")") {
+				for {
+					a, err := p.expr()
+					if err != nil {
+						return nil, err
+					}
+					args = append(args, a)
+					if !p.acceptPunct(",") {
+						break
+					}
+				}
+			}
+			if err := p.expectPunct(")"); err != nil {
+				return nil, err
+			}
+			return &FuncCall{Name: strings.ToLower(name), Args: args}, nil
+		}
+		// qualified column?
+		if p.isPunct(".") {
+			p.pos++
+			col, err := p.ident()
+			if err != nil {
+				return nil, err
+			}
+			return &ColRef{Alias: name, Column: col}, nil
+		}
+		return &ColRef{Column: name}, nil
+	}
+	return nil, p.errf("unexpected token %q", t.text)
+}
+
+func (p *sqlParser) caseExpr() (Expr, error) {
+	if err := p.expectKeyword("CASE"); err != nil {
+		return nil, err
+	}
+	ce := &CaseExpr{}
+	for p.acceptKeyword("WHEN") {
+		cond, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expectKeyword("THEN"); err != nil {
+			return nil, err
+		}
+		res, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		ce.Whens = append(ce.Whens, CaseWhen{Cond: cond, Result: res})
+	}
+	if len(ce.Whens) == 0 {
+		return nil, p.errf("CASE requires at least one WHEN")
+	}
+	if p.acceptKeyword("ELSE") {
+		e, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		ce.Else = e
+	}
+	if err := p.expectKeyword("END"); err != nil {
+		return nil, err
+	}
+	return ce, nil
+}

@@ -1,0 +1,350 @@
+package rel
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// ColumnType is the declared type of a table column.
+type ColumnType uint8
+
+const (
+	// TInt is a 64-bit integer column (dictionary-encoded ids in all
+	// the RDF schemas).
+	TInt ColumnType = iota
+	// TString is a string column.
+	TString
+	// TFloat is a float column.
+	TFloat
+)
+
+// Column describes one table column.
+type Column struct {
+	Name string
+	Type ColumnType
+}
+
+// Schema is an ordered list of columns.
+type Schema []Column
+
+// ColumnIndex returns the position of the named column, or -1.
+func (s Schema) ColumnIndex(name string) int {
+	for i, c := range s {
+		if strings.EqualFold(c.Name, name) {
+			return i
+		}
+	}
+	return -1
+}
+
+// Names returns the column names in order.
+func (s Schema) Names() []string {
+	out := make([]string, len(s))
+	for i, c := range s {
+		out[i] = c.Name
+	}
+	return out
+}
+
+// hashIndex is an equality index on one column.
+type hashIndex struct {
+	col  int
+	ints map[int64][]int32
+	strs map[string][]int32
+}
+
+// Table is an in-memory relation with optional hash indexes.
+// Concurrent readers are safe once loading has finished; writes take an
+// exclusive lock.
+type Table struct {
+	Name   string
+	Schema Schema
+
+	mu      sync.RWMutex
+	rows    []Row
+	indexes map[string]*hashIndex // by lower-cased column name
+}
+
+// NewTable creates an empty table.
+func NewTable(name string, schema Schema) *Table {
+	return &Table{Name: name, Schema: schema, indexes: make(map[string]*hashIndex)}
+}
+
+// Len returns the number of rows.
+func (t *Table) Len() int {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return len(t.rows)
+}
+
+// Insert appends a row; it must match the schema width.
+func (t *Table) Insert(r Row) error {
+	if len(r) != len(t.Schema) {
+		return fmt.Errorf("rel: table %s: row width %d != schema width %d", t.Name, len(r), len(t.Schema))
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	id := int32(len(t.rows))
+	t.rows = append(t.rows, r)
+	for _, idx := range t.indexes {
+		idx.add(r, id)
+	}
+	return nil
+}
+
+// UpdateRow replaces row i in place (used for filling predicate columns
+// of an existing entity row during RDF loading). Indexed columns must
+// not change value unless reindexed by the caller.
+func (t *Table) UpdateRow(i int, r Row) error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if i < 0 || i >= len(t.rows) {
+		return fmt.Errorf("rel: table %s: row %d out of range", t.Name, i)
+	}
+	t.rows[i] = r
+	return nil
+}
+
+// RowAt returns row i. The returned slice must not be modified.
+func (t *Table) RowAt(i int) Row {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return t.rows[i]
+}
+
+// Rows returns the backing row slice. The result must be treated as
+// read-only.
+func (t *Table) Rows() []Row {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return t.rows
+}
+
+// CreateIndex builds (or rebuilds) a hash index on the named column.
+func (t *Table) CreateIndex(col string) error {
+	ci := t.Schema.ColumnIndex(col)
+	if ci < 0 {
+		return fmt.Errorf("rel: table %s has no column %q", t.Name, col)
+	}
+	idx := &hashIndex{col: ci}
+	switch t.Schema[ci].Type {
+	case TInt:
+		idx.ints = make(map[int64][]int32)
+	case TString:
+		idx.strs = make(map[string][]int32)
+	default:
+		return fmt.Errorf("rel: cannot index column %q of type %v", col, t.Schema[ci].Type)
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	for i, r := range t.rows {
+		idx.add(r, int32(i))
+	}
+	t.indexes[strings.ToLower(col)] = idx
+	return nil
+}
+
+// HasIndex reports whether the column has a hash index.
+func (t *Table) HasIndex(col string) bool {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	_, ok := t.indexes[strings.ToLower(col)]
+	return ok
+}
+
+// lookup returns the matching row ids for col = v, and whether an index
+// was available.
+func (t *Table) lookup(col string, v Value) ([]int32, bool) {
+	t.mu.RLock()
+	idx, ok := t.indexes[strings.ToLower(col)]
+	t.mu.RUnlock()
+	if !ok {
+		return nil, false
+	}
+	switch {
+	case idx.ints != nil:
+		switch v.K {
+		case KindInt:
+			return idx.ints[v.I], true
+		case KindFloat:
+			if v.F == float64(int64(v.F)) {
+				return idx.ints[int64(v.F)], true
+			}
+			return nil, true
+		default:
+			return nil, true // type mismatch: no int row can equal it
+		}
+	case idx.strs != nil:
+		if v.K == KindString {
+			return idx.strs[v.S], true
+		}
+		return nil, true
+	}
+	return nil, false
+}
+
+func (x *hashIndex) add(r Row, id int32) {
+	v := r[x.col]
+	switch {
+	case x.ints != nil:
+		if v.K == KindInt {
+			x.ints[v.I] = append(x.ints[v.I], id)
+		}
+	case x.strs != nil:
+		if v.K == KindString {
+			x.strs[v.S] = append(x.strs[v.S], id)
+		}
+	}
+}
+
+// EstimateBytes approximates the on-disk footprint of the table, used by
+// the NULL-storage experiment (§2.3). NULLs cost one bit (null bitmap /
+// value compression, as DB2 and Postgres do); ints cost 8, floats 8,
+// strings their length plus 4.
+func (t *Table) EstimateBytes() int64 {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	var total, nulls int64
+	for _, r := range t.rows {
+		total += 8 // row header
+		for _, v := range r {
+			switch v.K {
+			case KindNull:
+				nulls++ // one bit in the null bitmap
+			case KindInt, KindFloat:
+				total += 8
+			case KindString:
+				total += int64(len(v.S)) + 4
+			default:
+				total++
+			}
+		}
+	}
+	return total + (nulls+7)/8
+}
+
+// DB is a named collection of tables plus the scalar-function registry
+// used by generated SQL (e.g. dictionary decoding for FILTERs).
+type DB struct {
+	mu     sync.RWMutex
+	tables map[string]*Table
+	funcs  map[string]Func
+}
+
+// Func is a scalar SQL function.
+type Func func(args []Value) (Value, error)
+
+// NewDB returns an empty database with the built-in functions
+// registered (COALESCE is handled in the expression evaluator).
+func NewDB() *DB {
+	db := &DB{tables: make(map[string]*Table), funcs: make(map[string]Func)}
+	registerBuiltins(db)
+	return db
+}
+
+// CreateTable creates and registers a new table.
+func (db *DB) CreateTable(name string, schema Schema) (*Table, error) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	key := strings.ToLower(name)
+	if _, ok := db.tables[key]; ok {
+		return nil, fmt.Errorf("rel: table %q already exists", name)
+	}
+	t := NewTable(name, schema)
+	db.tables[key] = t
+	return t, nil
+}
+
+// DropTable removes a table if present.
+func (db *DB) DropTable(name string) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	delete(db.tables, strings.ToLower(name))
+}
+
+// Table returns the named table, or nil.
+func (db *DB) Table(name string) *Table {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	return db.tables[strings.ToLower(name)]
+}
+
+// TableNames lists all tables in sorted order.
+func (db *DB) TableNames() []string {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	out := make([]string, 0, len(db.tables))
+	for _, t := range db.tables {
+		out = append(out, t.Name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// RegisterFunc registers (or replaces) a scalar function.
+func (db *DB) RegisterFunc(name string, f Func) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	db.funcs[strings.ToLower(name)] = f
+}
+
+// function resolves a scalar function by name.
+func (db *DB) function(name string) (Func, bool) {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	f, ok := db.funcs[strings.ToLower(name)]
+	return f, ok
+}
+
+func registerBuiltins(db *DB) {
+	db.RegisterFunc("abs", func(args []Value) (Value, error) {
+		if len(args) != 1 {
+			return Null, fmt.Errorf("abs: want 1 arg")
+		}
+		v := args[0]
+		switch v.K {
+		case KindInt:
+			if v.I < 0 {
+				return Int(-v.I), nil
+			}
+			return v, nil
+		case KindFloat:
+			if v.F < 0 {
+				return Float(-v.F), nil
+			}
+			return v, nil
+		case KindNull:
+			return Null, nil
+		}
+		return Null, fmt.Errorf("abs: non-numeric argument")
+	})
+	db.RegisterFunc("length", func(args []Value) (Value, error) {
+		if len(args) != 1 {
+			return Null, fmt.Errorf("length: want 1 arg")
+		}
+		if args[0].IsNull() {
+			return Null, nil
+		}
+		return Int(int64(len(args[0].S))), nil
+	})
+	db.RegisterFunc("lower", func(args []Value) (Value, error) {
+		if len(args) != 1 {
+			return Null, fmt.Errorf("lower: want 1 arg")
+		}
+		if args[0].IsNull() {
+			return Null, nil
+		}
+		return Str(strings.ToLower(args[0].S)), nil
+	})
+	db.RegisterFunc("contains", func(args []Value) (Value, error) {
+		if len(args) != 2 {
+			return Null, fmt.Errorf("contains: want 2 args")
+		}
+		if args[0].IsNull() || args[1].IsNull() {
+			return Null, nil
+		}
+		return Bool(strings.Contains(args[0].S, args[1].S)), nil
+	})
+}

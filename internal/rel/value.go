@@ -1,0 +1,204 @@
+// Package rel implements the relational substrate that stands in for
+// IBM DB2 in this reproduction: typed in-memory tables with hash
+// indexes, a SQL subset (WITH/CTEs, SELECT, comma and LEFT OUTER joins,
+// UNION [ALL], CASE, COALESCE, DISTINCT, ORDER BY, LIMIT/OFFSET,
+// scalar functions), and a cost-aware executor that performs filter
+// pushdown, index lookups, greedy join ordering and hash joins.
+//
+// The paper (Bornea et al., SIGMOD 2013) treats SQL as "a procedural
+// implementation language" for SPARQL plans; this package supplies the
+// machine that runs that language.
+package rel
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Kind enumerates the runtime value kinds.
+type Kind uint8
+
+const (
+	// KindNull is the SQL NULL.
+	KindNull Kind = iota
+	// KindInt is a 64-bit signed integer.
+	KindInt
+	// KindFloat is a 64-bit float.
+	KindFloat
+	// KindString is a string.
+	KindString
+	// KindBool is a boolean.
+	KindBool
+)
+
+// String names the kind.
+func (k Kind) String() string {
+	switch k {
+	case KindNull:
+		return "NULL"
+	case KindInt:
+		return "INT"
+	case KindFloat:
+		return "FLOAT"
+	case KindString:
+		return "STRING"
+	case KindBool:
+		return "BOOL"
+	}
+	return fmt.Sprintf("Kind(%d)", uint8(k))
+}
+
+// Value is one SQL value. The zero Value is NULL.
+type Value struct {
+	K Kind
+	I int64
+	F float64
+	S string
+}
+
+// Null is the SQL NULL value.
+var Null = Value{}
+
+// Int returns an integer value.
+func Int(i int64) Value { return Value{K: KindInt, I: i} }
+
+// Float returns a float value.
+func Float(f float64) Value { return Value{K: KindFloat, F: f} }
+
+// Str returns a string value.
+func Str(s string) Value { return Value{K: KindString, S: s} }
+
+// Bool returns a boolean value.
+func Bool(b bool) Value {
+	v := Value{K: KindBool}
+	if b {
+		v.I = 1
+	}
+	return v
+}
+
+// IsNull reports whether v is NULL.
+func (v Value) IsNull() bool { return v.K == KindNull }
+
+// Truth reports whether v counts as true in a WHERE context (SQL
+// three-valued logic collapses UNKNOWN to false at the filter).
+func (v Value) Truth() bool { return v.K == KindBool && v.I != 0 }
+
+// AsFloat converts numeric values to float64.
+func (v Value) AsFloat() (float64, bool) {
+	switch v.K {
+	case KindInt:
+		return float64(v.I), true
+	case KindFloat:
+		return v.F, true
+	}
+	return 0, false
+}
+
+// String renders the value for debugging and result printing.
+func (v Value) String() string {
+	switch v.K {
+	case KindNull:
+		return "NULL"
+	case KindInt:
+		return strconv.FormatInt(v.I, 10)
+	case KindFloat:
+		return strconv.FormatFloat(v.F, 'g', -1, 64)
+	case KindString:
+		return v.S
+	case KindBool:
+		if v.I != 0 {
+			return "true"
+		}
+		return "false"
+	}
+	return "?"
+}
+
+// key returns a canonical representation used for hashing (joins,
+// DISTINCT, UNION dedup). NULLs hash together.
+func (v Value) key() string {
+	switch v.K {
+	case KindNull:
+		return "\x00"
+	case KindInt:
+		return "i" + strconv.FormatInt(v.I, 10)
+	case KindFloat:
+		// Integral floats hash like ints so 1 joins with 1.0.
+		if v.F == float64(int64(v.F)) {
+			return "i" + strconv.FormatInt(int64(v.F), 10)
+		}
+		return "f" + strconv.FormatFloat(v.F, 'g', -1, 64)
+	case KindString:
+		return "s" + v.S
+	case KindBool:
+		if v.I != 0 {
+			return "bt"
+		}
+		return "bf"
+	}
+	return "?"
+}
+
+// Compare orders two non-null values: -1, 0, +1. Values of different
+// families order by kind (numeric < string < bool). Returns false if
+// either side is NULL.
+func Compare(a, b Value) (int, bool) {
+	if a.IsNull() || b.IsNull() {
+		return 0, false
+	}
+	af, aNum := a.AsFloat()
+	bf, bNum := b.AsFloat()
+	if aNum && bNum {
+		switch {
+		case af < bf:
+			return -1, true
+		case af > bf:
+			return 1, true
+		}
+		return 0, true
+	}
+	if a.K == KindString && b.K == KindString {
+		return strings.Compare(a.S, b.S), true
+	}
+	if a.K == KindBool && b.K == KindBool {
+		switch {
+		case a.I < b.I:
+			return -1, true
+		case a.I > b.I:
+			return 1, true
+		}
+		return 0, true
+	}
+	ra, rb := kindRank(a.K), kindRank(b.K)
+	switch {
+	case ra < rb:
+		return -1, true
+	case ra > rb:
+		return 1, true
+	}
+	return 0, true
+}
+
+func kindRank(k Kind) int {
+	switch k {
+	case KindInt, KindFloat:
+		return 0
+	case KindString:
+		return 1
+	case KindBool:
+		return 2
+	}
+	return 3
+}
+
+// Equal reports whether two values compare equal under join semantics
+// (NULL never equals anything).
+func Equal(a, b Value) bool {
+	c, ok := Compare(a, b)
+	return ok && c == 0
+}
+
+// Row is one tuple.
+type Row []Value

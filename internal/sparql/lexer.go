@@ -1,0 +1,294 @@
+// Package sparql implements a lexer, parser and abstract syntax tree
+// for the SPARQL 1.0 subset used by the paper (Bornea et al., SIGMOD
+// 2013): SELECT/ASK queries over hierarchically nested graph patterns
+// built from triple patterns with AND (juxtaposition), UNION, OPTIONAL
+// and FILTER, plus DISTINCT, ORDER BY and LIMIT/OFFSET solution
+// modifiers.
+//
+// The AST mirrors the paper's query model: a query is a tree of
+// patterns (SIMPLE, AND, OR, OPTIONAL) whose leaves are triple
+// patterns; the structural relations of Definitions 3.4-3.7 (least
+// common ancestor, ancestors-to-LCA, OR-connected, OPTIONAL-connected)
+// are provided as methods so the optimizer and translator can share
+// them.
+package sparql
+
+import (
+	"fmt"
+	"strings"
+)
+
+type tokKind uint8
+
+const (
+	tokEOF       tokKind = iota
+	tokVar               // ?x or $x (text holds the bare name)
+	tokIRI               // <...> (text holds the IRI)
+	tokPName             // prefixed name pfx:local (text holds the raw form)
+	tokString            // "..." (text holds the unescaped value)
+	tokLangTag           // @en
+	tokDTypeMark         // ^^
+	tokNumber
+	tokKeyword // upper-cased
+	tokPunct
+	tokA // the 'a' keyword (rdf:type)
+)
+
+type token struct {
+	kind tokKind
+	text string
+	pos  int
+}
+
+var sparqlKeywords = map[string]bool{
+	"PREFIX": true, "BASE": true, "SELECT": true, "ASK": true,
+	"CONSTRUCT": true, "DESCRIBE": true,
+	"DISTINCT": true, "REDUCED": true, "WHERE": true, "UNION": true,
+	"OPTIONAL": true, "FILTER": true, "ORDER": true, "BY": true,
+	"ASC": true, "DESC": true, "LIMIT": true, "OFFSET": true,
+	"TRUE": true, "FALSE": true,
+}
+
+type lexer struct {
+	in   string
+	pos  int
+	toks []token
+}
+
+func lex(in string) ([]token, error) {
+	l := &lexer{in: in}
+	for {
+		l.skipSpace()
+		if l.pos >= len(l.in) {
+			l.toks = append(l.toks, token{kind: tokEOF, pos: l.pos})
+			return l.toks, nil
+		}
+		start := l.pos
+		c := l.in[l.pos]
+		switch {
+		case c == '?' || c == '$':
+			l.pos++
+			name := l.takeWhile(isNamePart)
+			if name == "" {
+				if c == '?' {
+					// '?' with no name is the zero-or-one path operator.
+					l.toks = append(l.toks, token{kind: tokPunct, text: "?", pos: start})
+					continue
+				}
+				return nil, fmt.Errorf("sparql: empty variable name at offset %d", start)
+			}
+			l.toks = append(l.toks, token{kind: tokVar, text: name, pos: start})
+		case c == '<':
+			// '<' opens an IRI only when a '>' closes it before any
+			// whitespace; otherwise it is the less-than operator
+			// (e.g. FILTER (?x < 5)).
+			end := -1
+			for i := l.pos + 1; i < len(l.in); i++ {
+				if l.in[i] == '>' {
+					end = i - l.pos
+					break
+				}
+				if l.in[i] == ' ' || l.in[i] == '\t' || l.in[i] == '\n' || l.in[i] == '\r' {
+					break
+				}
+			}
+			if end < 0 {
+				l.pos++
+				if l.pos < len(l.in) && l.in[l.pos] == '=' {
+					l.pos++
+					l.toks = append(l.toks, token{kind: tokPunct, text: "<=", pos: start})
+				} else {
+					l.toks = append(l.toks, token{kind: tokPunct, text: "<", pos: start})
+				}
+				continue
+			}
+			l.toks = append(l.toks, token{kind: tokIRI, text: l.in[l.pos+1 : l.pos+end], pos: start})
+			l.pos += end + 1
+		case c == '"' || c == '\'':
+			s, err := l.stringLiteral(c)
+			if err != nil {
+				return nil, err
+			}
+			l.toks = append(l.toks, token{kind: tokString, text: s, pos: start})
+		case c == '@':
+			l.pos++
+			tag := l.takeWhile(func(b byte) bool { return isAlphaNum(b) || b == '-' })
+			l.toks = append(l.toks, token{kind: tokLangTag, text: tag, pos: start})
+		case c == '^':
+			if l.pos+1 < len(l.in) && l.in[l.pos+1] == '^' {
+				l.pos += 2
+				l.toks = append(l.toks, token{kind: tokDTypeMark, pos: start})
+			} else {
+				// Single '^' is the inverse path operator.
+				l.pos++
+				l.toks = append(l.toks, token{kind: tokPunct, text: "^", pos: start})
+			}
+		case c >= '0' && c <= '9' || (c == '-' || c == '+') && l.pos+1 < len(l.in) && l.in[l.pos+1] >= '0' && l.in[l.pos+1] <= '9':
+			l.pos++
+			for l.pos < len(l.in) && (l.in[l.pos] >= '0' && l.in[l.pos] <= '9' || l.in[l.pos] == '.' || l.in[l.pos] == 'e' || l.in[l.pos] == 'E') {
+				l.pos++
+			}
+			l.toks = append(l.toks, token{kind: tokNumber, text: l.in[start:l.pos], pos: start})
+		case isNameStart(c):
+			word := l.takeWhile(isNamePart)
+			// prefixed name? (pfx:local, possibly with empty prefix handled below)
+			if l.pos < len(l.in) && l.in[l.pos] == ':' {
+				l.pos++
+				local := l.takeWhile(isNamePart)
+				l.toks = append(l.toks, token{kind: tokPName, text: word + ":" + local, pos: start})
+				continue
+			}
+			if word == "a" {
+				l.toks = append(l.toks, token{kind: tokA, text: "a", pos: start})
+				continue
+			}
+			up := strings.ToUpper(word)
+			if sparqlKeywords[up] {
+				l.toks = append(l.toks, token{kind: tokKeyword, text: up, pos: start})
+				continue
+			}
+			// Bare identifiers appear only as function names in FILTERs
+			// (regex, bound, str, ...). Treat as keyword-like idents.
+			l.toks = append(l.toks, token{kind: tokKeyword, text: up, pos: start})
+		case c == ':':
+			l.pos++
+			local := l.takeWhile(isNamePart)
+			l.toks = append(l.toks, token{kind: tokPName, text: ":" + local, pos: start})
+		default:
+			switch c {
+			case '{', '}', '(', ')', '.', ';', ',', '*', '+', '/':
+				l.pos++
+				l.toks = append(l.toks, token{kind: tokPunct, text: string(c), pos: start})
+			case '-':
+				l.pos++
+				l.toks = append(l.toks, token{kind: tokPunct, text: "-", pos: start})
+			case '=':
+				l.pos++
+				l.toks = append(l.toks, token{kind: tokPunct, text: "=", pos: start})
+			case '!':
+				l.pos++
+				if l.pos < len(l.in) && l.in[l.pos] == '=' {
+					l.pos++
+					l.toks = append(l.toks, token{kind: tokPunct, text: "!=", pos: start})
+				} else {
+					l.toks = append(l.toks, token{kind: tokPunct, text: "!", pos: start})
+				}
+			case '<':
+				// handled above (IRI) — unreachable
+			case '>':
+				l.pos++
+				if l.pos < len(l.in) && l.in[l.pos] == '=' {
+					l.pos++
+					l.toks = append(l.toks, token{kind: tokPunct, text: ">=", pos: start})
+				} else {
+					l.toks = append(l.toks, token{kind: tokPunct, text: ">", pos: start})
+				}
+			case '&':
+				if l.pos+1 < len(l.in) && l.in[l.pos+1] == '&' {
+					l.pos += 2
+					l.toks = append(l.toks, token{kind: tokPunct, text: "&&", pos: start})
+				} else {
+					return nil, fmt.Errorf("sparql: unexpected '&' at offset %d", start)
+				}
+			case '|':
+				if l.pos+1 < len(l.in) && l.in[l.pos+1] == '|' {
+					l.pos += 2
+					l.toks = append(l.toks, token{kind: tokPunct, text: "||", pos: start})
+				} else {
+					// Single '|' is the path alternative operator.
+					l.pos++
+					l.toks = append(l.toks, token{kind: tokPunct, text: "|", pos: start})
+				}
+			case '_':
+				// blank node _:label
+				if l.pos+1 < len(l.in) && l.in[l.pos+1] == ':' {
+					l.pos += 2
+					label := l.takeWhile(isNamePart)
+					l.toks = append(l.toks, token{kind: tokPName, text: "_:" + label, pos: start})
+				} else {
+					return nil, fmt.Errorf("sparql: unexpected '_' at offset %d", start)
+				}
+			default:
+				return nil, fmt.Errorf("sparql: unexpected character %q at offset %d", c, start)
+			}
+		}
+	}
+}
+
+func (l *lexer) takeWhile(pred func(byte) bool) string {
+	start := l.pos
+	for l.pos < len(l.in) && pred(l.in[l.pos]) {
+		l.pos++
+	}
+	return l.in[start:l.pos]
+}
+
+func (l *lexer) stringLiteral(quote byte) (string, error) {
+	l.pos++ // opening quote
+	var b strings.Builder
+	for {
+		if l.pos >= len(l.in) {
+			return "", fmt.Errorf("sparql: unterminated string literal")
+		}
+		c := l.in[l.pos]
+		if c == quote {
+			l.pos++
+			return b.String(), nil
+		}
+		if c == '\\' {
+			if l.pos+1 >= len(l.in) {
+				return "", fmt.Errorf("sparql: dangling escape")
+			}
+			l.pos++
+			switch l.in[l.pos] {
+			case 'n':
+				b.WriteByte('\n')
+			case 't':
+				b.WriteByte('\t')
+			case 'r':
+				b.WriteByte('\r')
+			case '"':
+				b.WriteByte('"')
+			case '\'':
+				b.WriteByte('\'')
+			case '\\':
+				b.WriteByte('\\')
+			default:
+				return "", fmt.Errorf("sparql: unknown escape \\%c", l.in[l.pos])
+			}
+			l.pos++
+			continue
+		}
+		b.WriteByte(c)
+		l.pos++
+	}
+}
+
+func (l *lexer) skipSpace() {
+	for l.pos < len(l.in) {
+		c := l.in[l.pos]
+		if c == ' ' || c == '\t' || c == '\n' || c == '\r' {
+			l.pos++
+			continue
+		}
+		if c == '#' {
+			for l.pos < len(l.in) && l.in[l.pos] != '\n' {
+				l.pos++
+			}
+			continue
+		}
+		return
+	}
+}
+
+func isNameStart(c byte) bool {
+	return c == '_' || c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z'
+}
+
+func isNamePart(c byte) bool {
+	return isNameStart(c) || c >= '0' && c <= '9' || c == '_' || c == '-'
+}
+
+func isAlphaNum(c byte) bool {
+	return c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z' || c >= '0' && c <= '9'
+}

@@ -1,0 +1,139 @@
+package sparql
+
+// UnifyEqualityFilters performs the classic filter-to-join rewrite:
+// a top-level FILTER (?a = ?b) between two variables is replaced by
+// substituting one variable for the other throughout the pattern, so
+// the optimizer sees a shared variable (a join) instead of a
+// cross-product followed by a selection. SP2Bench's Q5a/Q5b pair is
+// designed to expose exactly this difference.
+//
+// The rewrite is deliberately conservative; it applies only when
+//
+//   - the filter sits on the root pattern (variables may not leak
+//     across an enclosing scope we did not inspect),
+//   - both variables are bound by required (non-OPTIONAL, non-UNION)
+//     triples, so "unbound makes the filter false" semantics are
+//     preserved by the substitution, and
+//   - the variable being removed is neither projected nor used in
+//     ORDER BY.
+func UnifyEqualityFilters(q *Query) {
+	root := q.Where
+	if root == nil {
+		return
+	}
+	protected := map[string]bool{}
+	for _, v := range q.Vars {
+		protected[v] = true
+	}
+	for _, k := range q.OrderBy {
+		ExprVars(k.Expr, protected)
+	}
+	if q.Star {
+		// SELECT * projects everything; removing a variable would
+		// change the result shape.
+		return
+	}
+	kept := root.Filters[:0]
+	for _, f := range root.Filters {
+		va, vb, ok := varEquality(f)
+		if !ok {
+			kept = append(kept, f)
+			continue
+		}
+		// Decide which side to remove.
+		var remove, keep string
+		switch {
+		case !protected[vb]:
+			remove, keep = vb, va
+		case !protected[va]:
+			remove, keep = va, vb
+		default:
+			kept = append(kept, f)
+			continue
+		}
+		if !boundByRequiredTriple(root, va) || !boundByRequiredTriple(root, vb) {
+			kept = append(kept, f)
+			continue
+		}
+		substituteVar(root, remove, keep)
+		// Apply the substitution to the remaining filters as well.
+		for _, g := range append(kept, root.Filters...) {
+			substituteExprVar(g, remove, keep)
+		}
+	}
+	root.Filters = kept
+}
+
+// varEquality recognizes FILTER (?a = ?b) over two distinct variables.
+func varEquality(f Expr) (string, string, bool) {
+	b, ok := f.(*EBin)
+	if !ok || b.Op != "=" {
+		return "", "", false
+	}
+	va, ok1 := b.L.(*EVar)
+	vb, ok2 := b.R.(*EVar)
+	if !ok1 || !ok2 || va.Name == vb.Name {
+		return "", "", false
+	}
+	return va.Name, vb.Name, true
+}
+
+// boundByRequiredTriple reports whether v occurs in a triple reachable
+// from p through conjunctive (AND/SIMPLE) patterns only.
+func boundByRequiredTriple(p *Pattern, v string) bool {
+	for _, t := range p.Triples {
+		for _, tv := range t.Vars() {
+			if tv == v {
+				return true
+			}
+		}
+	}
+	if p.Kind == And || p.Kind == Simple {
+		for _, c := range p.Children {
+			if (c.Kind == And || c.Kind == Simple) && boundByRequiredTriple(c, v) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// substituteVar renames every occurrence of from to to in the pattern
+// subtree (triples and filters).
+func substituteVar(p *Pattern, from, to string) {
+	p.Walk(func(q *Pattern) {
+		for _, t := range q.Triples {
+			if t.S.IsVar && t.S.Var == from {
+				t.S.Var = to
+			}
+			if t.P.IsVar && t.P.Var == from {
+				t.P.Var = to
+			}
+			if t.O.IsVar && t.O.Var == from {
+				t.O.Var = to
+			}
+		}
+		for _, f := range q.Filters {
+			substituteExprVar(f, from, to)
+		}
+	})
+}
+
+// substituteExprVar renames variables inside a filter expression.
+func substituteExprVar(e Expr, from, to string) {
+	switch x := e.(type) {
+	case *EVar:
+		if x.Name == from {
+			x.Name = to
+		}
+	case *EBin:
+		substituteExprVar(x.L, from, to)
+		substituteExprVar(x.R, from, to)
+	case *EUn:
+		substituteExprVar(x.X, from, to)
+	case *ECall:
+		for _, a := range x.Args {
+			substituteExprVar(a, from, to)
+		}
+	}
+}

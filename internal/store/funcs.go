@@ -1,0 +1,188 @@
+package store
+
+import (
+	"fmt"
+	"regexp"
+	"strconv"
+	"sync"
+
+	"db2rdf/internal/dict"
+	"db2rdf/internal/rdf"
+	"db2rdf/internal/rel"
+)
+
+// RegisterSPARQLFuncs installs the dictionary-decoding scalar functions
+// that generated SQL uses to evaluate SPARQL FILTER expressions and
+// ORDER BY keys over dictionary-encoded columns:
+//
+//	dstr(id)      lexical form (IRI string, literal value, blank label)
+//	dnum(id)      numeric value of a literal, NULL if non-numeric
+//	dcmp(a, b)    SPARQL-ish ordering: -1/0/1, numeric before string
+//	dsort(id)     sort key: numeric value when numeric, else string
+//	dlang(id)     language tag ("" when absent)
+//	ddt(id)       datatype IRI ("" when absent)
+//	disiri(id), disliteral(id), disblank(id)  type tests
+//	regexmatch(s, pattern [, flags])          regex over strings
+//
+// Functions return NULL on NULL input, mirroring SPARQL error
+// propagation.
+func (s *Store) RegisterSPARQLFuncs() { RegisterValueFuncs(s.DB, s.Dict) }
+
+// RegisterValueFuncs installs the value functions on an arbitrary
+// database/dictionary pair (shared with the baseline stores).
+func RegisterValueFuncs(db *rel.DB, d *dict.Dict) {
+	decode := func(v rel.Value) (rdf.Term, bool) {
+		if v.K != rel.KindInt || dict.IsLid(v.I) {
+			return rdf.Term{}, false
+		}
+		t, err := d.Decode(v.I)
+		return t, err == nil
+	}
+	db.RegisterFunc("dstr", func(args []rel.Value) (rel.Value, error) {
+		if len(args) != 1 {
+			return rel.Null, fmt.Errorf("dstr: want 1 arg")
+		}
+		t, ok := decode(args[0])
+		if !ok {
+			return rel.Null, nil
+		}
+		return rel.Str(t.Value), nil
+	})
+	db.RegisterFunc("dnum", func(args []rel.Value) (rel.Value, error) {
+		if len(args) != 1 {
+			return rel.Null, fmt.Errorf("dnum: want 1 arg")
+		}
+		if args[0].K == rel.KindInt && !dict.IsLid(args[0].I) {
+			t, err := d.Decode(args[0].I)
+			if err != nil {
+				return rel.Null, nil
+			}
+			if f, ok := t.Float(); ok {
+				return rel.Float(f), nil
+			}
+			return rel.Null, nil
+		}
+		// Already numeric (arithmetic on literals).
+		if f, ok := args[0].AsFloat(); ok {
+			return rel.Float(f), nil
+		}
+		return rel.Null, nil
+	})
+	db.RegisterFunc("dsort", func(args []rel.Value) (rel.Value, error) {
+		if len(args) != 1 {
+			return rel.Null, fmt.Errorf("dsort: want 1 arg")
+		}
+		t, ok := decode(args[0])
+		if !ok {
+			return rel.Null, nil
+		}
+		if t.Kind == rdf.Literal {
+			if f, err := strconv.ParseFloat(t.Value, 64); err == nil {
+				return rel.Float(f), nil
+			}
+		}
+		return rel.Str(t.Value), nil
+	})
+	db.RegisterFunc("dcmp", func(args []rel.Value) (rel.Value, error) {
+		if len(args) != 2 {
+			return rel.Null, fmt.Errorf("dcmp: want 2 args")
+		}
+		a, aok := decode(args[0])
+		b, bok := decode(args[1])
+		if !aok || !bok {
+			return rel.Null, nil
+		}
+		return compareTerms(a, b)
+	})
+	db.RegisterFunc("dlang", func(args []rel.Value) (rel.Value, error) {
+		t, ok := decode(args[0])
+		if !ok {
+			return rel.Null, nil
+		}
+		return rel.Str(t.Lang), nil
+	})
+	db.RegisterFunc("ddt", func(args []rel.Value) (rel.Value, error) {
+		t, ok := decode(args[0])
+		if !ok {
+			return rel.Null, nil
+		}
+		dt := t.Datatype
+		if t.Kind == rdf.Literal && dt == "" && t.Lang == "" {
+			dt = rdf.XSDString
+		}
+		return rel.Str(dt), nil
+	})
+	typeTest := func(k rdf.TermKind) rel.Func {
+		return func(args []rel.Value) (rel.Value, error) {
+			t, ok := decode(args[0])
+			if !ok {
+				return rel.Null, nil
+			}
+			return rel.Bool(t.Kind == k), nil
+		}
+	}
+	db.RegisterFunc("disiri", typeTest(rdf.IRI))
+	db.RegisterFunc("disliteral", typeTest(rdf.Literal))
+	db.RegisterFunc("disblank", typeTest(rdf.Blank))
+	db.RegisterFunc("regexmatch", regexMatchFunc())
+}
+
+// compareTerms orders two terms: numbers numerically, then strings
+// lexically; mixed numeric/non-numeric orders numeric first.
+func compareTerms(a, b rdf.Term) (rel.Value, error) {
+	af, aNum := a.Float()
+	bf, bNum := b.Float()
+	switch {
+	case aNum && bNum:
+		switch {
+		case af < bf:
+			return rel.Int(-1), nil
+		case af > bf:
+			return rel.Int(1), nil
+		}
+		return rel.Int(0), nil
+	case aNum:
+		return rel.Int(-1), nil
+	case bNum:
+		return rel.Int(1), nil
+	}
+	switch {
+	case a.Value < b.Value:
+		return rel.Int(-1), nil
+	case a.Value > b.Value:
+		return rel.Int(1), nil
+	}
+	return rel.Int(0), nil
+}
+
+// regexMatchFunc compiles patterns once and caches them.
+func regexMatchFunc() rel.Func {
+	var mu sync.Mutex
+	cache := map[string]*regexp.Regexp{}
+	return func(args []rel.Value) (rel.Value, error) {
+		if len(args) < 2 || len(args) > 3 {
+			return rel.Null, fmt.Errorf("regexmatch: want 2 or 3 args")
+		}
+		if args[0].IsNull() || args[1].IsNull() {
+			return rel.Null, nil
+		}
+		pat := args[1].S
+		if len(args) == 3 && !args[2].IsNull() && args[2].S == "i" {
+			pat = "(?i)" + pat
+		}
+		mu.Lock()
+		re, ok := cache[pat]
+		mu.Unlock()
+		if !ok {
+			var err error
+			re, err = regexp.Compile(pat)
+			if err != nil {
+				return rel.Null, fmt.Errorf("regexmatch: %w", err)
+			}
+			mu.Lock()
+			cache[pat] = re
+			mu.Unlock()
+		}
+		return rel.Bool(re.MatchString(args[0].S)), nil
+	}
+}

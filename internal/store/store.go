@@ -1,0 +1,554 @@
+// Package store implements the DB2RDF entity-oriented RDF store of
+// Bornea et al. (SIGMOD 2013, §2): the Direct Primary Hash (DPH) and
+// Direct Secondary Hash (DS) relations keyed by subject, their reverse
+// twins RPH and RS keyed by object, spill handling, multi-valued
+// predicate lists, predicate-to-column mappings (hash or coloring
+// based), and the dataset statistics the SPARQL optimizer consumes.
+package store
+
+import (
+	"fmt"
+	"io"
+	"sort"
+
+	"db2rdf/internal/coloring"
+	"db2rdf/internal/dict"
+	"db2rdf/internal/rdf"
+	"db2rdf/internal/rel"
+)
+
+// Options configures a Store.
+type Options struct {
+	// K is the number of (pred_i, val_i) column pairs in DPH.
+	K int
+	// KReverse is the number of pairs in RPH (the paper's k'); 0 means
+	// same as K.
+	KReverse int
+	// Mapping assigns predicates to DPH columns; nil means a 2-way
+	// composed hash over K columns.
+	Mapping coloring.Mapping
+	// ReverseMapping assigns predicates to RPH columns; nil means a
+	// 2-way composed hash over KReverse columns.
+	ReverseMapping coloring.Mapping
+	// TopK bounds the per-constant statistics kept for the optimizer.
+	TopK int
+	// TablePrefix prefixes the relation names so several stores can
+	// share one rel.DB (used by the benchmark harness).
+	TablePrefix string
+}
+
+func (o *Options) fill() {
+	if o.K <= 0 {
+		o.K = 32
+	}
+	if o.KReverse <= 0 {
+		o.KReverse = o.K
+	}
+	if o.Mapping == nil {
+		o.Mapping = coloring.NewHashMapping(o.K, 2)
+	}
+	if o.ReverseMapping == nil {
+		o.ReverseMapping = coloring.NewHashMapping(o.KReverse, 2)
+	}
+	if o.TopK <= 0 {
+		o.TopK = 1000
+	}
+}
+
+// Store is a DB2RDF store over a relational database.
+type Store struct {
+	DB   *rel.DB
+	Dict *dict.Dict
+	Opts Options
+
+	dph, ds, rph, rs *rel.Table
+
+	direct  *side
+	reverse *side
+
+	stats *Stats
+}
+
+// side holds the loading state for one direction (subject-keyed DPH/DS
+// or object-keyed RPH/RS).
+type side struct {
+	primary   *rel.Table
+	secondary *rel.Table
+	mapping   coloring.Mapping
+	k         int
+
+	entityRows map[int64][]int          // entity id -> primary row indices
+	lidSets    map[int64]map[int64]bool // lid -> member ids (dedup)
+	spilled    map[int64]bool           // entities with >1 rows
+	spillPreds map[int64]bool           // predicate ids involved in spills
+	multiPreds map[int64]bool           // predicate ids that own at least one lid
+	spillCount int
+}
+
+// New creates an empty store backed by db (a fresh rel.DB when nil).
+func New(db *rel.DB, opts Options) (*Store, error) {
+	opts.fill()
+	if db == nil {
+		db = rel.NewDB()
+	}
+	s := &Store{DB: db, Dict: dict.New(), Opts: opts, stats: newStats(opts.TopK)}
+
+	mk := func(name string, k int) (*rel.Table, error) {
+		schema := rel.Schema{{Name: "entry", Type: rel.TInt}, {Name: "spill", Type: rel.TInt}}
+		for i := 0; i < k; i++ {
+			schema = append(schema, rel.Column{Name: fmt.Sprintf("pred%d", i), Type: rel.TInt})
+			schema = append(schema, rel.Column{Name: fmt.Sprintf("val%d", i), Type: rel.TInt})
+		}
+		t, err := db.CreateTable(opts.TablePrefix+name, schema)
+		if err != nil {
+			return nil, err
+		}
+		if err := t.CreateIndex("entry"); err != nil {
+			return nil, err
+		}
+		return t, nil
+	}
+	var err error
+	if s.dph, err = mk("DPH", opts.K); err != nil {
+		return nil, err
+	}
+	if s.rph, err = mk("RPH", opts.KReverse); err != nil {
+		return nil, err
+	}
+	mkSec := func(name string) (*rel.Table, error) {
+		t, err := db.CreateTable(opts.TablePrefix+name, rel.Schema{{Name: "lid", Type: rel.TInt}, {Name: "elm", Type: rel.TInt}})
+		if err != nil {
+			return nil, err
+		}
+		if err := t.CreateIndex("lid"); err != nil {
+			return nil, err
+		}
+		if err := t.CreateIndex("elm"); err != nil {
+			return nil, err
+		}
+		return t, nil
+	}
+	if s.ds, err = mkSec("DS"); err != nil {
+		return nil, err
+	}
+	if s.rs, err = mkSec("RS"); err != nil {
+		return nil, err
+	}
+
+	s.direct = newSide(s.dph, s.ds, opts.Mapping, opts.K)
+	s.reverse = newSide(s.rph, s.rs, opts.ReverseMapping, opts.KReverse)
+	s.RegisterSPARQLFuncs()
+	return s, nil
+}
+
+func newSide(primary, secondary *rel.Table, m coloring.Mapping, k int) *side {
+	return &side{
+		primary:    primary,
+		secondary:  secondary,
+		mapping:    m,
+		k:          k,
+		entityRows: make(map[int64][]int),
+		lidSets:    make(map[int64]map[int64]bool),
+		spilled:    make(map[int64]bool),
+		spillPreds: make(map[int64]bool),
+		multiPreds: make(map[int64]bool),
+	}
+}
+
+// TableName returns the prefixed name of one of the store's relations
+// ("DPH", "DS", "RPH", "RS").
+func (s *Store) TableName(base string) string { return s.Opts.TablePrefix + base }
+
+// Insert adds one triple (idempotent under RDF set semantics).
+func (s *Store) Insert(t rdf.Triple) error {
+	sid := s.Dict.Encode(t.S)
+	pid := s.Dict.Encode(t.P)
+	oid := s.Dict.Encode(t.O)
+	if err := s.direct.insert(s, sid, pid, oid, t.P.Value); err != nil {
+		return err
+	}
+	if err := s.reverse.insert(s, oid, pid, sid, t.P.Value); err != nil {
+		return err
+	}
+	s.stats.record(sid, pid, oid)
+	return nil
+}
+
+// insert places (entity, pred) -> member on one side.
+func (d *side) insert(s *Store, entity, pid, member int64, predURI string) error {
+	cols := d.mapping.Columns(predURI)
+	rows := d.entityRows[entity]
+
+	// Already present? Then extend to (or within) a multi-value list.
+	for _, ri := range rows {
+		row := d.primary.RowAt(ri)
+		for _, c := range cols {
+			pc, vc := 2+2*c, 2+2*c+1
+			if row[pc].K == rel.KindInt && row[pc].I == pid {
+				cur := row[vc]
+				if cur.K == rel.KindInt && dict.IsLid(cur.I) {
+					lid := cur.I
+					if d.lidSets[lid][member] {
+						return nil // duplicate triple
+					}
+					d.lidSets[lid][member] = true
+					return d.secondary.Insert(rel.Row{rel.Int(lid), rel.Int(member)})
+				}
+				if cur.K == rel.KindInt && cur.I == member {
+					return nil // duplicate triple
+				}
+				// Convert single value to a list.
+				d.multiPreds[pid] = true
+				lid := s.Dict.NextLid()
+				d.lidSets[lid] = map[int64]bool{cur.I: true, member: true}
+				if err := d.secondary.Insert(rel.Row{rel.Int(lid), cur}); err != nil {
+					return err
+				}
+				if err := d.secondary.Insert(rel.Row{rel.Int(lid), rel.Int(member)}); err != nil {
+					return err
+				}
+				newRow := cloneRow(row)
+				newRow[vc] = rel.Int(lid)
+				return d.primary.UpdateRow(ri, newRow)
+			}
+		}
+	}
+
+	// Not present: find a free candidate column in an existing row.
+	for _, ri := range rows {
+		row := d.primary.RowAt(ri)
+		for _, c := range cols {
+			pc, vc := 2+2*c, 2+2*c+1
+			if row[pc].IsNull() {
+				newRow := cloneRow(row)
+				newRow[pc] = rel.Int(pid)
+				newRow[vc] = rel.Int(member)
+				if err := d.primary.UpdateRow(ri, newRow); err != nil {
+					return err
+				}
+				if d.spilled[entity] {
+					d.spillPreds[pid] = true
+				}
+				return nil
+			}
+		}
+	}
+
+	// Spill: add a fresh row for the entity.
+	spillFlag := int64(0)
+	if len(rows) > 0 {
+		spillFlag = 1
+		d.spillCount++
+		if !d.spilled[entity] {
+			d.spilled[entity] = true
+			// Every predicate already stored for this entity is now
+			// involved in spills: a merged star lookup could miss it.
+			for _, ri := range rows {
+				row := d.primary.RowAt(ri)
+				for c := 0; c < d.k; c++ {
+					if pv := row[2+2*c]; pv.K == rel.KindInt {
+						d.spillPreds[pv.I] = true
+					}
+				}
+			}
+			// Flag prior rows as spilled.
+			for _, ri := range rows {
+				row := cloneRow(d.primary.RowAt(ri))
+				row[1] = rel.Int(1)
+				if err := d.primary.UpdateRow(ri, row); err != nil {
+					return err
+				}
+			}
+		}
+		d.spillPreds[pid] = true
+	}
+	newRow := make(rel.Row, 2+2*d.k)
+	newRow[0] = rel.Int(entity)
+	newRow[1] = rel.Int(spillFlag)
+	c := cols[0]
+	newRow[2+2*c] = rel.Int(pid)
+	newRow[2+2*c+1] = rel.Int(member)
+	if err := d.primary.Insert(newRow); err != nil {
+		return err
+	}
+	d.entityRows[entity] = append(rows, d.primary.Len()-1)
+	return nil
+}
+
+func cloneRow(r rel.Row) rel.Row {
+	out := make(rel.Row, len(r))
+	copy(out, r)
+	return out
+}
+
+// Load reads N-Triples from r and inserts every triple.
+func (s *Store) Load(r io.Reader) (int, error) {
+	rd := rdf.NewReader(r)
+	n := 0
+	for {
+		t, err := rd.Read()
+		if err == io.EOF {
+			return n, nil
+		}
+		if err != nil {
+			return n, err
+		}
+		if err := s.Insert(t); err != nil {
+			return n, err
+		}
+		n++
+	}
+}
+
+// LoadTriples inserts a slice of triples.
+func (s *Store) LoadTriples(ts []rdf.Triple) error {
+	for _, t := range ts {
+		if err := s.Insert(t); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Stats returns the dataset statistics collected during loading.
+func (s *Store) Stats() *Stats { return s.stats }
+
+// SpillPredicates returns the set of predicate ids involved in spills
+// on the direct (subject) or reverse (object) side; the translator
+// consults it to decide whether star merging is safe (§3.2.1).
+func (s *Store) SpillPredicates(reverse bool) map[int64]bool {
+	if reverse {
+		return s.reverse.spillPreds
+	}
+	return s.direct.spillPreds
+}
+
+// MultiValued reports whether the predicate id holds a lid (a DS/RS
+// list) for at least one entity on the given side; the translator uses
+// it to decide when the secondary relation must be joined.
+func (s *Store) MultiValued(pid int64, reverse bool) bool {
+	if reverse {
+		return s.reverse.multiPreds[pid]
+	}
+	return s.direct.multiPreds[pid]
+}
+
+// AnyMultiValued reports whether any predicate on the given side is
+// multi-valued (used by variable-predicate translations that must be
+// conservative).
+func (s *Store) AnyMultiValued(reverse bool) bool {
+	if reverse {
+		return len(s.reverse.multiPreds) > 0
+	}
+	return len(s.direct.multiPreds) > 0
+}
+
+// SpillCount returns the number of spill rows on one side.
+func (s *Store) SpillCount(reverse bool) int {
+	if reverse {
+		return s.reverse.spillCount
+	}
+	return s.direct.spillCount
+}
+
+// EntityCount returns the number of distinct entities on one side
+// (rows in DPH or RPH net of spills).
+func (s *Store) EntityCount(reverse bool) int {
+	if reverse {
+		return len(s.reverse.entityRows)
+	}
+	return len(s.direct.entityRows)
+}
+
+// Mapping returns the predicate-to-column mapping of one side.
+func (s *Store) Mapping(reverse bool) coloring.Mapping {
+	if reverse {
+		return s.reverse.mapping
+	}
+	return s.direct.mapping
+}
+
+// K returns the column-pair budget of one side.
+func (s *Store) K(reverse bool) int {
+	if reverse {
+		return s.reverse.k
+	}
+	return s.direct.k
+}
+
+// LookupID returns the dictionary id of a term, or (-1, false) if the
+// term does not occur in the store.
+func (s *Store) LookupID(t rdf.Term) (int64, bool) {
+	return s.Dict.Lookup(t)
+}
+
+// BuildMappings scans a sample of triples, builds interference graphs
+// for both sides, colors them greedily within the given budgets, and
+// returns hybrid colored mappings plus the colorings themselves (for
+// reporting, Table 4).
+func BuildMappings(triples []rdf.Triple, k, kRev int) (direct, reverse coloring.Mapping, dc, rc *coloring.Coloring) {
+	subjPreds := make(map[string][]string)
+	objPreds := make(map[string][]string)
+	for _, t := range triples {
+		sk := t.S.Key()
+		subjPreds[sk] = append(subjPreds[sk], t.P.Value)
+		objPreds[t.O.Key()] = append(objPreds[t.O.Key()], t.P.Value)
+	}
+	dg := coloring.NewInterference()
+	for _, preds := range subjPreds {
+		dg.AddEntity(preds)
+	}
+	rg := coloring.NewInterference()
+	for _, preds := range objPreds {
+		rg.AddEntity(preds)
+	}
+	dc = coloring.Greedy(dg, k)
+	rc = coloring.Greedy(rg, kRev)
+	direct = coloring.NewColoredMapping(dc, k, nil)
+	reverse = coloring.NewColoredMapping(rc, kRev, nil)
+	return direct, reverse, dc, rc
+}
+
+// Stats holds the dataset statistics of §3.1 (input 2 to the
+// optimizer): total triples, average triples per subject and object,
+// and top-k constants with exact counts.
+type Stats struct {
+	topK   int
+	total  int64
+	bySubj map[int64]int64
+	byObj  map[int64]int64
+	byPred map[int64]int64
+}
+
+// NewStats returns an empty statistics collector (exported for the
+// baseline stores, which share the optimizer and need the same
+// statistics shape).
+func NewStats(topK int) *Stats { return newStats(topK) }
+
+// Record adds one triple's ids to the statistics.
+func (st *Stats) Record(sid, pid, oid int64) { st.record(sid, pid, oid) }
+
+func newStats(topK int) *Stats {
+	return &Stats{
+		topK:   topK,
+		bySubj: make(map[int64]int64),
+		byObj:  make(map[int64]int64),
+		byPred: make(map[int64]int64),
+	}
+}
+
+func (st *Stats) record(sid, pid, oid int64) {
+	st.total++
+	st.bySubj[sid]++
+	st.byObj[oid]++
+	st.byPred[pid]++
+}
+
+// TotalTriples returns the dataset size.
+func (st *Stats) TotalTriples() float64 { return float64(st.total) }
+
+// AvgPerSubject returns the average number of triples per subject.
+func (st *Stats) AvgPerSubject() float64 {
+	if len(st.bySubj) == 0 {
+		return 1
+	}
+	return float64(st.total) / float64(len(st.bySubj))
+}
+
+// AvgPerObject returns the average number of triples per object.
+func (st *Stats) AvgPerObject() float64 {
+	if len(st.byObj) == 0 {
+		return 1
+	}
+	return float64(st.total) / float64(len(st.byObj))
+}
+
+// countIn looks up an id in a count map.
+func countIn(m map[int64]int64, id int64, ok bool) (float64, bool) {
+	if !ok {
+		return 0, true // term absent from data: exact count 0
+	}
+	n, present := m[id]
+	if !present {
+		return 0, true
+	}
+	return float64(n), true
+}
+
+// StatsView returns an optimizer-facing view of the statistics that
+// resolves terms through the store's dictionary.
+func (s *Store) StatsView() *StatsView {
+	return &StatsView{st: s.stats, dict: s.Dict}
+}
+
+// NewStatsView builds a StatsView from a collector and a dictionary
+// (exported for the baseline stores).
+func NewStatsView(st *Stats, d *dict.Dict) *StatsView {
+	return &StatsView{st: st, dict: d}
+}
+
+// StatsView resolves rdf.Terms against collected statistics.
+type StatsView struct {
+	st   *Stats
+	dict *dict.Dict
+}
+
+// TotalTriples implements optimizer.Stats.
+func (v *StatsView) TotalTriples() float64 { return v.st.TotalTriples() }
+
+// AvgPerSubject implements optimizer.Stats.
+func (v *StatsView) AvgPerSubject() float64 { return v.st.AvgPerSubject() }
+
+// AvgPerObject implements optimizer.Stats.
+func (v *StatsView) AvgPerObject() float64 { return v.st.AvgPerObject() }
+
+// SubjectCount implements optimizer.Stats.
+func (v *StatsView) SubjectCount(t rdf.Term) (float64, bool) {
+	id, ok := v.dict.Lookup(t)
+	return countIn(v.st.bySubj, id, ok)
+}
+
+// ObjectCount implements optimizer.Stats.
+func (v *StatsView) ObjectCount(t rdf.Term) (float64, bool) {
+	id, ok := v.dict.Lookup(t)
+	return countIn(v.st.byObj, id, ok)
+}
+
+// PredicateCount implements optimizer.Stats.
+func (v *StatsView) PredicateCount(t rdf.Term) (float64, bool) {
+	id, ok := v.dict.Lookup(t)
+	return countIn(v.st.byPred, id, ok)
+}
+
+// TopConstants returns the k most frequent constants (by triple count)
+// across subjects and objects, for diagnostic output.
+func (st *Stats) TopConstants(k int, d *dict.Dict) []string {
+	type pair struct {
+		id int64
+		n  int64
+	}
+	var all []pair
+	for id, n := range st.bySubj {
+		all = append(all, pair{id, n})
+	}
+	for id, n := range st.byObj {
+		all = append(all, pair{id, n})
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i].n > all[j].n })
+	var out []string
+	seen := map[int64]bool{}
+	for _, p := range all {
+		if seen[p.id] {
+			continue
+		}
+		seen[p.id] = true
+		t, err := d.Decode(p.id)
+		if err == nil {
+			out = append(out, fmt.Sprintf("%s: %d", t, p.n))
+		}
+		if len(out) >= k {
+			break
+		}
+	}
+	return out
+}

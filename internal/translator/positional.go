@@ -1,0 +1,56 @@
+package translator
+
+import (
+	"fmt"
+	"strings"
+
+	"db2rdf/internal/sparql"
+)
+
+// PositionalAccess emits the generic one-triple access over a binary
+// or ternary relation: equality conditions for every constant or
+// previously bound position, projections for every newly bound
+// variable. It is shared by the baseline backends (TRIPLES and COL_*
+// relations) and by property-path closure tables. Pass "" for predCol
+// when the relation is predicate-specific.
+func PositionalAccess(g *Gen, t *sparql.TriplePattern, in Ctx, from, subjCol, predCol, objCol string) (Ctx, error) {
+	outVars := map[string]bool{}
+	for v := range in.Vars {
+		outVars[v] = true
+	}
+	sel := g.Carry(in, "P")
+	var conds []string
+	local := map[string]string{}
+	handle := func(tv sparql.TermOrVar, col string) {
+		if col == "" {
+			return
+		}
+		switch {
+		case !tv.IsVar:
+			conds = append(conds, fmt.Sprintf("%s = %d", col, g.IDOf(tv.Term)))
+		case in.Vars[tv.Var]:
+			conds = append(conds, fmt.Sprintf("%s = P.%s", col, g.ColFor(tv.Var)))
+		case local[tv.Var] != "":
+			conds = append(conds, fmt.Sprintf("%s = %s", col, local[tv.Var]))
+		default:
+			local[tv.Var] = col
+			sel = append(sel, fmt.Sprintf("%s AS %s", col, g.ColFor(tv.Var)))
+			outVars[tv.Var] = true
+		}
+	}
+	handle(t.S, subjCol)
+	handle(t.P, predCol)
+	handle(t.O, objCol)
+	if in.Cte != "" {
+		from = fmt.Sprintf("%s AS P, %s", in.Cte, from)
+	}
+	if len(sel) == 0 {
+		sel = []string{"1 AS one"}
+	}
+	body := fmt.Sprintf("SELECT %s FROM %s", strings.Join(sel, ", "), from)
+	if len(conds) > 0 {
+		body += " WHERE " + strings.Join(conds, " AND ")
+	}
+	name := g.Emit(body)
+	return Ctx{Cte: name, Vars: outVars}, nil
+}

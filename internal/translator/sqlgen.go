@@ -1,0 +1,414 @@
+package translator
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"db2rdf/internal/rdf"
+	"db2rdf/internal/sparql"
+)
+
+// Backend abstracts the relational schema a plan is translated onto.
+// The DB2RDF backend lives in this package; the triple-store and
+// predicate-oriented (vertical) baselines implement it in
+// internal/baselines. Everything except access-node generation —
+// UNION, OPTIONAL, FILTER handling and the final select — is shared.
+type Backend interface {
+	// Access translates one PlanAccess node, returning the output
+	// context.
+	Access(g *Gen, n *PlanNode, in Ctx) (Ctx, error)
+	// LookupID resolves a constant term without interning; absent
+	// terms report false (they can match nothing).
+	LookupID(t rdf.Term) (int64, bool)
+	// EncodeID interns a constant (FILTER constants must be decodable
+	// by the value functions even when absent from the data).
+	EncodeID(t rdf.Term) int64
+	// MergeSafe reports whether the given triples may be answered by a
+	// single row access (§3.2.1); backends without star storage return
+	// false.
+	MergeSafe(m MethodT, ts ...*sparql.TriplePattern) bool
+}
+
+// Result is a translated query: the SQL text plus the metadata the
+// caller needs to decode the relational result back into SPARQL
+// bindings.
+type Result struct {
+	// SQL is the full statement (WITH ... SELECT ...). Empty when the
+	// query has no triple patterns.
+	SQL string
+	// Columns holds the projected variable names, in result-column
+	// order. Trailing hidden columns (ORDER BY keys that are not
+	// projected) follow them.
+	Columns []string
+	// Hidden is the number of trailing hidden columns to drop.
+	Hidden int
+	// Ask marks an ASK query (one row means true).
+	Ask bool
+	// Plan is the query plan the SQL was generated from.
+	Plan *PlanNode
+}
+
+// Translate generates SQL for a query plan over the given backend.
+func Translate(q *sparql.Query, plan *PlanNode, backend Backend) (*Result, error) {
+	g := &Gen{backend: backend, varCol: map[string]string{}, colTaken: map[string]bool{}}
+	res := &Result{Ask: q.Ask, Plan: plan}
+	if len(q.Where.AllTriples()) == 0 {
+		return res, nil
+	}
+	out, err := g.Node(plan, Ctx{Vars: map[string]bool{}})
+	if err != nil {
+		return nil, err
+	}
+	final, err := g.finalSelect(q, out, res)
+	if err != nil {
+		return nil, err
+	}
+	var b strings.Builder
+	if len(g.ctes) > 0 {
+		b.WriteString("WITH ")
+		for i, c := range g.ctes {
+			if i > 0 {
+				b.WriteString(",\n")
+			}
+			b.WriteString(c.name)
+			b.WriteString(" AS (")
+			b.WriteString(c.body)
+			b.WriteString(")")
+		}
+		b.WriteString("\n")
+	}
+	b.WriteString(final)
+	res.SQL = b.String()
+	return res, nil
+}
+
+type cteDef struct{ name, body string }
+
+// Ctx tracks the translation context: the current CTE and the set of
+// SPARQL variables bound in it (stored under their column names).
+type Ctx struct {
+	Cte  string
+	Vars map[string]bool
+}
+
+// BoundVars returns the bound variables in sorted order.
+func (c Ctx) BoundVars() []string {
+	out := make([]string, 0, len(c.Vars))
+	for v := range c.Vars {
+		out = append(out, v)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Gen is the SQL generation state shared across backends.
+type Gen struct {
+	backend  Backend
+	ctes     []cteDef
+	cteN     int
+	varCol   map[string]string
+	colTaken map[string]bool
+}
+
+// ColFor returns the stable column name of a SPARQL variable.
+func (g *Gen) ColFor(v string) string {
+	if c, ok := g.varCol[v]; ok {
+		return c
+	}
+	base := "v_"
+	for _, r := range v {
+		switch {
+		case r >= 'a' && r <= 'z' || r >= '0' && r <= '9' || r == '_':
+			base += string(r)
+		case r >= 'A' && r <= 'Z':
+			base += string(r - 'A' + 'a')
+		default:
+			base += "_"
+		}
+	}
+	name := base
+	for i := 2; g.colTaken[name]; i++ {
+		name = fmt.Sprintf("%s_%d", base, i)
+	}
+	g.colTaken[name] = true
+	g.varCol[v] = name
+	return name
+}
+
+// Emit registers a new CTE body and returns its name.
+func (g *Gen) Emit(body string) string {
+	g.cteN++
+	name := fmt.Sprintf("QT%d", g.cteN)
+	g.ctes = append(g.ctes, cteDef{name: name, body: body})
+	return name
+}
+
+// IDOf resolves a constant term to its dictionary id; absent terms get
+// -1, which matches no row (the paper's empty-result fast path).
+func (g *Gen) IDOf(t rdf.Term) int64 {
+	id, ok := g.backend.LookupID(t)
+	if !ok {
+		return -1
+	}
+	return id
+}
+
+// Carry renders "alias.col AS col" projections for every bound
+// variable.
+func (g *Gen) Carry(in Ctx, alias string) []string {
+	var out []string
+	for _, v := range in.BoundVars() {
+		c := g.ColFor(v)
+		out = append(out, fmt.Sprintf("%s.%s AS %s", alias, c, c))
+	}
+	return out
+}
+
+// Node translates one plan node, returning the output context.
+func (g *Gen) Node(n *PlanNode, in Ctx) (Ctx, error) {
+	switch n.Kind {
+	case PlanAnd:
+		cur := in
+		var err error
+		for _, c := range n.Children {
+			cur, err = g.Node(c, cur)
+			if err != nil {
+				return Ctx{}, err
+			}
+		}
+		return g.ApplyFilters(n.Filters, cur)
+	case PlanOr:
+		return g.orNode(n, in)
+	case PlanOpt:
+		return g.optNode(n, in)
+	case PlanAccess:
+		out, err := g.backend.Access(g, n, in)
+		if err != nil {
+			return Ctx{}, err
+		}
+		return g.ApplyFilters(n.Filters, out)
+	}
+	return Ctx{}, fmt.Errorf("translator: unknown plan node kind %d", n.Kind)
+}
+
+// orNode translates a UNION: arms evaluated from the same input
+// context, results aligned on the union of their variables.
+func (g *Gen) orNode(n *PlanNode, in Ctx) (Ctx, error) {
+	var arms []Ctx
+	allVars := map[string]bool{}
+	for v := range in.Vars {
+		allVars[v] = true
+	}
+	for _, c := range n.Children {
+		ac, err := g.Node(c, in)
+		if err != nil {
+			return Ctx{}, err
+		}
+		for v := range ac.Vars {
+			allVars[v] = true
+		}
+		arms = append(arms, ac)
+	}
+	ordered := make([]string, 0, len(allVars))
+	for v := range allVars {
+		ordered = append(ordered, v)
+	}
+	sort.Strings(ordered)
+	var parts []string
+	for _, a := range arms {
+		var sel []string
+		for _, v := range ordered {
+			col := g.ColFor(v)
+			if a.Vars[v] {
+				sel = append(sel, fmt.Sprintf("A.%s AS %s", col, col))
+			} else {
+				sel = append(sel, fmt.Sprintf("NULL AS %s", col))
+			}
+		}
+		if len(sel) == 0 {
+			sel = []string{"1 AS one"}
+		}
+		parts = append(parts, fmt.Sprintf("SELECT %s FROM %s AS A", strings.Join(sel, ", "), a.Cte))
+	}
+	name := g.Emit(strings.Join(parts, "\nUNION ALL\n"))
+	out := Ctx{Cte: name, Vars: allVars}
+	return g.ApplyFilters(n.Filters, out)
+}
+
+// optNode translates OPTIONAL as a left outer join of the input with
+// the independently translated optional block on their shared
+// variables.
+func (g *Gen) optNode(n *PlanNode, in Ctx) (Ctx, error) {
+	child := n.Children[0]
+	// Translate the optional block standalone (unbound entity lookups
+	// degrade to scans inside the backend's Access).
+	oc, err := g.Node(child, Ctx{Vars: map[string]bool{}})
+	if err != nil {
+		return Ctx{}, err
+	}
+	oc, err = g.ApplyFilters(n.Filters, oc)
+	if err != nil {
+		return Ctx{}, err
+	}
+	if in.Cte == "" {
+		// OPTIONAL with no required part: it degenerates to the block
+		// itself (every solution of the block).
+		return oc, nil
+	}
+	var shared, optOnly []string
+	for v := range oc.Vars {
+		if in.Vars[v] {
+			shared = append(shared, v)
+		} else {
+			optOnly = append(optOnly, v)
+		}
+	}
+	sort.Strings(shared)
+	sort.Strings(optOnly)
+	var on []string
+	for _, v := range shared {
+		c := g.ColFor(v)
+		on = append(on, fmt.Sprintf("P.%s = O.%s", c, c))
+	}
+	if len(on) == 0 {
+		on = append(on, "1 = 1")
+	}
+	sel := g.Carry(in, "P")
+	for _, v := range optOnly {
+		c := g.ColFor(v)
+		sel = append(sel, fmt.Sprintf("O.%s AS %s", c, c))
+	}
+	if len(sel) == 0 {
+		sel = []string{"1 AS one"}
+	}
+	body := fmt.Sprintf("SELECT %s FROM %s AS P LEFT OUTER JOIN %s AS O ON %s",
+		strings.Join(sel, ", "), in.Cte, oc.Cte, strings.Join(on, " AND "))
+	name := g.Emit(body)
+	outVars := map[string]bool{}
+	for v := range in.Vars {
+		outVars[v] = true
+	}
+	for v := range oc.Vars {
+		outVars[v] = true
+	}
+	return Ctx{Cte: name, Vars: outVars}, nil
+}
+
+// ApplyFilters wraps the current CTE in a filtering select.
+func (g *Gen) ApplyFilters(filters []sparql.Expr, in Ctx) (Ctx, error) {
+	if len(filters) == 0 || in.Cte == "" {
+		return in, nil
+	}
+	varExpr := map[string]string{}
+	for v := range in.Vars {
+		varExpr[v] = "P." + g.ColFor(v)
+	}
+	var conds []string
+	for _, f := range filters {
+		c, err := g.filterSQL(f, varExpr)
+		if err != nil {
+			return Ctx{}, err
+		}
+		conds = append(conds, c)
+	}
+	sel := g.Carry(in, "P")
+	if len(sel) == 0 {
+		sel = []string{"1 AS one"}
+	}
+	body := fmt.Sprintf("SELECT %s FROM %s AS P WHERE %s",
+		strings.Join(sel, ", "), in.Cte, strings.Join(conds, " AND "))
+	name := g.Emit(body)
+	return Ctx{Cte: name, Vars: in.Vars}, nil
+}
+
+// ValPos returns the value position of a triple under a method (the
+// object for subject-keyed access, the subject for object-keyed).
+func ValPos(t *sparql.TriplePattern, m MethodT) sparql.TermOrVar {
+	if m == MethodACO {
+		return t.S
+	}
+	return t.O
+}
+
+// finalSelect renders the outer SELECT: projection, DISTINCT, ORDER
+// BY, LIMIT/OFFSET.
+func (g *Gen) finalSelect(q *sparql.Query, out Ctx, res *Result) (string, error) {
+	if q.Ask {
+		res.Columns = []string{"ok"}
+		return fmt.Sprintf("SELECT 1 AS ok FROM %s AS P LIMIT 1", out.Cte), nil
+	}
+	proj := q.ProjectedVars()
+	var sel []string
+	for _, v := range proj {
+		c := g.ColFor(v)
+		if out.Vars[v] {
+			sel = append(sel, fmt.Sprintf("P.%s AS %s", c, c))
+		} else {
+			sel = append(sel, fmt.Sprintf("NULL AS %s", c))
+		}
+		res.Columns = append(res.Columns, v)
+	}
+	// ORDER BY keys that reference unprojected variables become hidden
+	// trailing columns.
+	projSet := map[string]bool{}
+	for _, v := range proj {
+		projSet[v] = true
+	}
+	var orderExprs []string
+	for _, k := range q.OrderBy {
+		vars := map[string]bool{}
+		sparql.ExprVars(k.Expr, vars)
+		for v := range vars {
+			if !projSet[v] && out.Vars[v] {
+				c := g.ColFor(v)
+				sel = append(sel, fmt.Sprintf("P.%s AS %s", c, c))
+				res.Columns = append(res.Columns, v)
+				res.Hidden++
+				projSet[v] = true
+			}
+		}
+		varExpr := map[string]string{}
+		for v := range out.Vars {
+			varExpr[v] = g.ColFor(v)
+		}
+		e, err := g.orderKeySQL(k.Expr, varExpr)
+		if err != nil {
+			return "", err
+		}
+		if k.Desc {
+			e += " DESC"
+		}
+		orderExprs = append(orderExprs, e)
+	}
+	var b strings.Builder
+	b.WriteString("SELECT ")
+	if q.Distinct {
+		b.WriteString("DISTINCT ")
+	}
+	b.WriteString(strings.Join(sel, ", "))
+	fmt.Fprintf(&b, " FROM %s AS P", out.Cte)
+	if len(orderExprs) > 0 {
+		b.WriteString(" ORDER BY ")
+		b.WriteString(strings.Join(orderExprs, ", "))
+	}
+	if q.Limit >= 0 {
+		fmt.Fprintf(&b, " LIMIT %d", q.Limit)
+	}
+	if q.Offset > 0 {
+		fmt.Fprintf(&b, " OFFSET %d", q.Offset)
+	}
+	return b.String(), nil
+}
+
+// orderKeySQL renders an ORDER BY key over the projected columns.
+func (g *Gen) orderKeySQL(e sparql.Expr, varExpr map[string]string) (string, error) {
+	if v, ok := e.(*sparql.EVar); ok {
+		c, bound := varExpr[v.Name]
+		if !bound {
+			return "NULL", nil
+		}
+		return fmt.Sprintf("dsort(%s)", c), nil
+	}
+	return g.numSQL(e, varExpr)
+}

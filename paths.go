@@ -1,0 +1,138 @@
+package db2rdf
+
+import (
+	"fmt"
+	"sync/atomic"
+
+	"db2rdf/internal/rel"
+	"db2rdf/internal/sparql"
+)
+
+// Property-path closures (p+, p*, p?) — the paper's stated future work
+// (§6, "extend our system to support the SPARQL 1.1 standard (including
+// property paths)"). Sequences, alternatives and inverses are desugared
+// by the parser; closures are materialized here: the engine computes
+// the transitive closure of the step relation and loads the pairs into
+// a temporary indexed (entry, val) relation that the translator
+// accesses through the closure's marker predicate.
+//
+// Zero-length path semantics (for p* and p?) are restricted to the
+// nodes incident to the base relation's edges, rather than every term
+// in the graph; this is the usual engine-friendly approximation and is
+// documented in DESIGN.md.
+
+// pathTableN numbers the temporary closure relations.
+var pathTableN int64
+
+// materializeClosures computes and loads each closure of the query,
+// returning the marker->table map and a cleanup function that drops
+// the temporary relations.
+func (s *Store) materializeClosures(parsed *sparql.Query) (map[string]string, func(), error) {
+	if len(parsed.Closures) == 0 {
+		return nil, func() {}, nil
+	}
+	virtual := map[string]string{}
+	var created []string
+	cleanup := func() {
+		for _, n := range created {
+			s.inner.DB.DropTable(n)
+		}
+	}
+	for _, cl := range parsed.Closures {
+		pairs, err := s.closurePairs(cl)
+		if err != nil {
+			cleanup()
+			return nil, nil, err
+		}
+		name := fmt.Sprintf("PATHTMP_%d", atomic.AddInt64(&pathTableN, 1))
+		tbl, err := s.inner.DB.CreateTable(name, rel.Schema{
+			{Name: "entry", Type: rel.TInt},
+			{Name: "val", Type: rel.TInt},
+		})
+		if err != nil {
+			cleanup()
+			return nil, nil, err
+		}
+		created = append(created, name)
+		if err := tbl.CreateIndex("entry"); err != nil {
+			cleanup()
+			return nil, nil, err
+		}
+		if err := tbl.CreateIndex("val"); err != nil {
+			cleanup()
+			return nil, nil, err
+		}
+		for _, p := range pairs {
+			if err := tbl.Insert(rel.Row{rel.Int(p[0]), rel.Int(p[1])}); err != nil {
+				cleanup()
+				return nil, nil, err
+			}
+		}
+		virtual[cl.Marker] = name
+	}
+	return virtual, cleanup, nil
+}
+
+// closurePairs evaluates the closure's base steps through ordinary
+// (closure-free) queries and computes the reachability pairs.
+func (s *Store) closurePairs(cl sparql.Closure) ([][2]int64, error) {
+	adj := map[int64][]int64{}
+	nodes := map[int64]bool{}
+	for _, step := range cl.Steps {
+		res, err := s.Query(fmt.Sprintf("SELECT ?a ?b WHERE { ?a <%s> ?b }", step.IRI))
+		if err != nil {
+			return nil, fmt.Errorf("db2rdf: evaluating path step <%s>: %w", step.IRI, err)
+		}
+		for _, row := range res.Rows {
+			if !row[0].Bound || !row[1].Bound {
+				continue
+			}
+			aid, aok := s.inner.Dict.Lookup(row[0].Term)
+			bid, bok := s.inner.Dict.Lookup(row[1].Term)
+			if !aok || !bok {
+				continue
+			}
+			if step.Inverse {
+				aid, bid = bid, aid
+			}
+			adj[aid] = append(adj[aid], bid)
+			nodes[aid] = true
+			nodes[bid] = true
+		}
+	}
+	pairSet := map[[2]int64]bool{}
+	if cl.Max == 1 {
+		// Zero-or-one: just the single-step edges.
+		for a, bs := range adj {
+			for _, b := range bs {
+				pairSet[[2]int64{a, b}] = true
+			}
+		}
+	} else {
+		// Transitive closure: BFS from every source node.
+		for start := range adj {
+			visited := map[int64]bool{}
+			queue := append([]int64(nil), adj[start]...)
+			for len(queue) > 0 {
+				n := queue[0]
+				queue = queue[1:]
+				if visited[n] {
+					continue
+				}
+				visited[n] = true
+				pairSet[[2]int64{start, n}] = true
+				queue = append(queue, adj[n]...)
+			}
+		}
+	}
+	if cl.Min == 0 {
+		for n := range nodes {
+			pairSet[[2]int64{n, n}] = true
+		}
+	}
+	out := make([][2]int64, 0, len(pairSet))
+	for p := range pairSet {
+		out = append(out, p)
+	}
+	return out, nil
+}
