@@ -1,0 +1,22 @@
+GO ?= go
+
+.PHONY: build vet test race bench verify
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+bench:
+	$(GO) test -run '^$$' -bench . -benchtime 1x ./...
+
+# verify is the tier-1 gate (see ROADMAP.md): everything must build,
+# vet clean, and pass the full suite under the race detector.
+verify: build vet race

@@ -15,16 +15,21 @@ package db2rdf_test
 //	BenchmarkAblationMerge        star merging on/off
 //	BenchmarkAblationColumnBudget K sweep
 //	BenchmarkLoad                 bulk load throughput
+//	BenchmarkParallelLoad         LoadParallel worker sweep vs sequential
+//	BenchmarkConcurrentQuery      read-lock scaling under parallel queries
 
 import (
+	"bytes"
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"testing"
 
 	"db2rdf"
 	"db2rdf/internal/baselines"
 	"db2rdf/internal/coloring"
 	"db2rdf/internal/gen"
+	"db2rdf/internal/rdf"
 	"db2rdf/internal/rel"
 	"db2rdf/internal/store"
 )
@@ -394,4 +399,89 @@ func BenchmarkLoad(b *testing.B) {
 		}
 	}
 	b.ReportMetric(float64(len(ds.Triples)), "triples/op")
+}
+
+// BenchmarkParallelLoad compares the sequential loader against
+// LoadParallel at several worker counts, from the same serialized
+// N-Triples document (so both sides pay for parsing).
+func BenchmarkParallelLoad(b *testing.B) {
+	ds := lubmData()
+	var buf bytes.Buffer
+	w := rdf.NewWriter(&buf)
+	for _, t := range ds.Triples {
+		if err := w.Write(t); err != nil {
+			b.Fatal(err)
+		}
+	}
+	if err := w.Flush(); err != nil {
+		b.Fatal(err)
+	}
+	data := buf.Bytes()
+
+	b.Run("sequential", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			s, err := db2rdf.Open(db2rdf.Options{})
+			if err != nil {
+				b.Fatal(err)
+			}
+			if _, err := s.LoadReader(bytes.NewReader(data)); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.ReportMetric(float64(len(ds.Triples)), "triples/op")
+	})
+	for _, workers := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("parallel%d", workers), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				s, err := db2rdf.Open(db2rdf.Options{})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if _, err := s.LoadParallel(bytes.NewReader(data), workers); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(float64(len(ds.Triples)), "triples/op")
+		})
+	}
+}
+
+// BenchmarkConcurrentQuery measures query throughput under increasing
+// goroutine counts: queries take only the store read lock, so they
+// should scale with available parallelism rather than serialize.
+func BenchmarkConcurrentQuery(b *testing.B) {
+	ds := lubmData()
+	s, err := db2rdf.Open(db2rdf.Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := s.LoadTriples(ds.Triples); err != nil {
+		b.Fatal(err)
+	}
+	// A small mixed workload of fast queries, cycled atomically so each
+	// goroutine keeps all of them warm.
+	queries := []string{
+		ds.Queries[0].SPARQL,
+		`SELECT ?s WHERE { ?s <http://lubm/name> ?n } LIMIT 50`,
+		`ASK { ?s <http://www.w3.org/1999/02/22-rdf-syntax-ns#type> <http://lubm/FullProfessor> }`,
+	}
+	for _, q := range queries {
+		if _, err := s.Query(q); err != nil {
+			b.Fatal(err)
+		}
+	}
+	for _, g := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("goroutines%d", g), func(b *testing.B) {
+			var next int64
+			b.SetParallelism(g)
+			b.RunParallel(func(pb *testing.PB) {
+				for pb.Next() {
+					q := queries[int(atomic.AddInt64(&next, 1))%len(queries)]
+					if _, err := s.Query(q); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		})
+	}
 }

@@ -1,0 +1,12 @@
+#!/bin/sh
+# Tier-1 verification gate (see ROADMAP.md). Equivalent to `make verify`.
+set -eu
+cd "$(dirname "$0")"
+
+echo "== go build =="
+go build ./...
+echo "== go vet =="
+go vet ./...
+echo "== go test -race =="
+go test -race ./...
+echo "ok"

@@ -17,6 +17,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"strings"
 	"time"
 
@@ -40,15 +41,16 @@ func main() {
 	k := flag.Int("k", 32, "predicate/value column pairs per primary row")
 	color := flag.Bool("color", false, "build a coloring-based predicate mapping from the loaded data (requires re-load; slower load, tighter layout)")
 	noopt := flag.Bool("noopt", false, "disable the hybrid optimizer (document-order flow)")
+	workers := flag.Int("workers", runtime.GOMAXPROCS(0), "parallel load workers (1 = sequential load)")
 	flag.Parse()
 
-	if err := realMain(loads, *query, *queryFile, *explain, *run, *stats, *k, *color, *noopt); err != nil {
+	if err := realMain(loads, *query, *queryFile, *explain, *run, *stats, *k, *color, *noopt, *workers); err != nil {
 		fmt.Fprintln(os.Stderr, "db2rdf:", err)
 		os.Exit(1)
 	}
 }
 
-func realMain(loads []string, query, queryFile string, explain, run, stats bool, k int, color, noopt bool) error {
+func realMain(loads []string, query, queryFile string, explain, run, stats bool, k int, color, noopt bool, workers int) error {
 	var triples []rdf.Triple
 	for _, path := range loads {
 		f, err := os.Open(path)
@@ -73,7 +75,12 @@ func realMain(loads []string, query, queryFile string, explain, run, stats bool,
 		return err
 	}
 	start := time.Now()
-	if err := store.LoadTriples(triples); err != nil {
+	if workers == 1 {
+		err = store.LoadTriples(triples)
+	} else {
+		err = store.LoadTriplesParallel(triples, workers)
+	}
+	if err != nil {
 		return err
 	}
 	if len(triples) > 0 {
@@ -82,6 +89,7 @@ func realMain(loads []string, query, queryFile string, explain, run, stats bool,
 
 	if stats {
 		inner := store.Internal()
+		inner.RLock()
 		fmt.Printf("total triples: %.0f\n", inner.Stats().TotalTriples())
 		fmt.Printf("avg triples/subject: %.2f\n", inner.Stats().AvgPerSubject())
 		fmt.Printf("avg triples/object: %.2f\n", inner.Stats().AvgPerObject())
@@ -90,6 +98,7 @@ func realMain(loads []string, query, queryFile string, explain, run, stats bool,
 		for _, line := range inner.Stats().TopConstants(10, inner.Dict) {
 			fmt.Println("  " + line)
 		}
+		inner.RUnlock()
 	}
 
 	if queryFile != "" {

@@ -1,0 +1,282 @@
+package db2rdf_test
+
+// Concurrency and loader-equivalence tests for the store-level
+// read/write lock discipline and the parallel bulk loader. Run with
+// -race (the repo's tier-1 command does) to make the lock checks real.
+
+import (
+	"bytes"
+	"fmt"
+	"sync"
+	"testing"
+
+	"db2rdf"
+	"db2rdf/internal/gen"
+	"db2rdf/internal/rdf"
+)
+
+// TestConcurrentInsertQueryExport drives writers and several kinds of
+// readers at the same store simultaneously. Under -race this checks
+// the whole query pipeline (including property-path closure
+// materialization and Export) is safe against concurrent Inserts.
+func TestConcurrentInsertQueryExport(t *testing.T) {
+	s, err := db2rdf.Open(db2rdf.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.LoadTriples(gen.Micro(2000).Triples); err != nil {
+		t.Fatal(err)
+	}
+
+	const writers, rounds = 2, 50
+	var wg sync.WaitGroup
+	errc := make(chan error, 16)
+	report := func(err error) {
+		if err != nil {
+			select {
+			case errc <- err:
+			default:
+			}
+		}
+	}
+
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < rounds; i++ {
+				report(s.Insert(rdf.NewTriple(
+					rdf.NewIRI(fmt.Sprintf("http://conc/s%d-%d", w, i)),
+					rdf.NewIRI("http://conc/linked"),
+					rdf.NewIRI(fmt.Sprintf("http://conc/s%d-%d", w, i+1)),
+				)))
+			}
+		}(w)
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < rounds; i++ {
+			_, err := s.Query(`SELECT ?s ?o WHERE { ?s <http://conc/linked> ?o }`)
+			report(err)
+		}
+	}()
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		// Property-path queries materialize temporary closure tables;
+		// concurrent runs must not collide on their names.
+		for i := 0; i < rounds/5; i++ {
+			_, err := s.Query(`SELECT ?s ?o WHERE { ?s <http://conc/linked>+ ?o }`)
+			report(err)
+		}
+	}()
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < rounds/10; i++ {
+			_, err := s.Export(&bytes.Buffer{})
+			report(err)
+		}
+	}()
+	wg.Wait()
+	close(errc)
+	for err := range errc {
+		t.Fatal(err)
+	}
+
+	// Every written triple must be visible afterwards.
+	res, err := s.Query(`SELECT ?s ?o WHERE { ?s <http://conc/linked> ?o }`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := len(res.Rows), writers*rounds; got != want {
+		t.Fatalf("after concurrent writes: %d linked rows, want %d", got, want)
+	}
+}
+
+// TestLoadParallelMatchesSequential loads the same dataset through the
+// sequential and the parallel loader and requires byte-identical
+// exports plus identical optimizer statistics.
+func TestLoadParallelMatchesSequential(t *testing.T) {
+	ds := gen.LUBM(1)
+	var doc bytes.Buffer
+	w := rdf.NewWriter(&doc)
+	for _, tr := range ds.Triples {
+		if err := w.Write(tr); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+
+	seq, err := db2rdf.Open(db2rdf.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	nSeq, err := seq.LoadReader(bytes.NewReader(doc.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := db2rdf.Open(db2rdf.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	nPar, err := par.LoadParallel(bytes.NewReader(doc.Bytes()), 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if nSeq != nPar {
+		t.Fatalf("loaded counts differ: sequential %d, parallel %d", nSeq, nPar)
+	}
+
+	var seqOut, parOut bytes.Buffer
+	if _, err := seq.Export(&seqOut); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := par.Export(&parOut); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(seqOut.Bytes(), parOut.Bytes()) {
+		t.Fatalf("exports differ: sequential %d bytes, parallel %d bytes", seqOut.Len(), parOut.Len())
+	}
+
+	// Optimizer statistics must agree term by term.
+	sv, pv := seq.Internal().StatsView(), par.Internal().StatsView()
+	if sv.TotalTriples() != pv.TotalTriples() {
+		t.Errorf("total: %v != %v", sv.TotalTriples(), pv.TotalTriples())
+	}
+	if sv.AvgPerSubject() != pv.AvgPerSubject() {
+		t.Errorf("avg/subject: %v != %v", sv.AvgPerSubject(), pv.AvgPerSubject())
+	}
+	if sv.AvgPerObject() != pv.AvgPerObject() {
+		t.Errorf("avg/object: %v != %v", sv.AvgPerObject(), pv.AvgPerObject())
+	}
+	terms := map[rdf.Term]bool{}
+	for _, tr := range ds.Triples {
+		terms[tr.S] = true
+		terms[tr.P] = true
+		terms[tr.O] = true
+	}
+	for term := range terms {
+		if a, _ := sv.SubjectCount(term); a != mustCount(pv.SubjectCount(term)) {
+			t.Errorf("subject count for %s differs", term)
+		}
+		if a, _ := sv.ObjectCount(term); a != mustCount(pv.ObjectCount(term)) {
+			t.Errorf("object count for %s differs", term)
+		}
+		if a, _ := sv.PredicateCount(term); a != mustCount(pv.PredicateCount(term)) {
+			t.Errorf("predicate count for %s differs", term)
+		}
+	}
+}
+
+func mustCount(n float64, ok bool) float64 { return n }
+
+// TestLoadParallelConcurrentReaders checks queries keep answering
+// while a parallel bulk load holds the write lock (they serialize, but
+// must not race or deadlock).
+func TestLoadParallelConcurrentReaders(t *testing.T) {
+	ds := gen.Micro(5000)
+	s, err := db2rdf.Open(db2rdf.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.LoadTriples(ds.Triples[:100]); err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	errc := make(chan error, 4)
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		if err := s.LoadTriplesParallel(ds.Triples[100:], 4); err != nil {
+			errc <- err
+		}
+	}()
+	for g := 0; g < 2; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 20; i++ {
+				if _, err := s.Query(ds.Queries[0].SPARQL); err != nil {
+					errc <- err
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(errc)
+	for err := range errc {
+		t.Fatal(err)
+	}
+}
+
+// TestEmptyPattern checks the SPARQL unit-solution semantics for empty
+// group patterns: SELECT over {} yields exactly one solution with all
+// projected variables unbound, and ASK {} is true.
+func TestEmptyPatternUnitSolution(t *testing.T) {
+	s, err := db2rdf.Open(db2rdf.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Insert(rdf.NewTriple(rdf.NewIRI("http://a"), rdf.NewIRI("http://p"), rdf.NewLiteral("v"))); err != nil {
+		t.Fatal(err)
+	}
+
+	res, err := s.Query(`SELECT * WHERE {}`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 1 {
+		t.Fatalf("SELECT * WHERE {}: %d solutions, want 1 (the unit solution)", len(res.Rows))
+	}
+	if len(res.Vars) != 0 {
+		t.Fatalf("SELECT * WHERE {}: projected vars %v, want none", res.Vars)
+	}
+
+	res, err = s.Query(`SELECT ?x WHERE {}`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 1 || len(res.Rows[0]) != 1 || res.Rows[0][0].Bound {
+		t.Fatalf("SELECT ?x WHERE {}: want 1 solution with ?x unbound, got %+v", res.Rows)
+	}
+
+	res, err = s.Query(`ASK {}`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.IsAsk || !res.Ask {
+		t.Fatalf("ASK {}: want true, got %+v", res)
+	}
+}
+
+// TestDescribeExactTerms checks DESCRIBE resolves resources whose
+// serialization would not survive a round trip through the SPARQL
+// grammar (blank nodes cannot be written as constants in a query).
+func TestDescribeExactTerms(t *testing.T) {
+	s, err := db2rdf.Open(db2rdf.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b1 := rdf.NewBlank("b1")
+	for _, tr := range []rdf.Triple{
+		rdf.NewTriple(b1, rdf.NewIRI("http://p"), rdf.NewLiteral("v")),
+		rdf.NewTriple(b1, rdf.NewIRI("http://q"), rdf.NewIRI("http://o")),
+		rdf.NewTriple(rdf.NewIRI("http://x"), rdf.NewIRI("http://r"), b1),
+	} {
+		if err := s.Insert(tr); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got, err := s.QueryGraph(`DESCRIBE ?v WHERE { ?v <http://q> <http://o> }`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 3 {
+		t.Fatalf("DESCRIBE of a blank node: %d triples, want 3: %v", len(got), got)
+	}
+}

@@ -79,7 +79,8 @@ func ColorTriples(triples []rdf.Triple, k, kRev int) (coloring.Mapping, coloring
 	return d, r
 }
 
-// Insert adds one triple.
+// Insert adds one triple. Writers and readers may run concurrently:
+// loads take the store's write lock, queries its read lock.
 func (s *Store) Insert(t rdf.Triple) error { return s.inner.Insert(t) }
 
 // LoadReader bulk-loads N-Triples from r, returning the triple count.
@@ -88,8 +89,27 @@ func (s *Store) LoadReader(r io.Reader) (int, error) { return s.inner.Load(r) }
 // LoadTriples bulk-loads a slice of triples.
 func (s *Store) LoadTriples(ts []rdf.Triple) error { return s.inner.LoadTriples(ts) }
 
+// LoadParallel bulk-loads N-Triples from r using the parallel pipeline:
+// parsing and dictionary encoding fan out over worker goroutines, the
+// encoded triples are partitioned by entity id, and the direct
+// (subject-sharded) and reverse (object-sharded) relations are filled
+// concurrently with batched appends. workers <= 0 means GOMAXPROCS.
+// The final store state matches a sequential Load of the same data.
+func (s *Store) LoadParallel(r io.Reader, workers int) (int, error) {
+	return s.inner.LoadParallel(r, workers)
+}
+
+// LoadTriplesParallel is LoadParallel over an in-memory triple slice.
+func (s *Store) LoadTriplesParallel(ts []rdf.Triple, workers int) error {
+	return s.inner.LoadTriplesParallel(ts, workers)
+}
+
 // Len returns the number of distinct subjects stored.
-func (s *Store) Len() int { return s.inner.EntityCount(false) }
+func (s *Store) Len() int {
+	s.inner.RLock()
+	defer s.inner.RUnlock()
+	return s.inner.EntityCount(false)
+}
 
 // Internal exposes the underlying store for the benchmark harness and
 // tools; library users should not need it.
@@ -124,8 +144,20 @@ type Results struct {
 
 // Query parses, optimizes, translates and executes a SPARQL query.
 // Property-path closures (p+, p*, p?) are materialized into temporary
-// relations for the duration of the query.
+// relations for the duration of the query. Queries hold the store's
+// read lock, so any number may run concurrently with each other (and
+// are serialized against loads).
 func (s *Store) Query(q string) (*Results, error) {
+	s.inner.RLock()
+	defer s.inner.RUnlock()
+	return s.queryLocked(q)
+}
+
+// queryLocked is Query under an already-held store read lock. Internal
+// callers that run secondary queries while servicing a public call
+// (closure materialization, CONSTRUCT, Export) use it to avoid
+// re-entrant read locking, which can deadlock against a queued writer.
+func (s *Store) queryLocked(q string) (*Results, error) {
 	parsed, err := sparql.Parse(q)
 	if err != nil {
 		return nil, err
@@ -155,8 +187,10 @@ type Explanation struct {
 }
 
 // Explain returns the optimizer and translator artifacts for a query
-// without executing it.
+// without executing it. Like Query, it holds the store read lock.
 func (s *Store) Explain(q string) (*Explanation, error) {
+	s.inner.RLock()
+	defer s.inner.RUnlock()
 	parsed, err := sparql.Parse(q)
 	if err != nil {
 		return nil, err
@@ -211,12 +245,14 @@ func (s *Store) execute(parsed *sparql.Query, tr *translator.Result) (*Results, 
 	out := &Results{IsAsk: tr.Ask}
 	if tr.SQL == "" {
 		// Empty pattern: ASK {} is true; SELECT over {} yields one
-		// empty solution.
+		// empty solution (the SPARQL unit solution mapping), with every
+		// projected variable unbound.
 		if tr.Ask {
 			out.Ask = true
 			return out, nil
 		}
 		out.Vars = parsed.ProjectedVars()
+		out.Rows = append(out.Rows, make([]Binding, len(out.Vars)))
 		return out, nil
 	}
 	rs, err := s.inner.DB.Query(tr.SQL)

@@ -3,6 +3,7 @@ package db2rdf
 import (
 	"fmt"
 	"io"
+	"sort"
 
 	"db2rdf/internal/rdf"
 	"db2rdf/internal/sparql"
@@ -10,11 +11,14 @@ import (
 
 // QueryGraph executes a CONSTRUCT or DESCRIBE query, returning the
 // resulting triples (deduplicated, in deterministic first-seen order).
+// It holds the store read lock for the whole operation.
 func (s *Store) QueryGraph(q string) ([]rdf.Triple, error) {
 	parsed, err := sparql.Parse(q)
 	if err != nil {
 		return nil, err
 	}
+	s.inner.RLock()
+	defer s.inner.RUnlock()
 	switch {
 	case parsed.Construct != nil:
 		return s.construct(parsed, q)
@@ -27,8 +31,9 @@ func (s *Store) QueryGraph(q string) ([]rdf.Triple, error) {
 // construct runs the WHERE clause and instantiates the template once
 // per solution. Instantiations with unbound variables, literal
 // subjects or non-IRI predicates are skipped, per the SPARQL spec.
+// The caller holds the store read lock.
 func (s *Store) construct(parsed *sparql.Query, original string) ([]rdf.Triple, error) {
-	res, err := s.Query(original) // reparsed internally; keeps one code path
+	res, err := s.queryLocked(original) // reparsed internally; keeps one code path
 	if err != nil {
 		return nil, err
 	}
@@ -72,9 +77,28 @@ func (s *Store) construct(parsed *sparql.Query, original string) ([]rdf.Triple, 
 	return out, nil
 }
 
+// queryPattern builds a one-triple-pattern SELECT query directly as an
+// AST and runs it through optimize/translate/execute. Constructing the
+// AST (rather than rendering terms into a query string and reparsing)
+// keeps terms exact — escaped literals and blank nodes do not survive a
+// round trip through the SPARQL grammar — and skips a full parse per
+// lookup. The caller holds the store read lock.
+func (s *Store) queryPattern(sub, pred, obj sparql.TermOrVar, vars []string) (*Results, error) {
+	where := &sparql.Pattern{Kind: sparql.Simple}
+	tp := &sparql.TriplePattern{ID: 1, S: sub, P: pred, O: obj, Parent: where}
+	where.Triples = []*sparql.TriplePattern{tp}
+	q := &sparql.Query{Vars: vars, Where: where, Limit: -1}
+	tr, err := s.translate(q, nil)
+	if err != nil {
+		return nil, err
+	}
+	return s.execute(q, tr)
+}
+
 // describe returns every triple in which each described resource
 // appears as subject or object. Variable resources are resolved
-// through the WHERE clause first.
+// through the WHERE clause first. The caller holds the store read
+// lock.
 func (s *Store) describe(parsed *sparql.Query) ([]rdf.Triple, error) {
 	var resources []rdf.Term
 	needWhere := false
@@ -132,8 +156,9 @@ func (s *Store) describe(parsed *sparql.Query) ([]rdf.Triple, error) {
 		if r.IsLiteral() {
 			continue
 		}
-		// Outgoing edges.
-		res, err := s.Query(fmt.Sprintf(`SELECT ?p ?o WHERE { %s ?p ?o }`, r))
+		// Outgoing and incoming edges, via directly built ASTs so blank
+		// nodes and exotic literals are handled exactly.
+		res, err := s.queryPattern(sparql.Constant(r), sparql.Variable("p"), sparql.Variable("o"), []string{"p", "o"})
 		if err != nil {
 			return nil, err
 		}
@@ -142,8 +167,7 @@ func (s *Store) describe(parsed *sparql.Query) ([]rdf.Triple, error) {
 				add(rdf.NewTriple(r, row[0].Term, row[1].Term))
 			}
 		}
-		// Incoming edges.
-		res, err = s.Query(fmt.Sprintf(`SELECT ?s ?p WHERE { ?s ?p %s }`, r))
+		res, err = s.queryPattern(sparql.Variable("s"), sparql.Variable("p"), sparql.Constant(r), []string{"s", "p"})
 		if err != nil {
 			return nil, err
 		}
@@ -157,19 +181,29 @@ func (s *Store) describe(parsed *sparql.Query) ([]rdf.Triple, error) {
 }
 
 // Export writes the whole store back out as N-Triples (reconstructed
-// from the relational representation through the query pipeline).
+// from the relational representation through the query pipeline). The
+// output is canonically sorted, so two stores holding the same triple
+// set export byte-identical documents regardless of load order or
+// loader (sequential or parallel).
 func (s *Store) Export(w io.Writer) (int, error) {
-	res, err := s.Query(`SELECT ?s ?p ?o WHERE { ?s ?p ?o }`)
+	s.inner.RLock()
+	defer s.inner.RUnlock()
+	res, err := s.queryLocked(`SELECT ?s ?p ?o WHERE { ?s ?p ?o }`)
 	if err != nil {
 		return 0, err
 	}
-	out := rdf.NewWriter(w)
-	n := 0
+	lines := make([]string, 0, len(res.Rows))
 	for _, row := range res.Rows {
 		if !row[0].Bound || !row[1].Bound || !row[2].Bound {
 			continue
 		}
-		if err := out.Write(rdf.NewTriple(row[0].Term, row[1].Term, row[2].Term)); err != nil {
+		lines = append(lines, rdf.NewTriple(row[0].Term, row[1].Term, row[2].Term).String())
+	}
+	sort.Strings(lines)
+	out := rdf.NewWriter(w)
+	n := 0
+	for _, line := range lines {
+		if err := out.WriteLine(line); err != nil {
 			return n, err
 		}
 		n++

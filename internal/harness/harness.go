@@ -8,6 +8,7 @@ package harness
 
 import (
 	"fmt"
+	"runtime"
 	"time"
 
 	"db2rdf"
@@ -48,7 +49,7 @@ func BuildSystem(name string, ds *gen.Dataset) (System, error) {
 		if err != nil {
 			return System{}, err
 		}
-		if err := s.LoadTriples(ds.Triples); err != nil {
+		if err := s.LoadTriplesParallel(ds.Triples, runtime.GOMAXPROCS(0)); err != nil {
 			return System{}, err
 		}
 		return System{Name: name, Run: func(q string) (int, error) {

@@ -254,5 +254,14 @@ func (w *Writer) Write(t Triple) error {
 	return w.w.WriteByte('\n')
 }
 
+// WriteLine emits one already-serialized N-Triples line. Export uses
+// it to write pre-sorted lines without re-parsing them into Triples.
+func (w *Writer) WriteLine(line string) error {
+	if _, err := w.w.WriteString(line); err != nil {
+		return err
+	}
+	return w.w.WriteByte('\n')
+}
+
 // Flush flushes buffered output.
 func (w *Writer) Flush() error { return w.w.Flush() }

@@ -81,8 +81,16 @@ func (t *Table) Len() int {
 
 // Insert appends a row; it must match the schema width.
 func (t *Table) Insert(r Row) error {
+	_, err := t.AppendRow(r)
+	return err
+}
+
+// AppendRow appends a row and returns its index. The index is assigned
+// under the table lock, so concurrent appenders each learn the true
+// position of their row (Insert alone would leave Len() racy).
+func (t *Table) AppendRow(r Row) (int, error) {
 	if len(r) != len(t.Schema) {
-		return fmt.Errorf("rel: table %s: row width %d != schema width %d", t.Name, len(r), len(t.Schema))
+		return 0, fmt.Errorf("rel: table %s: row width %d != schema width %d", t.Name, len(r), len(t.Schema))
 	}
 	t.mu.Lock()
 	defer t.mu.Unlock()
@@ -91,7 +99,29 @@ func (t *Table) Insert(r Row) error {
 	for _, idx := range t.indexes {
 		idx.add(r, id)
 	}
-	return nil
+	return int(id), nil
+}
+
+// AppendRows appends a batch of rows under one lock acquisition and
+// returns the index of the first; row i of the batch lands at index
+// base+i. Used by the bulk loader to amortize locking and index
+// maintenance across a whole batch.
+func (t *Table) AppendRows(rs []Row) (int, error) {
+	for _, r := range rs {
+		if len(r) != len(t.Schema) {
+			return 0, fmt.Errorf("rel: table %s: row width %d != schema width %d", t.Name, len(r), len(t.Schema))
+		}
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	base := len(t.rows)
+	t.rows = append(t.rows, rs...)
+	for i, r := range rs {
+		for _, idx := range t.indexes {
+			idx.add(r, int32(base+i))
+		}
+	}
+	return base, nil
 }
 
 // UpdateRow replaces row i in place (used for filling predicate columns

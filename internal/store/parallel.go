@@ -1,0 +1,439 @@
+package store
+
+import (
+	"bufio"
+	"io"
+	"runtime"
+	"strings"
+	"sync"
+
+	"db2rdf/internal/dict"
+	"db2rdf/internal/rdf"
+	"db2rdf/internal/rel"
+)
+
+// Parallel bulk loading. The loader is a three-stage pipeline:
+//
+//  1. parse + dictionary-encode on worker goroutines (the dictionary is
+//     internally synchronized, so workers intern terms concurrently);
+//  2. partition the encoded triples by entity id — the direct side by
+//     subject, the reverse side by object — so that all triples of one
+//     entity land in exactly one bucket;
+//  3. insert the buckets concurrently: one goroutine per bucket per
+//     side. Because a bucket owns whole entity shards, entity-keyed
+//     state needs no locking; predicate-keyed state goes through the
+//     side's predMu, and the shared tables are appended to in batches.
+//
+// Entities not seen before the load are built as rows in worker-local
+// memory (filled in place, no per-update row cloning) and appended to
+// DPH/RPH in one batch per bucket, which is also what makes the bulk
+// path faster than the incremental path on a single core.
+//
+// Per-worker statistics collectors are merged at the end; duplicates
+// are detected on the direct side exactly as in Insert, so a parallel
+// load of already-loaded data leaves the statistics untouched.
+
+// encTriple is a dictionary-encoded triple plus the predicate URI the
+// column mapping is keyed by.
+type encTriple struct {
+	s, p, o int64
+	pred    string
+}
+
+// encodeChunk is the number of input lines handed to an encode worker
+// at a time.
+const encodeChunk = 1024
+
+// normWorkers clamps a worker count to [1, 4*GOMAXPROCS].
+func normWorkers(w int) int {
+	if w < 1 {
+		w = runtime.GOMAXPROCS(0)
+	}
+	if max := 4 * runtime.GOMAXPROCS(0); w > max && w > 4 {
+		w = max
+	}
+	if w < 1 {
+		w = 1
+	}
+	return w
+}
+
+// LoadParallel reads N-Triples from r and bulk-loads them using the
+// given number of workers (<=0 means GOMAXPROCS). It returns the
+// number of triples parsed. Unlike Load, a parse error aborts the load
+// before any triple is inserted. The resulting store state is
+// equivalent to a sequential Load of the same data: identical
+// statistics and identical (canonically sorted) export.
+func (s *Store) LoadParallel(r io.Reader, workers int) (int, error) {
+	workers = normWorkers(workers)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	enc, err := s.encodeStream(r, workers)
+	if err != nil {
+		return 0, err
+	}
+	return len(enc), s.bulkLoadLocked(enc, workers)
+}
+
+// LoadTriplesParallel bulk-loads a slice of triples with the given
+// number of workers (<=0 means GOMAXPROCS).
+func (s *Store) LoadTriplesParallel(ts []rdf.Triple, workers int) error {
+	workers = normWorkers(workers)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	enc := s.encodeSlice(ts, workers)
+	return s.bulkLoadLocked(enc, workers)
+}
+
+// encodeStream parses and encodes N-Triples concurrently. Lines are
+// scanned sequentially (the scanner is the only stage that must be
+// serial) and dispatched to workers in chunks.
+func (s *Store) encodeStream(r io.Reader, workers int) ([]encTriple, error) {
+	in := make(chan []string, workers)
+	parts := make([][]encTriple, workers)
+	errs := make([]error, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			local := make([]encTriple, 0, encodeChunk)
+			for lines := range in {
+				for _, line := range lines {
+					line = strings.TrimSpace(line)
+					if line == "" || strings.HasPrefix(line, "#") {
+						continue
+					}
+					t, err := rdf.ParseTripleLine(line)
+					if err != nil {
+						if errs[w] == nil {
+							errs[w] = err
+						}
+						continue
+					}
+					local = append(local, s.encodeTriple(t))
+				}
+			}
+			parts[w] = local
+		}(w)
+	}
+
+	scan := bufio.NewScanner(r)
+	scan.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
+	chunk := make([]string, 0, encodeChunk)
+	for scan.Scan() {
+		chunk = append(chunk, scan.Text())
+		if len(chunk) == encodeChunk {
+			in <- chunk
+			chunk = make([]string, 0, encodeChunk)
+		}
+	}
+	if len(chunk) > 0 {
+		in <- chunk
+	}
+	close(in)
+	wg.Wait()
+	if err := scan.Err(); err != nil {
+		return nil, err
+	}
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	total := 0
+	for _, p := range parts {
+		total += len(p)
+	}
+	enc := make([]encTriple, 0, total)
+	for _, p := range parts {
+		enc = append(enc, p...)
+	}
+	return enc, nil
+}
+
+// encodeSlice encodes a triple slice in parallel over index ranges.
+func (s *Store) encodeSlice(ts []rdf.Triple, workers int) []encTriple {
+	enc := make([]encTriple, len(ts))
+	if len(ts) == 0 {
+		return enc
+	}
+	var wg sync.WaitGroup
+	stride := (len(ts) + workers - 1) / workers
+	for w := 0; w < workers; w++ {
+		lo := w * stride
+		if lo >= len(ts) {
+			break
+		}
+		hi := lo + stride
+		if hi > len(ts) {
+			hi = len(ts)
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			for i := lo; i < hi; i++ {
+				enc[i] = s.encodeTriple(ts[i])
+			}
+		}(lo, hi)
+	}
+	wg.Wait()
+	return enc
+}
+
+func (s *Store) encodeTriple(t rdf.Triple) encTriple {
+	return encTriple{
+		s:    s.Dict.Encode(t.S),
+		p:    s.Dict.Encode(t.P),
+		o:    s.Dict.Encode(t.O),
+		pred: t.P.Value,
+	}
+}
+
+// bulkLoadLocked partitions encoded triples by entity and inserts the
+// buckets concurrently. The caller holds the store write lock.
+func (s *Store) bulkLoadLocked(enc []encTriple, workers int) error {
+	if len(enc) == 0 {
+		return nil
+	}
+	// Partition by state shard, then assign shards to workers: two
+	// entities in the same shard always land in the same bucket, so a
+	// shard is owned by exactly one goroutine per side.
+	directBuckets := make([][]encTriple, workers)
+	reverseBuckets := make([][]encTriple, workers)
+	for _, e := range enc {
+		dw := shardIndex(e.s) % workers
+		rw := shardIndex(e.o) % workers
+		directBuckets[dw] = append(directBuckets[dw], e)
+		reverseBuckets[rw] = append(reverseBuckets[rw], e)
+	}
+
+	statsParts := make([]*Stats, workers)
+	errs := make([]error, 2*workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(2)
+		go func(w int) {
+			defer wg.Done()
+			st := newStats(s.Opts.TopK)
+			statsParts[w] = st
+			errs[w] = s.direct.bulkInsert(s, directBuckets[w], st, false)
+		}(w)
+		go func(w int) {
+			defer wg.Done()
+			errs[workers+w] = s.reverse.bulkInsert(s, reverseBuckets[w], nil, true)
+		}(w)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	for _, st := range statsParts {
+		s.stats.merge(st)
+	}
+	return nil
+}
+
+// bulkAgg accumulates a bucket's predicate-keyed side effects so the
+// side's predMu is taken once per bucket instead of once per triple.
+type bulkAgg struct {
+	spillPreds map[int64]bool
+	multiPreds map[int64]bool
+	spillCount int
+}
+
+// entityRange remembers where a freshly built entity's rows sit inside
+// the bucket's pending primary-row batch.
+type entityRange struct {
+	entity     int64
+	start, end int // indices into pending primary rows
+}
+
+// bulkInsert loads one bucket into the side. Triples of entities the
+// store has never seen (the common bulk case) are built as rows in
+// local memory and batch-appended; entities with existing rows fall
+// back to the incremental insert path.
+func (d *side) bulkInsert(s *Store, bucket []encTriple, stats *Stats, reverse bool) error {
+	if len(bucket) == 0 {
+		return nil
+	}
+	colCache := make(map[string][]int)
+	colsFor := func(pred string) []int {
+		cols, ok := colCache[pred]
+		if !ok {
+			cols = d.mapping.Columns(pred)
+			colCache[pred] = cols
+		}
+		return cols
+	}
+
+	// Group the bucket by entity, preserving first-seen order.
+	order := make([]int64, 0, len(bucket)/2)
+	byEntity := make(map[int64][]encTriple, len(bucket)/2)
+	for _, e := range bucket {
+		ent := e.s
+		if reverse {
+			ent = e.o
+		}
+		if _, seen := byEntity[ent]; !seen {
+			order = append(order, ent)
+		}
+		byEntity[ent] = append(byEntity[ent], e)
+	}
+
+	var pendingPrimary []rel.Row
+	var pendingSecondary []rel.Row
+	var ranges []entityRange
+	agg := &bulkAgg{spillPreds: make(map[int64]bool), multiPreds: make(map[int64]bool)}
+
+	for _, ent := range order {
+		encs := byEntity[ent]
+		sh := d.shard(ent)
+		if len(sh.entityRows[ent]) > 0 {
+			// Entity already has table rows: incremental path.
+			for _, e := range encs {
+				entity, member := e.s, e.o
+				if reverse {
+					entity, member = e.o, e.s
+				}
+				fresh, err := d.insert(s, entity, e.p, member, e.pred)
+				if err != nil {
+					return err
+				}
+				if fresh && stats != nil {
+					stats.record(e.s, e.p, e.o)
+				}
+			}
+			continue
+		}
+		start := len(pendingPrimary)
+		for _, e := range encs {
+			entity, member := e.s, e.o
+			if reverse {
+				entity, member = e.o, e.s
+			}
+			fresh, rows := d.insertLocal(s, pendingPrimary, start, sh, agg, &pendingSecondary, entity, e.p, member, colsFor(e.pred))
+			pendingPrimary = rows
+			if fresh && stats != nil {
+				stats.record(e.s, e.p, e.o)
+			}
+		}
+		ranges = append(ranges, entityRange{entity: ent, start: start, end: len(pendingPrimary)})
+	}
+
+	// Batch-append the locally built rows and register their indices.
+	if len(pendingPrimary) > 0 {
+		base, err := d.primary.AppendRows(pendingPrimary)
+		if err != nil {
+			return err
+		}
+		for _, r := range ranges {
+			sh := d.shard(r.entity)
+			indices := make([]int, 0, r.end-r.start)
+			for i := r.start; i < r.end; i++ {
+				indices = append(indices, base+i)
+			}
+			sh.entityRows[r.entity] = indices
+		}
+	}
+	if len(pendingSecondary) > 0 {
+		if _, err := d.secondary.AppendRows(pendingSecondary); err != nil {
+			return err
+		}
+	}
+
+	// Fold the bucket's predicate-keyed effects into the side.
+	if len(agg.spillPreds) > 0 || len(agg.multiPreds) > 0 || agg.spillCount > 0 {
+		d.predMu.Lock()
+		for pid := range agg.spillPreds {
+			d.spillPreds[pid] = true
+		}
+		for pid := range agg.multiPreds {
+			d.multiPreds[pid] = true
+		}
+		d.spillCount += agg.spillCount
+		d.predMu.Unlock()
+	}
+	return nil
+}
+
+// insertLocal is the bulk twin of side.insert: it places
+// (entity, pred) -> member into the entity's pending rows
+// (rows[start:]), which live in worker-local memory and can therefore
+// be filled in place. It returns whether the triple was new and the
+// (possibly grown) pending row slice.
+func (d *side) insertLocal(s *Store, rows []rel.Row, start int, sh *sideShard, agg *bulkAgg, secondary *[]rel.Row, entity, pid, member int64, cols []int) (bool, []rel.Row) {
+	ent := rows[start:]
+
+	// Already present? Then extend to (or within) a multi-value list.
+	for _, row := range ent {
+		for _, c := range cols {
+			pc, vc := 2+2*c, 2+2*c+1
+			if row[pc].K == rel.KindInt && row[pc].I == pid {
+				cur := row[vc]
+				if cur.K == rel.KindInt && dict.IsLid(cur.I) {
+					lid := cur.I
+					if sh.lidSets[lid][member] {
+						return false, rows // duplicate triple
+					}
+					sh.lidSets[lid][member] = true
+					*secondary = append(*secondary, rel.Row{rel.Int(lid), rel.Int(member)})
+					return true, rows
+				}
+				if cur.K == rel.KindInt && cur.I == member {
+					return false, rows // duplicate triple
+				}
+				// Convert single value to a list.
+				agg.multiPreds[pid] = true
+				lid := s.Dict.NextLid()
+				sh.lidSets[lid] = map[int64]bool{cur.I: true, member: true}
+				*secondary = append(*secondary, rel.Row{rel.Int(lid), cur}, rel.Row{rel.Int(lid), rel.Int(member)})
+				row[vc] = rel.Int(lid)
+				return true, rows
+			}
+		}
+	}
+
+	// Not present: find a free candidate column in an existing row.
+	for _, row := range ent {
+		for _, c := range cols {
+			pc, vc := 2+2*c, 2+2*c+1
+			if row[pc].IsNull() {
+				row[pc] = rel.Int(pid)
+				row[vc] = rel.Int(member)
+				if sh.spilled[entity] {
+					agg.spillPreds[pid] = true
+				}
+				return true, rows
+			}
+		}
+	}
+
+	// Spill: add a fresh row for the entity.
+	spillFlag := int64(0)
+	if len(ent) > 0 {
+		spillFlag = 1
+		agg.spillCount++
+		agg.spillPreds[pid] = true
+		if !sh.spilled[entity] {
+			sh.spilled[entity] = true
+			for _, row := range ent {
+				for c := 0; c < d.k; c++ {
+					if pv := row[2+2*c]; pv.K == rel.KindInt {
+						agg.spillPreds[pv.I] = true
+					}
+				}
+				row[1] = rel.Int(1)
+			}
+		}
+	}
+	newRow := make(rel.Row, 2+2*d.k)
+	newRow[0] = rel.Int(entity)
+	newRow[1] = rel.Int(spillFlag)
+	c := cols[0]
+	newRow[2+2*c] = rel.Int(pid)
+	newRow[2+2*c+1] = rel.Int(member)
+	return true, append(rows, newRow)
+}

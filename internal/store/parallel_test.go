@@ -1,0 +1,147 @@
+package store
+
+import (
+	"strings"
+	"testing"
+
+	"db2rdf/internal/rdf"
+)
+
+// statsByTerm renames a count map's dictionary ids to term strings, so
+// collectors from stores with different id assignment orders compare.
+func statsByTerm(t *testing.T, s *Store, m map[int64]int64) map[string]int64 {
+	t.Helper()
+	out := make(map[string]int64, len(m))
+	for id, n := range m {
+		term, err := s.Dict.Decode(id)
+		if err != nil {
+			t.Fatalf("decode %d: %v", id, err)
+		}
+		out[term.String()] = n
+	}
+	return out
+}
+
+// statsEqual compares two stores' collectors term by term (ids are
+// store-local, so raw maps are not comparable).
+func statsEqual(t *testing.T, label string, a, b *Store) {
+	t.Helper()
+	as, bs := a.Stats(), b.Stats()
+	if as.total != bs.total {
+		t.Errorf("%s: total %d != %d", label, as.total, bs.total)
+	}
+	cmp := func(name string, am, bm map[int64]int64) {
+		at, bt := statsByTerm(t, a, am), statsByTerm(t, b, bm)
+		if len(at) != len(bt) {
+			t.Errorf("%s: %s size %d != %d", label, name, len(at), len(bt))
+		}
+		for term, n := range at {
+			if bt[term] != n {
+				t.Errorf("%s: %s[%s] = %d != %d", label, name, term, bt[term], n)
+			}
+		}
+	}
+	cmp("bySubj", as.bySubj, bs.bySubj)
+	cmp("byObj", as.byObj, bs.byObj)
+	cmp("byPred", as.byPred, bs.byPred)
+}
+
+// TestDuplicateLoadStats checks that re-inserting triples the store
+// already holds does not skew the statistics: a triple counts once, no
+// matter how many times (or through which loader) it arrives.
+func TestDuplicateLoadStats(t *testing.T) {
+	ts := fig1Triples()
+
+	once := newTestStore(t, Options{K: 16})
+	if err := once.LoadTriples(ts); err != nil {
+		t.Fatal(err)
+	}
+	if got, want := once.Stats().TotalTriples(), float64(len(ts)); got != want {
+		t.Fatalf("single load: total = %v, want %v", got, want)
+	}
+
+	twice := newTestStore(t, Options{K: 16})
+	if err := twice.LoadTriples(ts); err != nil {
+		t.Fatal(err)
+	}
+	if err := twice.LoadTriples(ts); err != nil {
+		t.Fatal(err)
+	}
+	statsEqual(t, "sequential twice", once, twice)
+
+	par := newTestStore(t, Options{K: 16})
+	for i := 0; i < 2; i++ {
+		if err := par.LoadTriplesParallel(ts, 4); err != nil {
+			t.Fatal(err)
+		}
+	}
+	statsEqual(t, "parallel twice", once, par)
+}
+
+// TestLoadParallelStats checks the parallel loader's merged per-worker
+// statistics match a sequential load of the same triples.
+func TestLoadParallelStats(t *testing.T) {
+	ts := fig1Triples()
+	seq := newTestStore(t, Options{K: 16})
+	if err := seq.LoadTriples(ts); err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{1, 2, 3, 4, 8} {
+		par := newTestStore(t, Options{K: 16})
+		if err := par.LoadTriplesParallel(ts, workers); err != nil {
+			t.Fatal(err)
+		}
+		statsEqual(t, "workers", seq, par)
+		if got, want := par.EntityCount(false), seq.EntityCount(false); got != want {
+			t.Errorf("workers=%d: direct entities %d, want %d", workers, got, want)
+		}
+		if got, want := par.EntityCount(true), seq.EntityCount(true); got != want {
+			t.Errorf("workers=%d: reverse entities %d, want %d", workers, got, want)
+		}
+	}
+}
+
+// TestLoadParallelSpills drives the parallel loader through the spill
+// path: more distinct predicates on one entity than k column pairs.
+func TestLoadParallelSpills(t *testing.T) {
+	iri := rdf.NewIRI
+	var ts []rdf.Triple
+	for _, subj := range []string{"e1", "e2"} {
+		for _, p := range []string{"p1", "p2", "p3", "p4", "p5", "p6"} {
+			ts = append(ts, rdf.NewTriple(iri(subj), iri(p), rdf.NewLiteral(subj+"-"+p)))
+		}
+	}
+	seq := newTestStore(t, Options{K: 3})
+	if err := seq.LoadTriples(ts); err != nil {
+		t.Fatal(err)
+	}
+	par := newTestStore(t, Options{K: 3})
+	if err := par.LoadTriplesParallel(ts, 4); err != nil {
+		t.Fatal(err)
+	}
+	if seq.SpillCount(false) == 0 {
+		t.Fatal("test data should spill with K=3")
+	}
+	if got, want := par.SpillCount(false), seq.SpillCount(false); got != want {
+		t.Errorf("parallel spill count %d, want %d", got, want)
+	}
+	if got, want := len(par.SpillPredicates(false)), len(seq.SpillPredicates(false)); got != want {
+		t.Errorf("parallel spill predicates %d, want %d", got, want)
+	}
+}
+
+// TestLoadParallelBadInput checks a parse error aborts the load without
+// inserting anything.
+func TestLoadParallelBadInput(t *testing.T) {
+	s := newTestStore(t, Options{K: 16})
+	doc := "<http://a> <http://p> <http://b> .\nthis is not a triple\n"
+	if _, err := s.LoadParallel(strings.NewReader(doc), 4); err == nil {
+		t.Fatal("want parse error")
+	}
+	if got := s.Stats().TotalTriples(); got != 0 {
+		t.Fatalf("failed load must not insert; stats total = %v", got)
+	}
+	if got := s.EntityCount(false); got != 0 {
+		t.Fatalf("failed load must not insert; entities = %d", got)
+	}
+}

@@ -10,6 +10,7 @@ import (
 	"fmt"
 	"io"
 	"sort"
+	"sync"
 
 	"db2rdf/internal/coloring"
 	"db2rdf/internal/dict"
@@ -56,6 +57,17 @@ func (o *Options) fill() {
 }
 
 // Store is a DB2RDF store over a relational database.
+//
+// Concurrency model (see DESIGN.md §8): the store-level RWMutex is the
+// root of the lock hierarchy store → table/dict/stats. Writers
+// (Insert, Load, LoadTriples, LoadParallel) take it exclusively;
+// readers (the query pipeline in package db2rdf) hold it shared via
+// RLock/RUnlock for the full duration of a query, so the loading-state
+// maps and statistics they consult cannot change underfoot. The
+// fine-grained read accessors (SpillPredicates, MultiValued, ...) do
+// NOT lock themselves — they are documented to run under the caller's
+// read lock, which keeps them safely usable from within the query path
+// without re-entrant locking.
 type Store struct {
 	DB   *rel.DB
 	Dict *dict.Dict
@@ -66,24 +78,54 @@ type Store struct {
 	direct  *side
 	reverse *side
 
+	mu    sync.RWMutex
 	stats *Stats
 }
 
+// RLock takes the store-wide read lock. The query pipeline holds it
+// across parse→optimize→translate→execute so a whole query sees one
+// consistent snapshot of the loading state and statistics.
+func (s *Store) RLock() { s.mu.RLock() }
+
+// RUnlock releases the store-wide read lock.
+func (s *Store) RUnlock() { s.mu.RUnlock() }
+
+// numShards is the number of entity-keyed state shards per side. The
+// parallel bulk loader partitions work by shard (entity id modulo
+// numShards), so per-entity state never needs a lock: one worker owns
+// each shard for the duration of a load.
+const numShards = 64
+
 // side holds the loading state for one direction (subject-keyed DPH/DS
-// or object-keyed RPH/RS).
+// or object-keyed RPH/RS). Entity-keyed state is sharded by entity id;
+// predicate-keyed state (which any worker may touch, since a predicate
+// is not confined to one entity shard) sits behind predMu.
 type side struct {
 	primary   *rel.Table
 	secondary *rel.Table
 	mapping   coloring.Mapping
 	k         int
 
+	shards [numShards]*sideShard
+
+	predMu     sync.Mutex
+	spillPreds map[int64]bool // predicate ids involved in spills
+	multiPreds map[int64]bool // predicate ids that own at least one lid
+	spillCount int
+}
+
+// sideShard is the entity-keyed loading state for one shard of a side.
+type sideShard struct {
 	entityRows map[int64][]int          // entity id -> primary row indices
 	lidSets    map[int64]map[int64]bool // lid -> member ids (dedup)
 	spilled    map[int64]bool           // entities with >1 rows
-	spillPreds map[int64]bool           // predicate ids involved in spills
-	multiPreds map[int64]bool           // predicate ids that own at least one lid
-	spillCount int
 }
+
+// shardIndex maps an entity id to its state shard.
+func shardIndex(entity int64) int { return int(uint64(entity) % numShards) }
+
+// shard returns the state shard owning entity.
+func (d *side) shard(entity int64) *sideShard { return d.shards[shardIndex(entity)] }
 
 // New creates an empty store backed by db (a fresh rel.DB when nil).
 func New(db *rel.DB, opts Options) (*Store, error) {
@@ -142,17 +184,22 @@ func New(db *rel.DB, opts Options) (*Store, error) {
 }
 
 func newSide(primary, secondary *rel.Table, m coloring.Mapping, k int) *side {
-	return &side{
+	d := &side{
 		primary:    primary,
 		secondary:  secondary,
 		mapping:    m,
 		k:          k,
-		entityRows: make(map[int64][]int),
-		lidSets:    make(map[int64]map[int64]bool),
-		spilled:    make(map[int64]bool),
 		spillPreds: make(map[int64]bool),
 		multiPreds: make(map[int64]bool),
 	}
+	for i := range d.shards {
+		d.shards[i] = &sideShard{
+			entityRows: make(map[int64][]int),
+			lidSets:    make(map[int64]map[int64]bool),
+			spilled:    make(map[int64]bool),
+		}
+	}
+	return d
 }
 
 // TableName returns the prefixed name of one of the store's relations
@@ -161,23 +208,38 @@ func (s *Store) TableName(base string) string { return s.Opts.TablePrefix + base
 
 // Insert adds one triple (idempotent under RDF set semantics).
 func (s *Store) Insert(t rdf.Triple) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.insertLocked(t)
+}
+
+// insertLocked adds one triple; the caller holds the store write lock.
+// Statistics are recorded once per distinct triple: the direct side
+// detects duplicates, so a re-load of the same data leaves every count
+// unchanged.
+func (s *Store) insertLocked(t rdf.Triple) error {
 	sid := s.Dict.Encode(t.S)
 	pid := s.Dict.Encode(t.P)
 	oid := s.Dict.Encode(t.O)
-	if err := s.direct.insert(s, sid, pid, oid, t.P.Value); err != nil {
+	fresh, err := s.direct.insert(s, sid, pid, oid, t.P.Value)
+	if err != nil {
 		return err
 	}
-	if err := s.reverse.insert(s, oid, pid, sid, t.P.Value); err != nil {
+	if _, err := s.reverse.insert(s, oid, pid, sid, t.P.Value); err != nil {
 		return err
 	}
-	s.stats.record(sid, pid, oid)
+	if fresh {
+		s.stats.record(sid, pid, oid)
+	}
 	return nil
 }
 
-// insert places (entity, pred) -> member on one side.
-func (d *side) insert(s *Store, entity, pid, member int64, predURI string) error {
+// insert places (entity, pred) -> member on one side, reporting whether
+// the triple was new (false for an exact duplicate).
+func (d *side) insert(s *Store, entity, pid, member int64, predURI string) (bool, error) {
 	cols := d.mapping.Columns(predURI)
-	rows := d.entityRows[entity]
+	sh := d.shard(entity)
+	rows := sh.entityRows[entity]
 
 	// Already present? Then extend to (or within) a multi-value list.
 	for _, ri := range rows {
@@ -188,28 +250,28 @@ func (d *side) insert(s *Store, entity, pid, member int64, predURI string) error
 				cur := row[vc]
 				if cur.K == rel.KindInt && dict.IsLid(cur.I) {
 					lid := cur.I
-					if d.lidSets[lid][member] {
-						return nil // duplicate triple
+					if sh.lidSets[lid][member] {
+						return false, nil // duplicate triple
 					}
-					d.lidSets[lid][member] = true
-					return d.secondary.Insert(rel.Row{rel.Int(lid), rel.Int(member)})
+					sh.lidSets[lid][member] = true
+					return true, d.secondary.Insert(rel.Row{rel.Int(lid), rel.Int(member)})
 				}
 				if cur.K == rel.KindInt && cur.I == member {
-					return nil // duplicate triple
+					return false, nil // duplicate triple
 				}
 				// Convert single value to a list.
-				d.multiPreds[pid] = true
+				d.setMultiPred(pid)
 				lid := s.Dict.NextLid()
-				d.lidSets[lid] = map[int64]bool{cur.I: true, member: true}
+				sh.lidSets[lid] = map[int64]bool{cur.I: true, member: true}
 				if err := d.secondary.Insert(rel.Row{rel.Int(lid), cur}); err != nil {
-					return err
+					return false, err
 				}
 				if err := d.secondary.Insert(rel.Row{rel.Int(lid), rel.Int(member)}); err != nil {
-					return err
+					return false, err
 				}
 				newRow := cloneRow(row)
 				newRow[vc] = rel.Int(lid)
-				return d.primary.UpdateRow(ri, newRow)
+				return true, d.primary.UpdateRow(ri, newRow)
 			}
 		}
 	}
@@ -224,12 +286,12 @@ func (d *side) insert(s *Store, entity, pid, member int64, predURI string) error
 				newRow[pc] = rel.Int(pid)
 				newRow[vc] = rel.Int(member)
 				if err := d.primary.UpdateRow(ri, newRow); err != nil {
-					return err
+					return false, err
 				}
-				if d.spilled[entity] {
-					d.spillPreds[pid] = true
+				if sh.spilled[entity] {
+					d.setSpillPred(pid)
 				}
-				return nil
+				return true, nil
 			}
 		}
 	}
@@ -238,11 +300,15 @@ func (d *side) insert(s *Store, entity, pid, member int64, predURI string) error
 	spillFlag := int64(0)
 	if len(rows) > 0 {
 		spillFlag = 1
+		d.predMu.Lock()
 		d.spillCount++
-		if !d.spilled[entity] {
-			d.spilled[entity] = true
+		d.spillPreds[pid] = true
+		d.predMu.Unlock()
+		if !sh.spilled[entity] {
+			sh.spilled[entity] = true
 			// Every predicate already stored for this entity is now
 			// involved in spills: a merged star lookup could miss it.
+			d.predMu.Lock()
 			for _, ri := range rows {
 				row := d.primary.RowAt(ri)
 				for c := 0; c < d.k; c++ {
@@ -251,16 +317,16 @@ func (d *side) insert(s *Store, entity, pid, member int64, predURI string) error
 					}
 				}
 			}
+			d.predMu.Unlock()
 			// Flag prior rows as spilled.
 			for _, ri := range rows {
 				row := cloneRow(d.primary.RowAt(ri))
 				row[1] = rel.Int(1)
 				if err := d.primary.UpdateRow(ri, row); err != nil {
-					return err
+					return false, err
 				}
 			}
 		}
-		d.spillPreds[pid] = true
 	}
 	newRow := make(rel.Row, 2+2*d.k)
 	newRow[0] = rel.Int(entity)
@@ -268,11 +334,27 @@ func (d *side) insert(s *Store, entity, pid, member int64, predURI string) error
 	c := cols[0]
 	newRow[2+2*c] = rel.Int(pid)
 	newRow[2+2*c+1] = rel.Int(member)
-	if err := d.primary.Insert(newRow); err != nil {
-		return err
+	ri, err := d.primary.AppendRow(newRow)
+	if err != nil {
+		return false, err
 	}
-	d.entityRows[entity] = append(rows, d.primary.Len()-1)
-	return nil
+	sh.entityRows[entity] = append(rows, ri)
+	return true, nil
+}
+
+// setMultiPred marks a predicate as multi-valued (lock-protected: any
+// loader worker may reach this for any predicate).
+func (d *side) setMultiPred(pid int64) {
+	d.predMu.Lock()
+	d.multiPreds[pid] = true
+	d.predMu.Unlock()
+}
+
+// setSpillPred marks a predicate as spill-involved.
+func (d *side) setSpillPred(pid int64) {
+	d.predMu.Lock()
+	d.spillPreds[pid] = true
+	d.predMu.Unlock()
 }
 
 func cloneRow(r rel.Row) rel.Row {
@@ -281,8 +363,11 @@ func cloneRow(r rel.Row) rel.Row {
 	return out
 }
 
-// Load reads N-Triples from r and inserts every triple.
+// Load reads N-Triples from r and inserts every triple. The store
+// write lock is held for the whole load.
 func (s *Store) Load(r io.Reader) (int, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	rd := rdf.NewReader(r)
 	n := 0
 	for {
@@ -293,29 +378,35 @@ func (s *Store) Load(r io.Reader) (int, error) {
 		if err != nil {
 			return n, err
 		}
-		if err := s.Insert(t); err != nil {
+		if err := s.insertLocked(t); err != nil {
 			return n, err
 		}
 		n++
 	}
 }
 
-// LoadTriples inserts a slice of triples.
+// LoadTriples inserts a slice of triples under one write lock.
 func (s *Store) LoadTriples(ts []rdf.Triple) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	for _, t := range ts {
-		if err := s.Insert(t); err != nil {
+		if err := s.insertLocked(t); err != nil {
 			return err
 		}
 	}
 	return nil
 }
 
-// Stats returns the dataset statistics collected during loading.
+// Stats returns the dataset statistics collected during loading. The
+// collector carries its own lock, so reads are safe while a load is in
+// progress on another goroutine.
 func (s *Store) Stats() *Stats { return s.stats }
 
 // SpillPredicates returns the set of predicate ids involved in spills
 // on the direct (subject) or reverse (object) side; the translator
-// consults it to decide whether star merging is safe (§3.2.1).
+// consults it to decide whether star merging is safe (§3.2.1). The
+// caller must hold the store read lock (the query pipeline does) or
+// otherwise exclude writers.
 func (s *Store) SpillPredicates(reverse bool) map[int64]bool {
 	if reverse {
 		return s.reverse.spillPreds
@@ -325,7 +416,8 @@ func (s *Store) SpillPredicates(reverse bool) map[int64]bool {
 
 // MultiValued reports whether the predicate id holds a lid (a DS/RS
 // list) for at least one entity on the given side; the translator uses
-// it to decide when the secondary relation must be joined.
+// it to decide when the secondary relation must be joined. Caller holds
+// the store read lock.
 func (s *Store) MultiValued(pid int64, reverse bool) bool {
 	if reverse {
 		return s.reverse.multiPreds[pid]
@@ -335,7 +427,7 @@ func (s *Store) MultiValued(pid int64, reverse bool) bool {
 
 // AnyMultiValued reports whether any predicate on the given side is
 // multi-valued (used by variable-predicate translations that must be
-// conservative).
+// conservative). Caller holds the store read lock.
 func (s *Store) AnyMultiValued(reverse bool) bool {
 	if reverse {
 		return len(s.reverse.multiPreds) > 0
@@ -343,7 +435,8 @@ func (s *Store) AnyMultiValued(reverse bool) bool {
 	return len(s.direct.multiPreds) > 0
 }
 
-// SpillCount returns the number of spill rows on one side.
+// SpillCount returns the number of spill rows on one side. Caller holds
+// the store read lock or otherwise excludes writers.
 func (s *Store) SpillCount(reverse bool) int {
 	if reverse {
 		return s.reverse.spillCount
@@ -352,12 +445,18 @@ func (s *Store) SpillCount(reverse bool) int {
 }
 
 // EntityCount returns the number of distinct entities on one side
-// (rows in DPH or RPH net of spills).
+// (rows in DPH or RPH net of spills). Caller holds the store read lock
+// or otherwise excludes writers.
 func (s *Store) EntityCount(reverse bool) int {
+	d := s.direct
 	if reverse {
-		return len(s.reverse.entityRows)
+		d = s.reverse
 	}
-	return len(s.direct.entityRows)
+	n := 0
+	for _, sh := range d.shards {
+		n += len(sh.entityRows)
+	}
+	return n
 }
 
 // Mapping returns the predicate-to-column mapping of one side.
@@ -411,8 +510,12 @@ func BuildMappings(triples []rdf.Triple, k, kRev int) (direct, reverse coloring.
 
 // Stats holds the dataset statistics of §3.1 (input 2 to the
 // optimizer): total triples, average triples per subject and object,
-// and top-k constants with exact counts.
+// and top-k constants with exact counts. A Stats carries its own lock
+// and is safe for concurrent use; the parallel loader additionally
+// accumulates per-worker collectors and merges them at the end to keep
+// the lock out of the hot path.
 type Stats struct {
+	mu     sync.RWMutex
 	topK   int
 	total  int64
 	bySubj map[int64]int64
@@ -438,17 +541,42 @@ func newStats(topK int) *Stats {
 }
 
 func (st *Stats) record(sid, pid, oid int64) {
+	st.mu.Lock()
 	st.total++
 	st.bySubj[sid]++
 	st.byObj[oid]++
 	st.byPred[pid]++
+	st.mu.Unlock()
+}
+
+// merge folds another collector into st (used to combine the parallel
+// loader's per-worker statistics).
+func (st *Stats) merge(o *Stats) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	st.total += o.total
+	for id, n := range o.bySubj {
+		st.bySubj[id] += n
+	}
+	for id, n := range o.byObj {
+		st.byObj[id] += n
+	}
+	for id, n := range o.byPred {
+		st.byPred[id] += n
+	}
 }
 
 // TotalTriples returns the dataset size.
-func (st *Stats) TotalTriples() float64 { return float64(st.total) }
+func (st *Stats) TotalTriples() float64 {
+	st.mu.RLock()
+	defer st.mu.RUnlock()
+	return float64(st.total)
+}
 
 // AvgPerSubject returns the average number of triples per subject.
 func (st *Stats) AvgPerSubject() float64 {
+	st.mu.RLock()
+	defer st.mu.RUnlock()
 	if len(st.bySubj) == 0 {
 		return 1
 	}
@@ -457,17 +585,21 @@ func (st *Stats) AvgPerSubject() float64 {
 
 // AvgPerObject returns the average number of triples per object.
 func (st *Stats) AvgPerObject() float64 {
+	st.mu.RLock()
+	defer st.mu.RUnlock()
 	if len(st.byObj) == 0 {
 		return 1
 	}
 	return float64(st.total) / float64(len(st.byObj))
 }
 
-// countIn looks up an id in a count map.
-func countIn(m map[int64]int64, id int64, ok bool) (float64, bool) {
+// countIn looks up an id in one of st's count maps under the lock.
+func (st *Stats) countIn(m map[int64]int64, id int64, ok bool) (float64, bool) {
 	if !ok {
 		return 0, true // term absent from data: exact count 0
 	}
+	st.mu.RLock()
+	defer st.mu.RUnlock()
 	n, present := m[id]
 	if !present {
 		return 0, true
@@ -505,19 +637,19 @@ func (v *StatsView) AvgPerObject() float64 { return v.st.AvgPerObject() }
 // SubjectCount implements optimizer.Stats.
 func (v *StatsView) SubjectCount(t rdf.Term) (float64, bool) {
 	id, ok := v.dict.Lookup(t)
-	return countIn(v.st.bySubj, id, ok)
+	return v.st.countIn(v.st.bySubj, id, ok)
 }
 
 // ObjectCount implements optimizer.Stats.
 func (v *StatsView) ObjectCount(t rdf.Term) (float64, bool) {
 	id, ok := v.dict.Lookup(t)
-	return countIn(v.st.byObj, id, ok)
+	return v.st.countIn(v.st.byObj, id, ok)
 }
 
 // PredicateCount implements optimizer.Stats.
 func (v *StatsView) PredicateCount(t rdf.Term) (float64, bool) {
 	id, ok := v.dict.Lookup(t)
-	return countIn(v.st.byPred, id, ok)
+	return v.st.countIn(v.st.byPred, id, ok)
 }
 
 // TopConstants returns the k most frequent constants (by triple count)
@@ -527,6 +659,7 @@ func (st *Stats) TopConstants(k int, d *dict.Dict) []string {
 		id int64
 		n  int64
 	}
+	st.mu.RLock()
 	var all []pair
 	for id, n := range st.bySubj {
 		all = append(all, pair{id, n})
@@ -534,6 +667,7 @@ func (st *Stats) TopConstants(k int, d *dict.Dict) []string {
 	for id, n := range st.byObj {
 		all = append(all, pair{id, n})
 	}
+	st.mu.RUnlock()
 	sort.Slice(all, func(i, j int) bool { return all[i].n > all[j].n })
 	var out []string
 	seen := map[int64]bool{}

@@ -21,7 +21,9 @@ import (
 // in the graph; this is the usual engine-friendly approximation and is
 // documented in DESIGN.md.
 
-// pathTableN numbers the temporary closure relations.
+// pathTableN numbers the temporary closure relations. It is advanced
+// atomically so concurrent queries materializing closures each get
+// unique PATHTMP_n names and cannot clobber one another's temp tables.
 var pathTableN int64
 
 // materializeClosures computes and loads each closure of the query,
@@ -79,7 +81,10 @@ func (s *Store) closurePairs(cl sparql.Closure) ([][2]int64, error) {
 	adj := map[int64][]int64{}
 	nodes := map[int64]bool{}
 	for _, step := range cl.Steps {
-		res, err := s.Query(fmt.Sprintf("SELECT ?a ?b WHERE { ?a <%s> ?b }", step.IRI))
+		// queryLocked, not Query: the caller already holds the store
+		// read lock, and RWMutex read locks must not be re-acquired
+		// (a queued writer between the two acquisitions deadlocks).
+		res, err := s.queryLocked(fmt.Sprintf("SELECT ?a ?b WHERE { ?a <%s> ?b }", step.IRI))
 		if err != nil {
 			return nil, fmt.Errorf("db2rdf: evaluating path step <%s>: %w", step.IRI, err)
 		}
