@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build vet test race bench verify
+.PHONY: build vet test race bench bench-all verify
 
 build:
 	$(GO) build ./...
@@ -14,7 +14,13 @@ test:
 race:
 	$(GO) test -race ./...
 
+# bench records the PR 2 baseline numbers (load, cold-plan query,
+# warm-plan query) to BENCH_PR2.json; bench-all runs the full paper
+# figure/table benchmark sweep.
 bench:
+	DB2RDF_BENCH_OUT=BENCH_PR2.json $(GO) test -run '^TestBenchBaseline$$' -count=1 -v .
+
+bench-all:
 	$(GO) test -run '^$$' -bench . -benchtime 1x ./...
 
 # verify is the tier-1 gate (see ROADMAP.md): everything must build,

@@ -1,0 +1,86 @@
+package db2rdf_test
+
+// TestBenchBaseline is the `make bench` entry point: it measures bulk
+// load, cold-plan query and warm-plan (cache-hit) query latencies with
+// testing.Benchmark and writes them as JSON to the file named by the
+// DB2RDF_BENCH_OUT environment variable (BENCH_PR2.json from the
+// Makefile). Without the variable it is skipped, so plain `go test`
+// stays fast.
+
+import (
+	"encoding/json"
+	"os"
+	"testing"
+
+	"db2rdf"
+)
+
+type benchPoint struct {
+	Name string  `json:"name"`
+	NsOp float64 `json:"ns_per_op"`
+	N    int     `json:"iterations"`
+}
+
+func TestBenchBaseline(t *testing.T) {
+	out := os.Getenv("DB2RDF_BENCH_OUT")
+	if out == "" {
+		t.Skip("set DB2RDF_BENCH_OUT=<file> to record benchmark baselines")
+	}
+	ds := lubmData()
+	q := ds.Queries[0].SPARQL
+
+	load := testing.Benchmark(func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			s, err := db2rdf.Open(db2rdf.Options{})
+			if err != nil {
+				b.Fatal(err)
+			}
+			if err := s.LoadTriples(ds.Triples); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+
+	s, err := db2rdf.Open(db2rdf.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.LoadTriples(ds.Triples); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Query(q); err != nil {
+		t.Fatal(err)
+	}
+	cold := testing.Benchmark(func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			s.ResetPlanCache()
+			if _, err := s.Query(q); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	warm := testing.Benchmark(func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := s.Query(q); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+
+	points := []benchPoint{
+		{Name: "load_lubm", NsOp: float64(load.NsPerOp()), N: load.N},
+		{Name: "query_cold_plan", NsOp: float64(cold.NsPerOp()), N: cold.N},
+		{Name: "query_warm_plan", NsOp: float64(warm.NsPerOp()), N: warm.N},
+	}
+	data, err := json.MarshalIndent(points, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(out, append(data, '\n'), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("wrote %s", out)
+	for _, p := range points {
+		t.Logf("%-18s %12.0f ns/op (n=%d)", p.Name, p.NsOp, p.N)
+	}
+}

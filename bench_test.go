@@ -485,3 +485,31 @@ func BenchmarkConcurrentQuery(b *testing.B) {
 		})
 	}
 }
+
+// BenchmarkPlanCache isolates the compiled-plan cache: "warm" repeats
+// one query so every iteration is a cache hit (parse, optimize,
+// SQL-gen and SQL-parse all skipped), "cold" drops the cache each
+// iteration so every execution recompiles from scratch.
+func BenchmarkPlanCache(b *testing.B) {
+	ds := lubmData()
+	s := storesFor(b, ds).entity
+	q := ds.Queries[0].SPARQL
+	if _, err := s.Query(q); err != nil {
+		b.Fatal(err)
+	}
+	b.Run("warm", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := s.Query(q); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("cold", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			s.ResetPlanCache()
+			if _, err := s.Query(q); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}

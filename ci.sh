@@ -9,4 +9,6 @@ echo "== go vet =="
 go vet ./...
 echo "== go test -race =="
 go test -race ./...
+echo "== kernel equivalence (parallel on/off) and plan cache =="
+go test -race -run 'TestKernelEquivalence|TestPlanCache' -count=1 .
 echo "ok"

@@ -22,6 +22,7 @@ import (
 	"db2rdf/internal/coloring"
 	"db2rdf/internal/optimizer"
 	"db2rdf/internal/rdf"
+	"db2rdf/internal/rel"
 	"db2rdf/internal/sparql"
 	"db2rdf/internal/store"
 	"db2rdf/internal/translator"
@@ -55,6 +56,7 @@ type Options struct {
 type Store struct {
 	inner *store.Store
 	opts  Options
+	plans *planCache
 }
 
 // Open creates an empty store.
@@ -68,7 +70,7 @@ func Open(opts Options) (*Store, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Store{inner: s, opts: opts}, nil
+	return &Store{inner: s, opts: opts, plans: newPlanCache(defaultPlanCacheSize)}, nil
 }
 
 // ColorTriples analyzes a sample of triples and returns coloring-based
@@ -157,7 +159,18 @@ func (s *Store) Query(q string) (*Results, error) {
 // callers that run secondary queries while servicing a public call
 // (closure materialization, CONSTRUCT, Export) use it to avoid
 // re-entrant read locking, which can deadlock against a queued writer.
+//
+// Repeated query texts skip the whole compile pipeline (SPARQL parse,
+// flow optimization, plan building, SQL generation, SQL parse) via the
+// store's compiled-plan cache; the epoch check guarantees a cached
+// plan is only reused against the exact store state it was compiled
+// for. Queries that materialize property-path closures are compiled
+// afresh each time (their SQL references per-query temp tables).
 func (s *Store) queryLocked(q string) (*Results, error) {
+	epoch := s.inner.Epoch()
+	if cp, ok := s.plans.get(q, epoch); ok {
+		return s.executeCompiled(cp)
+	}
 	parsed, err := sparql.Parse(q)
 	if err != nil {
 		return nil, err
@@ -175,7 +188,16 @@ func (s *Store) queryLocked(q string) (*Results, error) {
 	if err != nil {
 		return nil, err
 	}
-	return s.execute(parsed, tr)
+	cp := &compiledPlan{key: q, epoch: epoch, parsed: parsed, tr: tr}
+	if tr.SQL != "" {
+		if cp.rq, err = rel.ParseQuery(tr.SQL); err != nil {
+			return nil, fmt.Errorf("db2rdf: parsing generated SQL: %w", err)
+		}
+	}
+	if len(parsed.Closures) == 0 {
+		s.plans.put(cp)
+	}
+	return s.executeCompiled(cp)
 }
 
 // Explanation reports how a query would run.
@@ -184,6 +206,15 @@ type Explanation struct {
 	Tree string // the execution tree
 	Plan string // the merged query plan
 	SQL  string // the generated SQL
+
+	// PlanCached reports whether a compiled plan for this exact query
+	// text is currently cached and valid at the store's present epoch
+	// (i.e. Query would skip the compile pipeline).
+	PlanCached bool
+	// PlanCacheHits and PlanCacheMisses are the store-lifetime
+	// compiled-plan cache counters.
+	PlanCacheHits   uint64
+	PlanCacheMisses uint64
 }
 
 // Explain returns the optimizer and translator artifacts for a query
@@ -217,8 +248,20 @@ func (s *Store) Explain(q string) (*Explanation, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Explanation{Flow: flow.String(), Tree: exec.String(), Plan: plan.String(), SQL: tr.SQL}, nil
+	expl := &Explanation{Flow: flow.String(), Tree: exec.String(), Plan: plan.String(), SQL: tr.SQL}
+	expl.PlanCached = s.plans.contains(q, s.inner.Epoch())
+	expl.PlanCacheHits, expl.PlanCacheMisses = s.plans.stats()
+	return expl, nil
 }
+
+// PlanCacheStats returns the lifetime hit and miss counts of the
+// compiled-plan cache.
+func (s *Store) PlanCacheStats() (hits, misses uint64) { return s.plans.stats() }
+
+// ResetPlanCache drops every cached compiled plan (counters are kept).
+// Useful for cold-plan benchmarking; normal invalidation is automatic,
+// keyed on the store's write epoch.
+func (s *Store) ResetPlanCache() { s.plans.reset() }
 
 func (s *Store) optimize(parsed *sparql.Query) (*optimizer.ExecNode, *optimizer.Flow, error) {
 	if s.opts.DisableHybridOptimizer {
@@ -241,9 +284,26 @@ func (s *Store) translate(parsed *sparql.Query, virtual map[string]string) (*tra
 	return translator.Translate(parsed, plan, backend)
 }
 
+// execute compiles tr.SQL (when non-empty) and runs it. Internal
+// callers that build query ASTs directly (CONSTRUCT, DESCRIBE) use it;
+// these one-off plans bypass the cache.
 func (s *Store) execute(parsed *sparql.Query, tr *translator.Result) (*Results, error) {
+	cp := &compiledPlan{parsed: parsed, tr: tr}
+	if tr.SQL != "" {
+		var err error
+		if cp.rq, err = rel.ParseQuery(tr.SQL); err != nil {
+			return nil, fmt.Errorf("db2rdf: parsing generated SQL: %w", err)
+		}
+	}
+	return s.executeCompiled(cp)
+}
+
+// executeCompiled runs a compiled plan. The plan's fields are
+// read-only, so concurrent readers may execute the same cached plan.
+func (s *Store) executeCompiled(cp *compiledPlan) (*Results, error) {
+	tr := cp.tr
 	out := &Results{IsAsk: tr.Ask}
-	if tr.SQL == "" {
+	if cp.rq == nil {
 		// Empty pattern: ASK {} is true; SELECT over {} yields one
 		// empty solution (the SPARQL unit solution mapping), with every
 		// projected variable unbound.
@@ -251,11 +311,11 @@ func (s *Store) execute(parsed *sparql.Query, tr *translator.Result) (*Results, 
 			out.Ask = true
 			return out, nil
 		}
-		out.Vars = parsed.ProjectedVars()
+		out.Vars = cp.parsed.ProjectedVars()
 		out.Rows = append(out.Rows, make([]Binding, len(out.Vars)))
 		return out, nil
 	}
-	rs, err := s.inner.DB.Query(tr.SQL)
+	rs, err := s.inner.DB.Exec(cp.rq)
 	if err != nil {
 		return nil, fmt.Errorf("db2rdf: executing generated SQL: %w", err)
 	}

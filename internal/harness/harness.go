@@ -23,6 +23,9 @@ type System struct {
 	Name string
 	// Run executes a SPARQL query and returns the solution count.
 	Run func(q string) (int, error)
+	// ResetPlans drops the system's compiled-plan cache, when it has
+	// one (nil otherwise). Used to measure cold-plan latencies.
+	ResetPlans func()
 }
 
 // SystemNames lists the available configurations and the paper systems
@@ -52,7 +55,7 @@ func BuildSystem(name string, ds *gen.Dataset) (System, error) {
 		if err := s.LoadTriplesParallel(ds.Triples, runtime.GOMAXPROCS(0)); err != nil {
 			return System{}, err
 		}
-		return System{Name: name, Run: func(q string) (int, error) {
+		return System{Name: name, ResetPlans: s.ResetPlanCache, Run: func(q string) (int, error) {
 			r, err := s.Query(q)
 			if err != nil {
 				return 0, err
@@ -154,6 +157,11 @@ type RunOptions struct {
 	// Timeout bounds one query execution (the paper uses 10 minutes;
 	// default 10s at laptop scale).
 	Timeout time.Duration
+	// ColdPlans drops the system's compiled-plan cache before every
+	// run (including the warm-up), so each measurement pays the full
+	// compile pipeline. The default measures warm (cached) plans,
+	// matching the paper's discard-first-run methodology.
+	ColdPlans bool
 }
 
 func (o *RunOptions) fill() {
@@ -193,7 +201,13 @@ func timedRun(fn func() (int, error), timeout time.Duration) (rows int, dur time
 func RunQuery(sys System, q gen.Query, refRows int, opts RunOptions) Measurement {
 	opts.fill()
 	m := Measurement{Query: q.Name, System: sys.Name}
+	resetPlans := func() {
+		if opts.ColdPlans && sys.ResetPlans != nil {
+			sys.ResetPlans()
+		}
+	}
 	// Warm-up (also the correctness check).
+	resetPlans()
 	rows, _, err, timedOut := timedRun(func() (int, error) { return sys.Run(q.SPARQL) }, opts.Timeout)
 	switch {
 	case timedOut:
@@ -211,6 +225,7 @@ func RunQuery(sys System, q gen.Query, refRows int, opts RunOptions) Measurement
 	}
 	var total time.Duration
 	for i := 0; i < opts.Reps; i++ {
+		resetPlans()
 		_, dur, err, timedOut := timedRun(func() (int, error) { return sys.Run(q.SPARQL) }, opts.Timeout)
 		if timedOut {
 			m.Outcome = Timeout

@@ -1,0 +1,390 @@
+package rel
+
+import "fmt"
+
+// Expression compilation. evalExpr walks the AST per row: every value
+// costs an interface type switch, and every column reference a cache
+// lookup. The translator's generated SQL evaluates the same small
+// expressions (CASE WHEN pred = k THEN val, COALESCE, OR-chains of
+// integer equalities) over many thousands of rows, so the executor
+// compiles each expression once per relation shape into a closure
+// tree: column references resolve to positions at compile time, and
+// per-row evaluation is direct calls with no dispatch.
+//
+// Compiled closures are immutable after compilation and keep no
+// per-row state, so — unlike rowCtx, whose resolution cache is a
+// plain map — one compiled expression may be shared by all morsel
+// workers.
+//
+// Error behavior matches evalExpr exactly: problems found during
+// compilation (unknown column, unknown function) compile into
+// closures that return the error when *evaluated*, so an erroneous
+// sub-expression inside a never-taken branch stays silent, just as it
+// would under lazy tree-walking.
+
+// compiledExpr evaluates an expression against one row of the shape
+// it was compiled for.
+type compiledExpr func(row Row) (Value, error)
+
+func errExpr(err error) compiledExpr {
+	return func(Row) (Value, error) { return Null, err }
+}
+
+// compileExpr compiles e against rel's column shape.
+func (db *DB) compileExpr(e Expr, rel *relation) compiledExpr {
+	switch x := e.(type) {
+	case *Lit:
+		v := x.V
+		return func(Row) (Value, error) { return v, nil }
+	case *ColRef:
+		if rel == nil {
+			return errExpr(fmt.Errorf("sql: column reference %s outside row context", colRefString(x)))
+		}
+		i := rel.colIndex(x.Alias, x.Column)
+		if i < 0 {
+			return errExpr(fmt.Errorf("sql: unknown column %s (have %v)", colRefString(x), rel.cols))
+		}
+		return func(r Row) (Value, error) { return r[i], nil }
+	case *BinOp:
+		return db.compileBinOp(x, rel)
+	case *UnOp:
+		sub := db.compileExpr(x.X, rel)
+		switch x.Op {
+		case "NOT":
+			return func(r Row) (Value, error) {
+				v, err := sub(r)
+				if err != nil || v.IsNull() {
+					return Null, err
+				}
+				return Bool(!v.Truth()), nil
+			}
+		case "-":
+			return func(r Row) (Value, error) {
+				v, err := sub(r)
+				if err != nil {
+					return Null, err
+				}
+				switch v.K {
+				case KindInt:
+					return Int(-v.I), nil
+				case KindFloat:
+					return Float(-v.F), nil
+				case KindNull:
+					return Null, nil
+				}
+				return Null, fmt.Errorf("sql: cannot negate %v", v.K)
+			}
+		}
+		return errExpr(fmt.Errorf("sql: unknown unary op %q", x.Op))
+	case *IsNullExpr:
+		sub := db.compileExpr(x.X, rel)
+		not := x.Not
+		return func(r Row) (Value, error) {
+			v, err := sub(r)
+			if err != nil {
+				return Null, err
+			}
+			return Bool(v.IsNull() != not), nil
+		}
+	case *InExpr:
+		sub := db.compileExpr(x.X, rel)
+		items := make([]compiledExpr, len(x.List))
+		for i, item := range x.List {
+			items[i] = db.compileExpr(item, rel)
+		}
+		not := x.Not
+		return func(r Row) (Value, error) {
+			v, err := sub(r)
+			if err != nil {
+				return Null, err
+			}
+			if v.IsNull() {
+				return Null, nil
+			}
+			anyNull := false
+			for _, item := range items {
+				iv, err := item(r)
+				if err != nil {
+					return Null, err
+				}
+				if iv.IsNull() {
+					anyNull = true
+					continue
+				}
+				if Equal(v, iv) {
+					return Bool(!not), nil
+				}
+			}
+			if anyNull {
+				return Null, nil
+			}
+			return Bool(not), nil
+		}
+	case *CaseExpr:
+		conds := make([]compiledExpr, len(x.Whens))
+		results := make([]compiledExpr, len(x.Whens))
+		for i, w := range x.Whens {
+			conds[i] = db.compileExpr(w.Cond, rel)
+			results[i] = db.compileExpr(w.Result, rel)
+		}
+		var elseC compiledExpr
+		if x.Else != nil {
+			elseC = db.compileExpr(x.Else, rel)
+		}
+		return func(r Row) (Value, error) {
+			for i, cond := range conds {
+				v, err := cond(r)
+				if err != nil {
+					return Null, err
+				}
+				if v.Truth() {
+					return results[i](r)
+				}
+			}
+			if elseC != nil {
+				return elseC(r)
+			}
+			return Null, nil
+		}
+	case *FuncCall:
+		args := make([]compiledExpr, len(x.Args))
+		for i, a := range x.Args {
+			args[i] = db.compileExpr(a, rel)
+		}
+		if x.Name == "coalesce" {
+			return func(r Row) (Value, error) {
+				for _, a := range args {
+					v, err := a(r)
+					if err != nil {
+						return Null, err
+					}
+					if !v.IsNull() {
+						return v, nil
+					}
+				}
+				return Null, nil
+			}
+		}
+		f, ok := db.function(x.Name)
+		if !ok {
+			return errExpr(fmt.Errorf("sql: unknown function %q", x.Name))
+		}
+		return func(r Row) (Value, error) {
+			vals := make([]Value, len(args))
+			for i, a := range args {
+				v, err := a(r)
+				if err != nil {
+					return Null, err
+				}
+				vals[i] = v
+			}
+			return f(vals)
+		}
+	}
+	return errExpr(fmt.Errorf("sql: unhandled expression %T", e))
+}
+
+func (db *DB) compileBinOp(x *BinOp, rel *relation) compiledExpr {
+	switch x.Op {
+	case "AND":
+		l, r := db.compileExpr(x.L, rel), db.compileExpr(x.R, rel)
+		return func(row Row) (Value, error) {
+			lv, err := l(row)
+			if err != nil {
+				return Null, err
+			}
+			if !lv.IsNull() && !lv.Truth() {
+				return Bool(false), nil
+			}
+			rv, err := r(row)
+			if err != nil {
+				return Null, err
+			}
+			if !rv.IsNull() && !rv.Truth() {
+				return Bool(false), nil
+			}
+			if lv.IsNull() || rv.IsNull() {
+				return Null, nil
+			}
+			return Bool(true), nil
+		}
+	case "OR":
+		l, r := db.compileExpr(x.L, rel), db.compileExpr(x.R, rel)
+		return func(row Row) (Value, error) {
+			lv, err := l(row)
+			if err != nil {
+				return Null, err
+			}
+			if lv.Truth() {
+				return Bool(true), nil
+			}
+			rv, err := r(row)
+			if err != nil {
+				return Null, err
+			}
+			if rv.Truth() {
+				return Bool(true), nil
+			}
+			if lv.IsNull() || rv.IsNull() {
+				return Null, nil
+			}
+			return Bool(false), nil
+		}
+	}
+	// The translator's dominant predicate is `T.predN = <int>`:
+	// specialize column-vs-integer-literal comparison down to a direct
+	// slot read and int compare.
+	if x.Op == "=" || x.Op == "!=" {
+		if ce := db.compileIntEquality(x, rel); ce != nil {
+			return ce
+		}
+	}
+	l, r := db.compileExpr(x.L, rel), db.compileExpr(x.R, rel)
+	switch x.Op {
+	case "=", "!=", "<", "<=", ">", ">=":
+		op := x.Op
+		return func(row Row) (Value, error) {
+			lv, err := l(row)
+			if err != nil {
+				return Null, err
+			}
+			rv, err := r(row)
+			if err != nil {
+				return Null, err
+			}
+			c, ok := Compare(lv, rv)
+			if !ok {
+				return Null, nil
+			}
+			switch op {
+			case "=":
+				return Bool(c == 0), nil
+			case "!=":
+				return Bool(c != 0), nil
+			case "<":
+				return Bool(c < 0), nil
+			case "<=":
+				return Bool(c <= 0), nil
+			case ">":
+				return Bool(c > 0), nil
+			}
+			return Bool(c >= 0), nil
+		}
+	case "+", "-", "*", "/":
+		op := x.Op
+		return func(row Row) (Value, error) {
+			lv, err := l(row)
+			if err != nil {
+				return Null, err
+			}
+			rv, err := r(row)
+			if err != nil {
+				return Null, err
+			}
+			return arith(op, lv, rv)
+		}
+	}
+	return errExpr(fmt.Errorf("sql: unknown binary op %q", x.Op))
+}
+
+// compileIntEquality specializes `col = <intlit>` (either side) into a
+// direct comparison; nil when the shape does not match.
+func (db *DB) compileIntEquality(x *BinOp, rel *relation) compiledExpr {
+	if rel == nil {
+		return nil
+	}
+	cr, lit := x.L, x.R
+	if _, ok := cr.(*ColRef); !ok {
+		cr, lit = x.R, x.L
+	}
+	c, ok := cr.(*ColRef)
+	if !ok {
+		return nil
+	}
+	l, ok := lit.(*Lit)
+	if !ok || l.V.K != KindInt {
+		return nil
+	}
+	i := rel.colIndex(c.Alias, c.Column)
+	if i < 0 {
+		return nil // fall back to the generic path's lazy error
+	}
+	want := l.V.I
+	eq := x.Op == "="
+	return func(r Row) (Value, error) {
+		v := r[i]
+		switch v.K {
+		case KindInt:
+			return Bool((v.I == want) == eq), nil
+		case KindNull:
+			return Null, nil
+		}
+		c, ok := Compare(v, Value{K: KindInt, I: want})
+		if !ok {
+			return Null, nil
+		}
+		return Bool((c == 0) == eq), nil
+	}
+}
+
+// arith applies a binary arithmetic op with evalBinOp's semantics.
+func arith(op string, l, r Value) (Value, error) {
+	if l.IsNull() || r.IsNull() {
+		return Null, nil
+	}
+	if l.K == KindInt && r.K == KindInt {
+		switch op {
+		case "+":
+			return Int(l.I + r.I), nil
+		case "-":
+			return Int(l.I - r.I), nil
+		case "*":
+			return Int(l.I * r.I), nil
+		case "/":
+			if r.I == 0 {
+				return Null, nil
+			}
+			return Int(l.I / r.I), nil
+		}
+	}
+	lf, lok := l.AsFloat()
+	rf, rok := r.AsFloat()
+	if !lok || !rok {
+		return Null, fmt.Errorf("sql: arithmetic on non-numeric values")
+	}
+	switch op {
+	case "+":
+		return Float(lf + rf), nil
+	case "-":
+		return Float(lf - rf), nil
+	case "*":
+		return Float(lf * rf), nil
+	case "/":
+		if rf == 0 {
+			return Null, nil
+		}
+		return Float(lf / rf), nil
+	}
+	return Null, fmt.Errorf("sql: unknown binary op %q", op)
+}
+
+// compilePred compiles a conjunct list into a single keep/drop
+// predicate: true iff every conjunct evaluates truthy.
+func (db *DB) compilePred(conds []Expr, rel *relation) func(Row) (bool, error) {
+	compiled := make([]compiledExpr, len(conds))
+	for i, c := range conds {
+		compiled[i] = db.compileExpr(c, rel)
+	}
+	return func(r Row) (bool, error) {
+		for _, c := range compiled {
+			v, err := c(r)
+			if err != nil {
+				return false, err
+			}
+			if !v.Truth() {
+				return false, nil
+			}
+		}
+		return true, nil
+	}
+}

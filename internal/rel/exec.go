@@ -24,8 +24,9 @@ func (db *DB) Query(sql string) (*ResultSet, error) {
 // Exec executes a parsed query.
 func (db *DB) Exec(q *Query) (*ResultSet, error) {
 	env := make(map[string]*relation)
-	for _, cte := range q.CTEs {
-		rs, err := db.evalSelect(cte.Select, env)
+	live := cteLiveColumns(q)
+	for i, cte := range q.CTEs {
+		rs, err := db.evalSelectLive(cte.Select, env, live[i])
 		if err != nil {
 			return nil, fmt.Errorf("in CTE %s: %w", cte.Name, err)
 		}
@@ -63,9 +64,30 @@ func aliased(base *relation, alias string) *relation {
 }
 
 func (db *DB) evalSelect(s *Select, env map[string]*relation) (*ResultSet, error) {
+	return db.evalSelectLive(s, env, nil)
+}
+
+// evalSelectLive is evalSelect with a live-output-column set (nil =
+// all): expression items outside it are skipped, their slots left
+// NULL. Pruning is only sound when the select cannot observe its own
+// dead columns, so it is disabled under UNION, DISTINCT and ORDER BY.
+func (db *DB) evalSelectLive(s *Select, env map[string]*relation, live map[string]bool) (*ResultSet, error) {
+	if len(s.Cores) > 1 || s.Cores[0].Distinct || len(s.OrderBy) > 0 {
+		live = nil
+	}
 	var out *ResultSet
+	// LIMIT pushdown: with a single core, no ORDER BY and no DISTINCT,
+	// projection is an order-preserving 1:1 row map, so only the first
+	// OFFSET+LIMIT input rows can reach the output.
+	rowCap := int64(-1)
+	if len(s.Cores) == 1 && len(s.OrderBy) == 0 && !s.Cores[0].Distinct && s.Limit >= 0 {
+		rowCap = s.Limit
+		if s.Offset > 0 {
+			rowCap += s.Offset
+		}
+	}
 	for i, core := range s.Cores {
-		rs, err := db.evalCore(core, env)
+		rs, err := db.evalCore(core, env, rowCap, live)
 		if err != nil {
 			return nil, err
 		}
@@ -150,26 +172,40 @@ func (db *DB) applyOrderBy(rs *ResultSet, items []OrderItem) error {
 	return nil
 }
 
+// dedupRows removes duplicate rows under key semantics, keeping first
+// occurrences in order. Rows are bucketed by hash and candidates are
+// verified exactly, so no key strings are built and no separator
+// collision can conflate distinct rows.
 func dedupRows(rows []Row) []Row {
-	seen := make(map[string]bool, len(rows))
+	if len(rows) < 2 {
+		return rows
+	}
+	seen := make(map[uint64][]int32, len(rows))
 	out := rows[:0:0]
-	var b strings.Builder
 	for _, r := range rows {
-		b.Reset()
-		for _, v := range r {
-			b.WriteString(v.key())
-			b.WriteByte('\x1f')
+		h := rowKeyHash(r)
+		dup := false
+		for _, j := range seen[h] {
+			if rowKeyEqual(out[j], r) {
+				dup = true
+				break
+			}
 		}
-		k := b.String()
-		if !seen[k] {
-			seen[k] = true
+		if !dup {
+			seen[h] = append(seen[h], int32(len(out)))
 			out = append(out, r)
 		}
 	}
 	return out
 }
 
-func (db *DB) evalCore(core *SelectCore, env map[string]*relation) (*ResultSet, error) {
+// evalCore evaluates one SELECT core. rowCap >= 0 bounds the number of
+// projected rows (LIMIT pushdown); the caller guarantees projection
+// order is final (no ORDER BY, no DISTINCT), so only the first rowCap
+// joined rows can appear in the result. live (nil = all) names the
+// output columns any later select can observe; projection skips the
+// expression items outside it.
+func (db *DB) evalCore(core *SelectCore, env map[string]*relation, rowCap int64, live map[string]bool) (*ResultSet, error) {
 	// Split WHERE into conjuncts.
 	var conjs []Expr
 	if core.Where != nil {
@@ -211,7 +247,12 @@ func (db *DB) evalCore(core *SelectCore, env map[string]*relation) (*ResultSet, 
 		}
 	}
 
-	return db.project(core, cur)
+	if rowCap >= 0 && int64(len(cur.rows)) > rowCap {
+		trimmed := *cur
+		trimmed.rows = cur.rows[:rowCap]
+		cur = &trimmed
+	}
+	return db.project(core, cur, live)
 }
 
 // buildUnit materializes one FROM item including its explicit join chain.
@@ -326,26 +367,17 @@ func (db *DB) scanWithFilters(t *Table, shape *relation, alias string, conjs []E
 	}
 	out := newRelation(shape.cols)
 	out.aliases[alias] = true
-	ctx := newRowCtx(out, db)
-	emit := func(row Row) error {
-		ctx.row = row
-		for _, c := range rest {
-			v, err := evalExpr(c, ctx)
-			if err != nil {
-				return err
-			}
-			if !v.Truth() {
-				return nil
-			}
-		}
-		out.rows = append(out.rows, row)
-		return nil
-	}
 	if indexConj >= 0 {
+		pred := db.compilePred(rest, out)
 		ids, _ := t.lookup(indexCol, indexVal)
 		for _, id := range ids {
-			if err := emit(t.RowAt(int(id))); err != nil {
+			row := t.RowAt(int(id))
+			ok, err := pred(row)
+			if err != nil {
 				return nil, err
+			}
+			if ok {
+				out.rows = append(out.rows, row)
 			}
 		}
 	} else {
@@ -447,23 +479,28 @@ func (db *DB) filterRelation(r *relation, conds []Expr) (*relation, error) {
 	for a := range r.aliases {
 		out.aliases[a] = true
 	}
-	ctx := newRowCtx(r, db)
-	for _, row := range r.rows {
-		ctx.row = row
-		keep := true
-		for _, c := range conds {
-			v, err := evalExpr(c, ctx)
+	pred := db.compilePred(conds, r)
+	w := planWorkers(len(r.rows))
+	parts := make([][]Row, w)
+	err := parallelChunks(len(r.rows), w, func(chunk, lo, hi int) error {
+		var local []Row
+		for _, row := range r.rows[lo:hi] {
+			keep, err := pred(row)
 			if err != nil {
-				return nil, err
+				return err
 			}
-			if !v.Truth() {
-				keep = false
-				break
+			if keep {
+				local = append(local, row)
 			}
 		}
-		if keep {
-			out.rows = append(out.rows, row)
-		}
+		parts[chunk] = local
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for _, p := range parts {
+		out.rows = append(out.rows, p...)
 	}
 	return out, nil
 }
@@ -592,25 +629,6 @@ func (db *DB) materialize(r *relation) (*relation, error) {
 	return out, nil
 }
 
-// pendingOK evaluates a relation's pending filters against one row,
-// reusing the given cached context (created once per probe loop).
-func pendingOK(ctx *rowCtx, r *relation, row Row) (bool, error) {
-	if len(r.pending) == 0 {
-		return true, nil
-	}
-	ctx.row = row
-	for _, c := range r.pending {
-		v, err := evalExpr(c, ctx)
-		if err != nil {
-			return false, err
-		}
-		if !v.Truth() {
-			return false, nil
-		}
-	}
-	return true, nil
-}
-
 // indexLink finds a join link whose probe side is an indexed column of
 // a base-scan relation, returning the link index and column name.
 func indexLink(r *relation, links []eqLink, right bool) (int, string) {
@@ -646,9 +664,10 @@ func (db *DB) joinPair(cur, next *relation, conjs []Expr, applied []bool) (*rela
 		if next, err = db.materialize(next); err != nil {
 			return nil, err
 		}
+		var arena rowArena
 		for _, lr := range cur.rows {
 			for _, rr := range next.rows {
-				out.rows = append(out.rows, combineRows(lr, rr))
+				out.rows = append(out.rows, arena.combine(lr, rr))
 			}
 		}
 		return out, nil
@@ -657,119 +676,199 @@ func (db *DB) joinPair(cur, next *relation, conjs []Expr, applied []bool) (*rela
 		applied[lk.conj] = true
 	}
 	// Index nested-loop when one side is an indexed base table and the
-	// other side is smaller: probe the index per row instead of
-	// hashing the whole table. Pending filters of the probed side are
-	// evaluated per probe.
-	if li, col := indexLink(next, links, true); li >= 0 && len(cur.rows) < len(next.rows) {
-		mcur, err := db.materialize(cur)
-		if err != nil {
-			return nil, err
-		}
-		pctx := newRowCtx(next, db)
-		for _, lr := range mcur.rows {
-			v := lr[links[li].li]
-			if v.IsNull() {
-				continue
-			}
-			ids, _ := next.base.lookup(col, v)
-		probeNext:
-			for _, id := range ids {
-				rr := next.base.RowAt(int(id))
-				for _, lk := range links {
-					if !Equal(lr[lk.li], rr[lk.ri]) {
-						continue probeNext
-					}
-				}
-				ok, err := pendingOK(pctx, next, rr)
-				if err != nil {
-					return nil, err
-				}
-				if !ok {
-					continue probeNext
-				}
-				out.rows = append(out.rows, combineRows(lr, rr))
-			}
-		}
-		return out, nil
-	}
-	if li, col := indexLink(cur, links, false); li >= 0 && len(next.rows) < len(cur.rows) {
-		mnext, err := db.materialize(next)
-		if err != nil {
-			return nil, err
-		}
-		pctx := newRowCtx(cur, db)
-		for _, rr := range mnext.rows {
-			v := rr[links[li].ri]
-			if v.IsNull() {
-				continue
-			}
-			ids, _ := cur.base.lookup(col, v)
-		probeCur:
-			for _, id := range ids {
-				lr := cur.base.RowAt(int(id))
-				for _, lk := range links {
-					if !Equal(lr[lk.li], rr[lk.ri]) {
-						continue probeCur
-					}
-				}
-				ok, err := pendingOK(pctx, cur, lr)
-				if err != nil {
-					return nil, err
-				}
-				if !ok {
-					continue probeCur
-				}
-				out.rows = append(out.rows, combineRows(lr, rr))
-			}
-		}
-		return out, nil
-	}
-	// Build hash on next.
+	// other side is smaller: probe the index per row instead of hashing
+	// the whole table. The side sizing compares post-filter
+	// cardinalities: the probing side is materialized before the
+	// comparison (its pending filters would otherwise overstate it,
+	// and it must be materialized to probe anyway); the indexed side's
+	// raw row count is an upper bound, since materializing it would
+	// destroy the very index access under consideration — its pending
+	// filters are instead evaluated per probed row.
+	var mcur, mnext *relation
 	var err error
-	if cur, err = db.materialize(cur); err != nil {
-		return nil, err
-	}
-	if next, err = db.materialize(next); err != nil {
-		return nil, err
-	}
-	build := make(map[string][]Row, len(next.rows))
-	var b strings.Builder
-	for _, rr := range next.rows {
-		k, ok := joinKey(&b, rr, links, false)
-		if !ok {
-			continue
+	if li, col := indexLink(next, links, true); li >= 0 {
+		if mcur, err = db.materialize(cur); err != nil {
+			return nil, err
 		}
-		build[k] = append(build[k], rr)
-	}
-	for _, lr := range cur.rows {
-		k, ok := joinKey(&b, lr, links, true)
-		if !ok {
-			continue
-		}
-		for _, rr := range build[k] {
-			out.rows = append(out.rows, combineRows(lr, rr))
+		if len(mcur.rows) < len(next.rows) {
+			if err := db.indexProbe(out, mcur, next, links, li, col, true); err != nil {
+				return nil, err
+			}
+			return out, nil
 		}
 	}
+	if li, col := indexLink(cur, links, false); li >= 0 {
+		if mnext, err = db.materialize(next); err != nil {
+			return nil, err
+		}
+		if len(mnext.rows) < len(cur.rows) {
+			if err := db.indexProbe(out, mnext, cur, links, li, col, false); err != nil {
+				return nil, err
+			}
+			return out, nil
+		}
+	}
+	// Hash join: build on next, probe cur.
+	if mcur == nil {
+		if mcur, err = db.materialize(cur); err != nil {
+			return nil, err
+		}
+	}
+	if mnext == nil {
+		if mnext, err = db.materialize(next); err != nil {
+			return nil, err
+		}
+	}
+	db.hashJoinInto(out, mcur, mnext, links)
 	return out, nil
 }
 
-// joinKey builds the composite hash key for a row; left selects li/ri.
-// Rows with a NULL key column never join.
-func joinKey(b *strings.Builder, row Row, links []eqLink, left bool) (string, bool) {
-	b.Reset()
-	for _, lk := range links {
-		i := lk.ri
-		if left {
-			i = lk.li
-		}
-		v := row[i]
-		if v.IsNull() {
-			return "", false
-		}
-		b.WriteString(v.key())
-		b.WriteByte('\x1f')
+// indexProbe joins by probing indexed's base-table hash index with
+// every probe row, verifying all links and indexed's pending filters
+// per candidate. indexedIsRight states whether indexed's columns
+// follow probe's in out. Probe rows are partitioned across workers;
+// per-worker outputs are concatenated in input order, so the result
+// is deterministic and identical to the sequential loop.
+func (db *DB) indexProbe(out *relation, probe, indexed *relation, links []eqLink, li int, col string, indexedIsRight bool) error {
+	idx := indexed.base.indexFor(col)
+	if idx == nil {
+		return fmt.Errorf("sql: internal: index on %q vanished", col)
 	}
-	return b.String(), true
+	irows := indexed.base.Rows()
+	keyPos := links[li].li
+	if !indexedIsRight {
+		keyPos = links[li].ri
+	}
+	pendOK := db.compilePred(indexed.pending, indexed)
+	w := planWorkers(len(probe.rows))
+	parts := make([][]Row, w)
+	err := parallelChunks(len(probe.rows), w, func(chunk, lo, hi int) error {
+		var local []Row
+		var arena rowArena
+		for _, pr := range probe.rows[lo:hi] {
+			v := pr[keyPos]
+			if v.IsNull() {
+				continue
+			}
+		cand:
+			for _, id := range idx.lookupVal(v) {
+				ir := irows[id]
+				for _, lk := range links {
+					lv, rv := pr[lk.li], ir[lk.ri]
+					if !indexedIsRight {
+						lv, rv = ir[lk.li], pr[lk.ri]
+					}
+					if !Equal(lv, rv) {
+						continue cand
+					}
+				}
+				ok, err := pendOK(ir)
+				if err != nil {
+					return err
+				}
+				if !ok {
+					continue cand
+				}
+				if indexedIsRight {
+					local = append(local, arena.combine(pr, ir))
+				} else {
+					local = append(local, arena.combine(ir, pr))
+				}
+			}
+		}
+		parts[chunk] = local
+		return nil
+	})
+	if err != nil {
+		return err
+	}
+	for _, p := range parts {
+		out.rows = append(out.rows, p...)
+	}
+	return nil
+}
+
+// hashJoinInto builds a hash table on next's link columns and probes
+// it with cur's rows, appending combined rows to out in probe order.
+// A single int-typed link — the common case: every DPH/DS/RPH/RS join
+// runs over dictionary ids — uses an exact map[int64] kernel; other
+// shapes bucket by FNV-mixed uint64 hashes verified per candidate.
+// The probe loop fans out across workers above the row threshold.
+func (db *DB) hashJoinInto(out *relation, cur, next *relation, links []eqLink) {
+	if len(links) == 1 && db.intHashJoin(out, cur, next, links[0]) {
+		return
+	}
+	build := make(map[uint64][]Row, len(next.rows))
+	for _, rr := range next.rows {
+		h, ok := linkKeyHash(rr, links, false)
+		if !ok {
+			continue
+		}
+		build[h] = append(build[h], rr)
+	}
+	w := planWorkers(len(cur.rows))
+	parts := make([][]Row, w)
+	_ = parallelChunks(len(cur.rows), w, func(chunk, lo, hi int) error {
+		var local []Row
+		var arena rowArena
+		for _, lr := range cur.rows[lo:hi] {
+			h, ok := linkKeyHash(lr, links, true)
+			if !ok {
+				continue
+			}
+			for _, rr := range build[h] {
+				if linkKeyEqual(lr, rr, links) {
+					local = append(local, arena.combine(lr, rr))
+				}
+			}
+		}
+		parts[chunk] = local
+		return nil
+	})
+	for _, p := range parts {
+		out.rows = append(out.rows, p...)
+	}
+}
+
+// intHashJoin is the type-specialized single-link kernel: an exact
+// map[int64][]Row keyed by dictionary-encoded ids, no hashing of
+// formatted strings and no candidate verification. Returns false
+// without joining when a build-side key value belongs to a non-int
+// class (the caller then falls back to the hashed kernel); probe
+// values of other classes can never equal an int key and are skipped.
+func (db *DB) intHashJoin(out *relation, cur, next *relation, link eqLink) bool {
+	build := make(map[int64][]Row, len(next.rows))
+	for _, rr := range next.rows {
+		k, st := intLinkKey(rr[link.ri])
+		if st < 0 {
+			return false
+		}
+		if st == 0 {
+			continue // NULLs never join
+		}
+		build[k] = append(build[k], rr)
+	}
+	w := planWorkers(len(cur.rows))
+	parts := make([][]Row, w)
+	_ = parallelChunks(len(cur.rows), w, func(chunk, lo, hi int) error {
+		var local []Row
+		var arena rowArena
+		for _, lr := range cur.rows[lo:hi] {
+			k, st := intLinkKey(lr[link.li])
+			if st != 1 {
+				continue
+			}
+			for _, rr := range build[k] {
+				local = append(local, arena.combine(lr, rr))
+			}
+		}
+		parts[chunk] = local
+		return nil
+	})
+	for _, p := range parts {
+		out.rows = append(out.rows, p...)
+	}
+	return true
 }
 
 func combineShape(l, r *relation) *relation {
@@ -790,6 +889,44 @@ func combineRows(l, r Row) Row {
 	row := make(Row, 0, len(l)+len(r))
 	row = append(row, l...)
 	return append(row, r...)
+}
+
+// rowArena carves output rows out of large value blocks: the join and
+// projection kernels emit one row per match, and one allocation per
+// row is the dominant cost of wide scans. An arena is single-goroutine
+// state — each morsel worker owns its own.
+type rowArena struct {
+	buf  []Value
+	next int // size of the next block, grown geometrically
+}
+
+func (a *rowArena) alloc(n int) Row {
+	if n > len(a.buf) {
+		// Start small (selective joins emit a handful of rows) and
+		// double per block so bulk operators converge on large blocks.
+		sz := a.next
+		if sz < 64 {
+			sz = 64
+		}
+		if sz < n {
+			sz = n
+		}
+		a.buf = make([]Value, sz)
+		if sz < 16384 {
+			a.next = sz * 2
+		}
+	}
+	r := a.buf[:n:n]
+	a.buf = a.buf[n:]
+	return r
+}
+
+// combine is combineRows out of the arena.
+func (a *rowArena) combine(l, r Row) Row {
+	out := a.alloc(len(l) + len(r))
+	copy(out, l)
+	copy(out[len(l):], r)
+	return out
 }
 
 // joinOn implements explicit [LEFT OUTER] JOIN ... ON.
@@ -821,37 +958,26 @@ func (db *DB) joinOn(left, right *relation, on Expr, outer bool) (*relation, err
 		}
 		residual = append(residual, c)
 	}
-	ctx := newRowCtx(out, db)
-	matchResidual := func(row Row) (bool, error) {
-		ctx.row = row
-		for _, c := range residual {
-			v, err := evalExpr(c, ctx)
-			if err != nil {
-				return false, err
-			}
-			if !v.Truth() {
-				return false, nil
-			}
-		}
-		return true, nil
-	}
 	nulls := make(Row, len(right.cols))
+	resOK := db.compilePred(residual, out)
 	if li, col := indexLink(right, links, true); li >= 0 && len(left.rows) < len(right.rows) {
+		idx := right.base.indexFor(col)
+		rrows := right.base.Rows()
+		var arena rowArena
 		for _, lr := range left.rows {
 			matched := false
 			v := lr[links[li].li]
-			if !v.IsNull() {
-				ids, _ := right.base.lookup(col, v)
+			if !v.IsNull() && idx != nil {
 			probeOn:
-				for _, id := range ids {
-					rr := right.base.RowAt(int(id))
+				for _, id := range idx.lookupVal(v) {
+					rr := rrows[id]
 					for _, lk := range links {
 						if !Equal(lr[lk.li], rr[lk.ri]) {
 							continue probeOn
 						}
 					}
-					row := combineRows(lr, rr)
-					ok, err := matchResidual(row)
+					row := arena.combine(lr, rr)
+					ok, err := resOK(row)
 					if err != nil {
 						return nil, err
 					}
@@ -862,48 +988,65 @@ func (db *DB) joinOn(left, right *relation, on Expr, outer bool) (*relation, err
 				}
 			}
 			if outer && !matched {
-				out.rows = append(out.rows, combineRows(lr, nulls))
+				out.rows = append(out.rows, arena.combine(lr, nulls))
 			}
 		}
 		return out, nil
 	}
 	if len(links) > 0 {
-		build := make(map[string][]Row, len(right.rows))
-		var b strings.Builder
+		build := make(map[uint64][]Row, len(right.rows))
 		for _, rr := range right.rows {
-			k, ok := joinKey(&b, rr, links, false)
+			h, ok := linkKeyHash(rr, links, false)
 			if !ok {
 				continue
 			}
-			build[k] = append(build[k], rr)
+			build[h] = append(build[h], rr)
 		}
-		for _, lr := range left.rows {
-			matched := false
-			if k, ok := joinKey(&b, lr, links, true); ok {
-				for _, rr := range build[k] {
-					row := combineRows(lr, rr)
-					ok, err := matchResidual(row)
-					if err != nil {
-						return nil, err
-					}
-					if ok {
-						out.rows = append(out.rows, row)
-						matched = true
+		w := planWorkers(len(left.rows))
+		parts := make([][]Row, w)
+		err := parallelChunks(len(left.rows), w, func(chunk, lo, hi int) error {
+			var local []Row
+			var arena rowArena
+			for _, lr := range left.rows[lo:hi] {
+				matched := false
+				if h, ok := linkKeyHash(lr, links, true); ok {
+					for _, rr := range build[h] {
+						if !linkKeyEqual(lr, rr, links) {
+							continue
+						}
+						row := arena.combine(lr, rr)
+						ok, err := resOK(row)
+						if err != nil {
+							return err
+						}
+						if ok {
+							local = append(local, row)
+							matched = true
+						}
 					}
 				}
+				if outer && !matched {
+					local = append(local, arena.combine(lr, nulls))
+				}
 			}
-			if outer && !matched {
-				out.rows = append(out.rows, combineRows(lr, nulls))
-			}
+			parts[chunk] = local
+			return nil
+		})
+		if err != nil {
+			return nil, err
+		}
+		for _, p := range parts {
+			out.rows = append(out.rows, p...)
 		}
 		return out, nil
 	}
 	// Nested loop.
+	var arena rowArena
 	for _, lr := range left.rows {
 		matched := false
 		for _, rr := range right.rows {
-			row := combineRows(lr, rr)
-			ok, err := matchResidual(row)
+			row := arena.combine(lr, rr)
+			ok, err := resOK(row)
 			if err != nil {
 				return nil, err
 			}
@@ -913,14 +1056,17 @@ func (db *DB) joinOn(left, right *relation, on Expr, outer bool) (*relation, err
 			}
 		}
 		if outer && !matched {
-			out.rows = append(out.rows, combineRows(lr, nulls))
+			out.rows = append(out.rows, arena.combine(lr, nulls))
 		}
 	}
 	return out, nil
 }
 
-// project evaluates the SELECT list over the joined relation.
-func (db *DB) project(core *SelectCore, r *relation) (*ResultSet, error) {
+// project evaluates the SELECT list over the joined relation. live
+// (nil = all) is the set of output columns any downstream select can
+// observe: dead expression items are not evaluated, their slot left
+// NULL, which is indistinguishable to consumers of the live columns.
+func (db *DB) project(core *SelectCore, r *relation, live map[string]bool) (*ResultSet, error) {
 	var names []string
 	var exprs []Expr // nil entry means direct column copy at positions[i]
 	var positions []int
@@ -960,23 +1106,80 @@ func (db *DB) project(core *SelectCore, r *relation) (*ResultSet, error) {
 		exprs = append(exprs, item.Expr)
 		positions = append(positions, -1)
 	}
-	rs := &ResultSet{Columns: names}
-	ctx := newRowCtx(r, db)
-	for _, row := range r.rows {
-		ctx.row = row
-		outRow := make(Row, len(names))
-		for i := range names {
-			if exprs[i] == nil {
-				outRow[i] = row[positions[i]]
-				continue
+	if live != nil {
+		// Dead-column pruning (see deadcols.go). Only expression items
+		// are worth skipping — direct copies are a pointer move — and
+		// only when no star item shifted the positional names the
+		// analysis computed. positions[i] = -2 marks a dead slot: never
+		// read from the input row, left NULL in the output.
+		star := false
+		for _, item := range core.Items {
+			if item.Star {
+				star = true
 			}
-			v, err := evalExpr(exprs[i], ctx)
+		}
+		if !star {
+			for i := range names {
+				if exprs[i] != nil && !live[names[i]] {
+					exprs[i] = nil
+					positions[i] = -2
+				}
+			}
+		}
+	}
+	rs := &ResultSet{Columns: names}
+	if n := len(r.rows); n > 0 {
+		// Compile the non-trivial projection expressions once; direct
+		// column copies stay nil.
+		compiled := make([]compiledExpr, len(names))
+		identity := len(names) == len(r.cols)
+		for i := range names {
+			if exprs[i] != nil {
+				compiled[i] = db.compileExpr(exprs[i], r)
+				identity = false
+			} else if positions[i] != i {
+				identity = false
+			}
+		}
+		if identity {
+			// Pure column-preserving rename (e.g. the translator's
+			// `SELECT A.r0 AS v_x FROM QT2 AS A` CTE hops): reuse the
+			// input rows, copying only the row-pointer slice so later
+			// in-place reordering (ORDER BY) cannot alias table storage.
+			rs.Rows = append([]Row(nil), r.rows...)
+		} else {
+			// One output row per input row, written in place by index, so
+			// the parallel fan-out is deterministic by construction.
+			rows := make([]Row, n)
+			w := planWorkers(n)
+			width := len(names)
+			err := parallelChunks(n, w, func(chunk, lo, hi int) error {
+				var arena rowArena
+				for ri := lo; ri < hi; ri++ {
+					row := r.rows[ri]
+					outRow := arena.alloc(width)
+					for i := range names {
+						if compiled[i] == nil {
+							if p := positions[i]; p >= 0 {
+								outRow[i] = row[p]
+							}
+							continue
+						}
+						v, err := compiled[i](row)
+						if err != nil {
+							return err
+						}
+						outRow[i] = v
+					}
+					rows[ri] = outRow
+				}
+				return nil
+			})
 			if err != nil {
 				return nil, err
 			}
-			outRow[i] = v
+			rs.Rows = rows
 		}
-		rs.Rows = append(rs.Rows, outRow)
 	}
 	if core.Distinct {
 		rs.Rows = dedupRows(rs.Rows)

@@ -1,0 +1,222 @@
+package rel
+
+import (
+	"fmt"
+	"reflect"
+	"sort"
+	"testing"
+)
+
+// renderSorted renders a result set's rows into canonical strings and
+// sorts them, for order-insensitive comparison.
+func renderSorted(rs *ResultSet) []string {
+	out := make([]string, len(rs.Rows))
+	for i, r := range rs.Rows {
+		s := ""
+		for j, v := range r {
+			if j > 0 {
+				s += " | "
+			}
+			s += fmt.Sprintf("%#v", v)
+		}
+		out[i] = s
+	}
+	sort.Strings(out)
+	return out
+}
+
+func TestJoinNullsNeverMatch(t *testing.T) {
+	db := NewDB()
+	mustTable(t, db, "l", Schema{{Name: "id", Type: TInt}, {Name: "k", Type: TInt}}, []Row{
+		{Int(1), Int(10)},
+		{Int(2), Null},
+		{Int(3), Null},
+	})
+	rt := mustTable(t, db, "r", Schema{{Name: "k", Type: TInt}, {Name: "v", Type: TInt}}, []Row{
+		{Int(10), Int(100)},
+		{Null, Int(200)},
+		{Null, Int(300)},
+	})
+	rs := queryRows(t, db, "SELECT l.id, r.v FROM l, r WHERE l.k = r.k")
+	if len(rs.Rows) != 1 {
+		t.Fatalf("NULL keys must never join: want 1 row, got %d: %v", len(rs.Rows), rs.Rows)
+	}
+	if rs.Rows[0][0].I != 1 || rs.Rows[0][1].I != 100 {
+		t.Fatalf("wrong surviving row: %v", rs.Rows[0])
+	}
+	// Same via the indexed path.
+	if err := rt.CreateIndex("k"); err != nil {
+		t.Fatal(err)
+	}
+	rs = queryRows(t, db, "SELECT l.id, r.v FROM l, r WHERE l.k = r.k")
+	if len(rs.Rows) != 1 {
+		t.Fatalf("indexed: want 1 row, got %d: %v", len(rs.Rows), rs.Rows)
+	}
+}
+
+func TestJoinIntMatchesIntegralFloat(t *testing.T) {
+	db := NewDB()
+	mustTable(t, db, "a", Schema{{Name: "x", Type: TInt}}, []Row{
+		{Int(1)},
+		{Int(2)},
+	})
+	mustTable(t, db, "b", Schema{{Name: "y", Type: TFloat}, {Name: "tag", Type: TString}}, []Row{
+		{Float(1.0), Str("one")},
+		{Float(1.5), Str("one-and-a-half")},
+		{Float(2.0), Str("two")},
+	})
+	rs := queryRows(t, db, "SELECT a.x, b.tag FROM a, b WHERE a.x = b.y")
+	got := renderSorted(rs)
+	if len(got) != 2 {
+		t.Fatalf("1 must join 1.0 and 2 must join 2.0: got %v", got)
+	}
+}
+
+func TestMultiColumnJoin(t *testing.T) {
+	db := NewDB()
+	mustTable(t, db, "l", Schema{{Name: "a", Type: TInt}, {Name: "b", Type: TString}, {Name: "id", Type: TInt}}, []Row{
+		{Int(1), Str("x"), Int(100)},
+		{Int(1), Str("y"), Int(101)},
+		{Int(2), Str("x"), Int(102)},
+		{Null, Str("x"), Int(103)},
+	})
+	mustTable(t, db, "r", Schema{{Name: "a", Type: TInt}, {Name: "b", Type: TString}, {Name: "id", Type: TInt}}, []Row{
+		{Int(1), Str("x"), Int(200)},
+		{Int(2), Str("x"), Int(201)},
+		{Int(2), Str("z"), Int(202)},
+		{Null, Str("x"), Int(203)},
+	})
+	rs := queryRows(t, db, "SELECT l.id, r.id FROM l, r WHERE l.a = r.a AND l.b = r.b")
+	got := renderSorted(rs)
+	if len(got) != 2 {
+		t.Fatalf("want exactly (100,200) and (102,201): got %v", got)
+	}
+}
+
+func TestOrderByDescNulls(t *testing.T) {
+	db := NewDB()
+	mustTable(t, db, "v", Schema{{Name: "id", Type: TInt}, {Name: "x", Type: TInt}}, []Row{
+		{Int(1), Int(5)},
+		{Int(2), Null},
+		{Int(3), Int(9)},
+	})
+	// ASC sorts NULLs last; DESC is its exact reversal, so NULLs come
+	// first.
+	rs := queryRows(t, db, "SELECT id, x FROM v ORDER BY x DESC")
+	var ids []int64
+	for _, r := range rs.Rows {
+		ids = append(ids, r[0].I)
+	}
+	if !reflect.DeepEqual(ids, []int64{2, 3, 1}) {
+		t.Fatalf("ORDER BY x DESC: want ids [2 3 1] (NULL first), got %v", ids)
+	}
+}
+
+func TestOffsetEqualsRowCount(t *testing.T) {
+	db := NewDB()
+	mustTable(t, db, "v", Schema{{Name: "x", Type: TInt}}, []Row{
+		{Int(1)}, {Int(2)}, {Int(3)},
+	})
+	rs := queryRows(t, db, "SELECT x FROM v ORDER BY x LIMIT 10 OFFSET 3")
+	if len(rs.Rows) != 0 {
+		t.Fatalf("OFFSET == len(rows) must yield 0 rows, got %d", len(rs.Rows))
+	}
+	rs = queryRows(t, db, "SELECT x FROM v ORDER BY x LIMIT 10 OFFSET 2")
+	if len(rs.Rows) != 1 || rs.Rows[0][0].I != 3 {
+		t.Fatalf("OFFSET 2 must keep the last row, got %v", rs.Rows)
+	}
+}
+
+func TestDistinctMixedKinds(t *testing.T) {
+	db := NewDB()
+	mustTable(t, db, "ints", Schema{{Name: "x", Type: TInt}}, []Row{
+		{Int(1)}, {Int(1)}, {Int(2)}, {Null},
+	})
+	mustTable(t, db, "floats", Schema{{Name: "x", Type: TFloat}}, []Row{
+		{Float(1.0)}, {Float(2.5)}, {Null},
+	})
+	// DISTINCT over a union of int and float rows: 1 and 1.0 are the
+	// same key, both NULLs collapse, 2.5 stays.
+	rs := queryRows(t, db, "SELECT x FROM ints UNION SELECT x FROM floats")
+	if len(rs.Rows) != 4 {
+		t.Fatalf("want 4 distinct values {NULL, 1, 2, 2.5}, got %d: %v", len(rs.Rows), renderSorted(rs))
+	}
+}
+
+// TestSeparatorCollision is a regression test for the old row-key
+// scheme, which concatenated raw column renderings with a \x1f
+// separator: a value containing \x1f could shift the column boundary
+// and alias a different row.
+func TestSeparatorCollision(t *testing.T) {
+	db := NewDB()
+	// Old scheme: key("a\x1fb", "c") == "a" + \x1f + "b" + \x1f + "c"
+	// == key("a", "b\x1fc"). The two rows are distinct and must stay so.
+	mustTable(t, db, "p", Schema{{Name: "a", Type: TString}, {Name: "b", Type: TString}}, []Row{
+		{Str("a\x1fb"), Str("c")},
+		{Str("a"), Str("b\x1fc")},
+	})
+	rs := queryRows(t, db, "SELECT DISTINCT a, b FROM p")
+	if len(rs.Rows) != 2 {
+		t.Fatalf("rows differing only in \\x1f placement must stay distinct, got %d: %v", len(rs.Rows), renderSorted(rs))
+	}
+	// Same for multi-column hash-join keys.
+	mustTable(t, db, "q", Schema{{Name: "a", Type: TString}, {Name: "b", Type: TString}}, []Row{
+		{Str("a\x1fb"), Str("c")},
+	})
+	rs = queryRows(t, db, "SELECT p.a FROM p, q WHERE p.a = q.a AND p.b = q.b")
+	if len(rs.Rows) != 1 {
+		t.Fatalf("multi-column join must match exactly one row, got %d: %v", len(rs.Rows), renderSorted(rs))
+	}
+}
+
+// kernelCorpus builds a db with enough rows to clear a forced-low
+// parallel threshold and returns queries covering the specialized
+// paths: int hash join, generic hash join, indexed join, filter,
+// projection and DISTINCT.
+func kernelCorpus(t *testing.T) (*DB, []string) {
+	t.Helper()
+	db := NewDB()
+	const n = 3000
+	edges := make([]Row, 0, n)
+	for i := 0; i < n; i++ {
+		to := Value{K: KindInt, I: int64((i*7 + 3) % 997)}
+		if i%13 == 0 {
+			to = Null
+		}
+		edges = append(edges, Row{Int(int64(i % 997)), to, Str(fmt.Sprintf("e%d", i%57))})
+	}
+	mustTable(t, db, "e", Schema{{Name: "src", Type: TInt}, {Name: "dst", Type: TInt}, {Name: "lbl", Type: TString}}, edges)
+	nodes := make([]Row, 0, 997)
+	for i := 0; i < 997; i++ {
+		nodes = append(nodes, Row{Int(int64(i)), Str(fmt.Sprintf("n%d", i%31))})
+	}
+	nt := mustTable(t, db, "node", Schema{{Name: "id", Type: TInt}, {Name: "name", Type: TString}}, nodes)
+	if err := nt.CreateIndex("id"); err != nil {
+		t.Fatal(err)
+	}
+	queries := []string{
+		"SELECT e.src, e.dst FROM e WHERE e.src < 100",
+		"SELECT DISTINCT e.lbl FROM e",
+		"SELECT e.src, n.name FROM e, node AS n WHERE e.dst = n.id AND e.src < 200",
+		"SELECT a.src, b.dst FROM e AS a, e AS b WHERE a.dst = b.src AND a.src = 5",
+		"SELECT DISTINCT a.lbl, b.lbl FROM e AS a, e AS b WHERE a.dst = b.src AND a.src < 20",
+		"SELECT e.src AS s FROM e ORDER BY s DESC LIMIT 50 OFFSET 10",
+	}
+	return db, queries
+}
+
+// TestParallelKernelEquivalence runs the kernel corpus with morsel
+// parallelism forced off and forced on and demands identical results.
+func TestParallelKernelEquivalence(t *testing.T) {
+	db, queries := kernelCorpus(t)
+	defer SetParallelism(0, 0)
+	for _, q := range queries {
+		SetParallelism(1, 0) // sequential
+		seq := renderSorted(queryRows(t, db, q))
+		SetParallelism(4, 1) // every operator parallel
+		par := renderSorted(queryRows(t, db, q))
+		if !reflect.DeepEqual(seq, par) {
+			t.Errorf("query %q: sequential and parallel kernels disagree\nseq: %v\npar: %v", q, seq, par)
+		}
+	}
+}

@@ -1,0 +1,85 @@
+package rel
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Morsel-style parallelism for the executor's inner loops. The probe
+// side of hash joins and the inputs of filters and projections are
+// partitioned into contiguous chunks across worker goroutines above a
+// row threshold; each worker appends to its own output slice and the
+// slices are concatenated in chunk order, so parallel execution
+// produces exactly the rows, in exactly the order, of the sequential
+// loop. Per-row state (rowCtx expression caches) is per worker.
+
+// defaultParallelThreshold is the minimum number of input rows before
+// a loop fans out. Below it, goroutine startup dominates any win.
+const defaultParallelThreshold = 4096
+
+var (
+	parWorkers   atomic.Int32 // 0 = GOMAXPROCS; 1 disables parallelism
+	parThreshold atomic.Int32 // 0 = defaultParallelThreshold
+)
+
+// SetParallelism configures executor parallelism. workers is the
+// maximum worker count (0 restores the default of GOMAXPROCS, 1 forces
+// sequential execution); threshold is the minimum input rows before a
+// loop fans out (0 restores the default). Safe to call concurrently
+// with running queries; tests use it to force the parallel kernels on
+// (workers > 1, threshold 1) and off (workers 1).
+func SetParallelism(workers, threshold int) {
+	parWorkers.Store(int32(workers))
+	parThreshold.Store(int32(threshold))
+}
+
+// planWorkers returns the number of workers to fan n rows across.
+func planWorkers(n int) int {
+	th := int(parThreshold.Load())
+	if th <= 0 {
+		th = defaultParallelThreshold
+	}
+	if n < th {
+		return 1
+	}
+	w := int(parWorkers.Load())
+	if w <= 0 {
+		w = runtime.GOMAXPROCS(0)
+	}
+	if w > n {
+		w = n
+	}
+	return w
+}
+
+// parallelChunks partitions [0, n) into w contiguous ranges and runs
+// fn(chunk, lo, hi) for each on its own goroutine (inline when w <= 1).
+// The first non-nil error (by chunk order) is returned.
+func parallelChunks(n, w int, fn func(chunk, lo, hi int) error) error {
+	if w <= 1 {
+		return fn(0, 0, n)
+	}
+	errs := make([]error, w)
+	var wg sync.WaitGroup
+	lo := 0
+	for c := 0; c < w; c++ {
+		hi := lo + n/w
+		if c < n%w {
+			hi++
+		}
+		wg.Add(1)
+		go func(c, lo, hi int) {
+			defer wg.Done()
+			errs[c] = fn(c, lo, hi)
+		}(c, lo, hi)
+		lo = hi
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -187,32 +187,44 @@ func (t *Table) HasIndex(col string) bool {
 // lookup returns the matching row ids for col = v, and whether an index
 // was available.
 func (t *Table) lookup(col string, v Value) ([]int32, bool) {
-	t.mu.RLock()
-	idx, ok := t.indexes[strings.ToLower(col)]
-	t.mu.RUnlock()
-	if !ok {
+	idx := t.indexFor(col)
+	if idx == nil {
 		return nil, false
 	}
+	return idx.lookupVal(v), true
+}
+
+// indexFor resolves the hash index on col once, so probe loops can
+// look values up without re-resolving (and lower-casing) the column
+// name per probed row. Returns nil when the column is not indexed.
+// The returned index must only be read while writers are excluded
+// (the store-level lock does this for the query pipeline).
+func (t *Table) indexFor(col string) *hashIndex {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return t.indexes[strings.ToLower(col)]
+}
+
+// lookupVal returns the row ids matching v under join key semantics:
+// an integral float probes an int index (1 joins 1.0), any other type
+// mismatch matches nothing.
+func (x *hashIndex) lookupVal(v Value) []int32 {
 	switch {
-	case idx.ints != nil:
+	case x.ints != nil:
 		switch v.K {
 		case KindInt:
-			return idx.ints[v.I], true
+			return x.ints[v.I]
 		case KindFloat:
 			if v.F == float64(int64(v.F)) {
-				return idx.ints[int64(v.F)], true
+				return x.ints[int64(v.F)]
 			}
-			return nil, true
-		default:
-			return nil, true // type mismatch: no int row can equal it
 		}
-	case idx.strs != nil:
+	case x.strs != nil:
 		if v.K == KindString {
-			return idx.strs[v.S], true
+			return x.strs[v.S]
 		}
-		return nil, true
 	}
-	return nil, false
+	return nil
 }
 
 func (x *hashIndex) add(r Row, id int32) {

@@ -117,7 +117,12 @@ func (v Value) String() string {
 }
 
 // key returns a canonical representation used for hashing (joins,
-// DISTINCT, UNION dedup). NULLs hash together.
+// DISTINCT, UNION dedup). NULLs hash together. String keys are
+// length-prefixed so a composite key built from several key() strings
+// cannot collide across column boundaries whatever bytes a literal
+// contains (the hot executor paths now hash canonical forms directly —
+// see hash.go — but key() remains the reference definition of key
+// equality and must itself be injective).
 func (v Value) key() string {
 	switch v.K {
 	case KindNull:
@@ -131,7 +136,7 @@ func (v Value) key() string {
 		}
 		return "f" + strconv.FormatFloat(v.F, 'g', -1, 64)
 	case KindString:
-		return "s" + v.S
+		return "s" + strconv.Itoa(len(v.S)) + ":" + v.S
 	case KindBool:
 		if v.I != 0 {
 			return "bt"

@@ -68,6 +68,7 @@ func (s *Store) LoadParallel(r io.Reader, workers int) (int, error) {
 	workers = normWorkers(workers)
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	s.epoch.Add(1)
 	enc, err := s.encodeStream(r, workers)
 	if err != nil {
 		return 0, err
@@ -81,6 +82,7 @@ func (s *Store) LoadTriplesParallel(ts []rdf.Triple, workers int) error {
 	workers = normWorkers(workers)
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	s.epoch.Add(1)
 	enc := s.encodeSlice(ts, workers)
 	return s.bulkLoadLocked(enc, workers)
 }

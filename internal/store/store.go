@@ -11,6 +11,7 @@ import (
 	"io"
 	"sort"
 	"sync"
+	"sync/atomic"
 
 	"db2rdf/internal/coloring"
 	"db2rdf/internal/dict"
@@ -80,7 +81,21 @@ type Store struct {
 
 	mu    sync.RWMutex
 	stats *Stats
+
+	// epoch counts write calls. Every writer (Insert and all loaders)
+	// bumps it while holding the write lock, so a reader that observes
+	// Epoch() == E under the read lock knows the store content is the
+	// same snapshot any earlier epoch-E reader saw. The compiled-plan
+	// cache in package db2rdf keys its entries on it: loads can change
+	// spill and multi-value state and the predicate→column mapping view,
+	// all of which are baked into generated SQL.
+	epoch atomic.Uint64
 }
+
+// Epoch returns the store's write epoch (see the field comment). A
+// cached artifact derived at epoch E remains valid exactly while
+// Epoch() reads E under the store read lock.
+func (s *Store) Epoch() uint64 { return s.epoch.Load() }
 
 // RLock takes the store-wide read lock. The query pipeline holds it
 // across parse→optimize→translate→execute so a whole query sees one
@@ -210,6 +225,7 @@ func (s *Store) TableName(base string) string { return s.Opts.TablePrefix + base
 func (s *Store) Insert(t rdf.Triple) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	s.epoch.Add(1)
 	return s.insertLocked(t)
 }
 
@@ -368,6 +384,7 @@ func cloneRow(r rel.Row) rel.Row {
 func (s *Store) Load(r io.Reader) (int, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	s.epoch.Add(1)
 	rd := rdf.NewReader(r)
 	n := 0
 	for {
@@ -389,6 +406,7 @@ func (s *Store) Load(r io.Reader) (int, error) {
 func (s *Store) LoadTriples(ts []rdf.Triple) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	s.epoch.Add(1)
 	for _, t := range ts {
 		if err := s.insertLocked(t); err != nil {
 			return err

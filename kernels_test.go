@@ -1,0 +1,222 @@
+package db2rdf_test
+
+// End-to-end equivalence and plan-cache tests for the PR 2 executor
+// kernels: every query in the benchmark corpus (plus random BGPs from
+// the oracle generator) must produce identical results with morsel
+// parallelism forced off and forced on, and the compiled-plan cache
+// must be invisible except for speed — in particular it must
+// invalidate whenever the store's contents change.
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"db2rdf"
+	"db2rdf/internal/gen"
+	"db2rdf/internal/rdf"
+	"db2rdf/internal/rel"
+)
+
+// renderResults flattens a result set for order-insensitive comparison.
+func renderResults(res *db2rdf.Results) [][]string {
+	if res.IsAsk {
+		return [][]string{{fmt.Sprintf("ASK=%v", res.Ask)}}
+	}
+	out := make([][]string, len(res.Rows))
+	for i, row := range res.Rows {
+		r := make([]string, len(row))
+		for j, b := range row {
+			r[j] = b.String()
+		}
+		out[i] = r
+	}
+	return out
+}
+
+// runCorpus executes each query sequentially and with parallelism
+// forced on, failing on any result divergence.
+func runCorpus(t *testing.T, s *db2rdf.Store, label string, queries []gen.Query) {
+	t.Helper()
+	for _, q := range queries {
+		rel.SetParallelism(1, 0) // sequential kernels
+		seqRes, err := s.Query(q.SPARQL)
+		if err != nil {
+			t.Fatalf("%s/%s (sequential): %v", label, q.Name, err)
+		}
+		seq := canonical(renderResults(seqRes))
+		rel.SetParallelism(4, 1) // every eligible operator runs parallel
+		parRes, err := s.Query(q.SPARQL)
+		if err != nil {
+			t.Fatalf("%s/%s (parallel): %v", label, q.Name, err)
+		}
+		par := canonical(renderResults(parRes))
+		if len(seq) != len(par) {
+			t.Errorf("%s/%s: row count differs: sequential=%d parallel=%d", label, q.Name, len(seq), len(par))
+			continue
+		}
+		for i := range seq {
+			if seq[i] != par[i] {
+				t.Errorf("%s/%s: row %d differs:\nseq: %s\npar: %s", label, q.Name, i, seq[i], par[i])
+				break
+			}
+		}
+	}
+}
+
+// TestKernelEquivalence runs the benchmark workloads and a batch of
+// random BGPs with the parallel kernels forced off and on; results
+// must match exactly. ci.sh runs this under -race, which also makes it
+// the data-race probe for the morsel partitioning.
+func TestKernelEquivalence(t *testing.T) {
+	defer rel.SetParallelism(0, 0)
+	datasets := []*gen.Dataset{gen.Micro(5000), gen.LUBM(1)}
+	for _, ds := range datasets {
+		s, err := db2rdf.Open(db2rdf.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := s.LoadTriples(ds.Triples); err != nil {
+			t.Fatal(err)
+		}
+		runCorpus(t, s, ds.Name, ds.Queries)
+	}
+
+	// Oracle-style random BGPs over random datasets.
+	r := rand.New(rand.NewSource(7))
+	for i := 0; i < 25; i++ {
+		triples := randomDataset(r)
+		s, err := db2rdf.Open(db2rdf.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := s.LoadTriples(triples); err != nil {
+			t.Fatal(err)
+		}
+		var queries []gen.Query
+		for j := 0; j < 8; j++ {
+			_, sparqlText := randomBGP(r)
+			queries = append(queries, gen.Query{Name: fmt.Sprintf("bgp%d_%d", i, j), SPARQL: sparqlText})
+		}
+		runCorpus(t, s, fmt.Sprintf("random%d", i), queries)
+	}
+}
+
+// TestPlanCacheInvalidation checks the epoch contract: a cached plan
+// must never serve results from a stale store state.
+func TestPlanCacheInvalidation(t *testing.T) {
+	s, err := db2rdf.Open(db2rdf.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mk := func(i int) rdf.Triple {
+		return rdf.NewTriple(rdf.NewIRI(fmt.Sprintf("s%d", i)), rdf.NewIRI("p"), rdf.NewIRI("o"))
+	}
+	if err := s.LoadTriples([]rdf.Triple{mk(0), mk(1)}); err != nil {
+		t.Fatal(err)
+	}
+	const q = `SELECT ?s WHERE { ?s <p> <o> }`
+	res := s.MustQuery(q)
+	if len(res.Rows) != 2 {
+		t.Fatalf("want 2 rows before load, got %d", len(res.Rows))
+	}
+	// The plan is now cached and valid.
+	expl, err := s.Explain(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !expl.PlanCached {
+		t.Fatal("plan should be cached after first execution")
+	}
+
+	// Insert must bump the epoch: the same query text sees new data.
+	if err := s.Insert(mk(2)); err != nil {
+		t.Fatal(err)
+	}
+	if expl, err = s.Explain(q); err != nil {
+		t.Fatal(err)
+	}
+	if expl.PlanCached {
+		t.Fatal("cached plan must be stale after Insert")
+	}
+	if res = s.MustQuery(q); len(res.Rows) != 3 {
+		t.Fatalf("want 3 rows after Insert, got %d", len(res.Rows))
+	}
+
+	// Bulk load (parallel pipeline) must also invalidate.
+	if err := s.LoadTriplesParallel([]rdf.Triple{mk(3), mk(4)}, 2); err != nil {
+		t.Fatal(err)
+	}
+	if res = s.MustQuery(q); len(res.Rows) != 5 {
+		t.Fatalf("want 5 rows after LoadTriplesParallel, got %d", len(res.Rows))
+	}
+}
+
+// TestPlanCacheHits checks the hit/miss accounting and ResetPlanCache.
+func TestPlanCacheHits(t *testing.T) {
+	s, err := db2rdf.Open(db2rdf.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.LoadTriples([]rdf.Triple{
+		rdf.NewTriple(rdf.NewIRI("s"), rdf.NewIRI("p"), rdf.NewIRI("o")),
+	}); err != nil {
+		t.Fatal(err)
+	}
+	const q = `SELECT ?s WHERE { ?s <p> ?o }`
+	s.MustQuery(q)
+	h0, m0 := s.PlanCacheStats()
+	if h0 != 0 || m0 != 1 {
+		t.Fatalf("after first query: want 0 hits / 1 miss, got %d/%d", h0, m0)
+	}
+	s.MustQuery(q)
+	s.MustQuery(q)
+	h1, m1 := s.PlanCacheStats()
+	if h1 != 2 || m1 != 1 {
+		t.Fatalf("after repeats: want 2 hits / 1 miss, got %d/%d", h1, m1)
+	}
+	s.ResetPlanCache()
+	s.MustQuery(q)
+	h2, m2 := s.PlanCacheStats()
+	if h2 != 2 || m2 != 2 {
+		t.Fatalf("after reset: want 2 hits / 2 misses, got %d/%d", h2, m2)
+	}
+	expl, err := s.Explain(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !expl.PlanCached || expl.PlanCacheHits != 2 || expl.PlanCacheMisses != 2 {
+		t.Fatalf("Explain cache stats wrong: %+v", expl)
+	}
+}
+
+// TestPlanCacheSkipsClosures: property-path queries translate to SQL
+// over per-query temporary relations, so they must never be cached.
+func TestPlanCacheSkipsClosures(t *testing.T) {
+	s, err := db2rdf.Open(db2rdf.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.LoadTriples([]rdf.Triple{
+		rdf.NewTriple(rdf.NewIRI("a"), rdf.NewIRI("p"), rdf.NewIRI("b")),
+		rdf.NewTriple(rdf.NewIRI("b"), rdf.NewIRI("p"), rdf.NewIRI("c")),
+	}); err != nil {
+		t.Fatal(err)
+	}
+	const q = `SELECT ?x WHERE { <a> <p>+ ?x }`
+	res := s.MustQuery(q)
+	if len(res.Rows) != 2 {
+		t.Fatalf("path query: want 2 rows, got %d", len(res.Rows))
+	}
+	expl, err := s.Explain(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if expl.PlanCached {
+		t.Fatal("closure queries must not be plan-cached")
+	}
+	// And it keeps answering correctly on repetition.
+	if res = s.MustQuery(q); len(res.Rows) != 2 {
+		t.Fatalf("repeat path query: want 2 rows, got %d", len(res.Rows))
+	}
+}

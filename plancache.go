@@ -1,0 +1,121 @@
+package db2rdf
+
+import (
+	"container/list"
+	"sync"
+	"sync/atomic"
+
+	"db2rdf/internal/rel"
+	"db2rdf/internal/sparql"
+	"db2rdf/internal/translator"
+)
+
+// The compiled-plan cache. Parsing SPARQL, running the two-step
+// optimizer, generating SQL and parsing that SQL back into the
+// relational AST is pure computation over (query text, store state) —
+// under heavy repeated query traffic it dominates short queries. A
+// Store memoizes the whole pipeline keyed by query text, validated by
+// the store's write epoch: any load bumps the epoch (spill state,
+// multi-value state and the predicate→column mapping view all feed
+// the generated SQL), so stale plans are detected lazily and recompiled.
+//
+// Queries with property-path closures are not cached: their
+// translation references per-query PATHTMP_n temporary relations that
+// are dropped when the query finishes.
+
+// defaultPlanCacheSize bounds the LRU cache; beyond it the least
+// recently used entry is evicted.
+const defaultPlanCacheSize = 256
+
+// compiledPlan is one fully compiled query: the rewritten SPARQL AST
+// (needed for projection of the unit solution), the translation
+// result, and the parsed relational AST, ready for rel.DB.Exec. All
+// fields are read-only after construction, so one compiledPlan may be
+// executed by any number of concurrent queries.
+type compiledPlan struct {
+	key    string
+	epoch  uint64
+	parsed *sparql.Query
+	tr     *translator.Result
+	rq     *rel.Query // nil when tr.SQL is empty (empty-pattern query)
+}
+
+// planCache is a mutex-guarded LRU map from query text to compiled
+// plan. It is a leaf lock: nothing is acquired while holding it, and
+// it is taken by readers holding the store read lock.
+type planCache struct {
+	mu      sync.Mutex
+	cap     int
+	order   *list.List               // front = most recently used
+	entries map[string]*list.Element // element value: *compiledPlan
+
+	hits   atomic.Uint64
+	misses atomic.Uint64
+}
+
+func newPlanCache(capacity int) *planCache {
+	return &planCache{
+		cap:     capacity,
+		order:   list.New(),
+		entries: make(map[string]*list.Element),
+	}
+}
+
+// get returns the cached plan for q if present and compiled at the
+// given epoch; a stale entry is evicted and counted as a miss.
+func (c *planCache) get(q string, epoch uint64) (*compiledPlan, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.entries[q]; ok {
+		cp := el.Value.(*compiledPlan)
+		if cp.epoch == epoch {
+			c.order.MoveToFront(el)
+			c.hits.Add(1)
+			return cp, true
+		}
+		c.order.Remove(el)
+		delete(c.entries, q)
+	}
+	c.misses.Add(1)
+	return nil, false
+}
+
+// put inserts (or replaces) the plan, evicting the least recently used
+// entries beyond capacity.
+func (c *planCache) put(cp *compiledPlan) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.entries[cp.key]; ok {
+		el.Value = cp
+		c.order.MoveToFront(el)
+		return
+	}
+	c.entries[cp.key] = c.order.PushFront(cp)
+	for c.order.Len() > c.cap {
+		back := c.order.Back()
+		c.order.Remove(back)
+		delete(c.entries, back.Value.(*compiledPlan).key)
+	}
+}
+
+// contains reports whether q is cached and valid at epoch, without
+// touching the hit/miss counters or the LRU order.
+func (c *planCache) contains(q string, epoch uint64) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.entries[q]
+	return ok && el.Value.(*compiledPlan).epoch == epoch
+}
+
+// reset drops every entry (counters are kept).
+func (c *planCache) reset() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.order.Init()
+	c.entries = make(map[string]*list.Element)
+}
+
+// stats returns the lifetime hit and miss counts.
+func (c *planCache) stats() (hits, misses uint64) {
+	return c.hits.Load(), c.misses.Load()
+}
