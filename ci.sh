@@ -11,4 +11,11 @@ echo "== go test -race =="
 go test -race ./...
 echo "== kernel equivalence (parallel on/off) and plan cache =="
 go test -race -run 'TestKernelEquivalence|TestPlanCache' -count=1 .
+echo "== abort paths (governance, fault injection, panic containment) =="
+go test -race -count=1 \
+    -run 'TestExecContext|TestFault|TestPanic|TestAbort|Budget|TestQueryContext|TestDeadline|TestQueryTimeout|TestEarlierParent|TestGraphQueryGovernance|TestPathClosureGovernance|TestExplainGovernance' \
+    ./internal/rel/ .
+echo "== fuzz smoke (5s per target) =="
+go test -run '^$' -fuzz '^FuzzLoadReader$' -fuzztime 5s .
+go test -run '^$' -fuzz '^FuzzParseQuery$' -fuzztime 5s .
 echo "ok"

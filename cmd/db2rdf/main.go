@@ -42,15 +42,26 @@ func main() {
 	color := flag.Bool("color", false, "build a coloring-based predicate mapping from the loaded data (requires re-load; slower load, tighter layout)")
 	noopt := flag.Bool("noopt", false, "disable the hybrid optimizer (document-order flow)")
 	workers := flag.Int("workers", runtime.GOMAXPROCS(0), "parallel load workers (1 = sequential load)")
+	timeout := flag.Duration("timeout", 0, "per-query deadline, e.g. 500ms (0 = none)")
+	maxRows := flag.Int64("max-rows", 0, "per-query row budget, counting intermediate results (0 = unlimited)")
+	maxBytes := flag.Int64("max-bytes", 0, "per-query executor memory budget in bytes (0 = unlimited)")
 	flag.Parse()
 
-	if err := realMain(loads, *query, *queryFile, *explain, *run, *stats, *k, *color, *noopt, *workers); err != nil {
+	gov := govFlags{timeout: *timeout, maxRows: *maxRows, maxBytes: *maxBytes}
+	if err := realMain(loads, *query, *queryFile, *explain, *run, *stats, *k, *color, *noopt, *workers, gov); err != nil {
 		fmt.Fprintln(os.Stderr, "db2rdf:", err)
 		os.Exit(1)
 	}
 }
 
-func realMain(loads []string, query, queryFile string, explain, run, stats bool, k int, color, noopt bool, workers int) error {
+// govFlags carries the query-governance flags into realMain.
+type govFlags struct {
+	timeout  time.Duration
+	maxRows  int64
+	maxBytes int64
+}
+
+func realMain(loads []string, query, queryFile string, explain, run, stats bool, k int, color, noopt bool, workers int, gov govFlags) error {
 	var triples []rdf.Triple
 	for _, path := range loads {
 		f, err := os.Open(path)
@@ -65,7 +76,13 @@ func realMain(loads []string, query, queryFile string, explain, run, stats bool,
 		triples = append(triples, ts...)
 	}
 
-	opts := db2rdf.Options{K: k, DisableHybridOptimizer: noopt}
+	opts := db2rdf.Options{
+		K:                      k,
+		DisableHybridOptimizer: noopt,
+		QueryTimeout:           gov.timeout,
+		MaxResultRows:          gov.maxRows,
+		MaxMemoryBytes:         gov.maxBytes,
+	}
 	if color {
 		direct, reverse := db2rdf.ColorTriples(triples, k, k)
 		opts.Mapping, opts.ReverseMapping = direct, reverse
@@ -125,6 +142,14 @@ func realMain(loads []string, query, queryFile string, explain, run, stats bool,
 		fmt.Println("  " + ex.Plan)
 		fmt.Println("-- generated SQL:")
 		fmt.Println(ex.SQL)
+		fmt.Println("-- governance:")
+		if ex.Deadline.IsZero() {
+			fmt.Println("  deadline: none")
+		} else {
+			fmt.Printf("  deadline: %s (in %s)\n", ex.Deadline.Format(time.RFC3339), time.Until(ex.Deadline).Round(time.Millisecond))
+		}
+		fmt.Printf("  max result rows: %s\n", limitStr(ex.MaxResultRows))
+		fmt.Printf("  max memory bytes: %s\n", limitStr(ex.MaxMemoryBytes))
 	}
 	if !run {
 		return nil
@@ -149,4 +174,11 @@ func realMain(loads []string, query, queryFile string, explain, run, stats bool,
 	}
 	fmt.Printf("%d solutions in %s\n", len(res.Rows), dur.Round(time.Microsecond))
 	return nil
+}
+
+func limitStr(n int64) string {
+	if n <= 0 {
+		return "unlimited"
+	}
+	return fmt.Sprintf("%d", n)
 }

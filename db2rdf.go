@@ -16,8 +16,11 @@
 package db2rdf
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"io"
+	"time"
 
 	"db2rdf/internal/coloring"
 	"db2rdf/internal/optimizer"
@@ -50,6 +53,20 @@ type Options struct {
 	// instances of subclasses via a subClassOf* closure rewrite (the
 	// expansion the paper applies by hand to LUBM queries in §4.1).
 	Inference bool
+
+	// QueryTimeout is the per-query deadline applied to every query on
+	// this store (0 = none). A caller-supplied context deadline that is
+	// earlier takes precedence. Expiry surfaces as ErrDeadlineExceeded.
+	QueryTimeout time.Duration
+	// MaxResultRows bounds the rows a query may materialize, counting
+	// intermediate join/filter/projection outputs, not just the final
+	// result (0 = unlimited). A trip surfaces as a *BudgetError
+	// matching ErrBudgetExceeded.
+	MaxResultRows int64
+	// MaxMemoryBytes bounds the executor's row-storage and hash-table
+	// allocation per query (0 = unlimited). A trip surfaces as a
+	// *BudgetError matching ErrBudgetExceeded.
+	MaxMemoryBytes int64
 }
 
 // Store is a DB2RDF store: the public API of this library.
@@ -148,11 +165,72 @@ type Results struct {
 // Property-path closures (p+, p*, p?) are materialized into temporary
 // relations for the duration of the query. Queries hold the store's
 // read lock, so any number may run concurrently with each other (and
-// are serialized against loads).
+// are serialized against loads). The store's governance options
+// (Options.QueryTimeout, MaxResultRows, MaxMemoryBytes) apply.
 func (s *Store) Query(q string) (*Results, error) {
+	return s.QueryContext(context.Background(), q)
+}
+
+// QueryContext is Query under a context: cancel ctx (or let its
+// deadline, or the store's Options.QueryTimeout, expire) and the
+// executor stops within one chunk of work, returning ErrCanceled or
+// ErrDeadlineExceeded. Budget trips return a *BudgetError matching
+// ErrBudgetExceeded. Any panic during execution — parser, optimizer,
+// translator, or a worker goroutine in the executor — is recovered and
+// returned as a *PanicError with the query text attached; the store
+// stays fully usable (read lock released, path temporaries dropped,
+// plan cache intact).
+func (s *Store) QueryContext(ctx context.Context, q string) (res *Results, err error) {
+	defer guard(q, &res, &err)
+	ctx, cancel := s.governCtx(ctx)
+	defer cancel()
 	s.inner.RLock()
 	defer s.inner.RUnlock()
-	return s.queryLocked(q)
+	res, err = s.queryLocked(ctx, q)
+	err = attachQuery(q, err)
+	return res, err
+}
+
+// governCtx applies the store's default query timeout to ctx. An
+// earlier deadline already on ctx wins (context.WithTimeout never
+// extends a parent deadline).
+func (s *Store) governCtx(ctx context.Context) (context.Context, context.CancelFunc) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if s.opts.QueryTimeout > 0 {
+		return context.WithTimeout(ctx, s.opts.QueryTimeout)
+	}
+	return ctx, func() {}
+}
+
+// limits builds the executor resource budgets from the store options.
+func (s *Store) limits() rel.Limits {
+	return rel.Limits{MaxRows: s.opts.MaxResultRows, MaxBytes: s.opts.MaxMemoryBytes}
+}
+
+// guard converts a panic escaping the compile pipeline (parser,
+// optimizer, translator — stages outside the executor's own recovery)
+// into the same *PanicError shape, with the query text attached. It
+// runs outermost, after the deferred lock release and temp-table
+// cleanup, so the store is already consistent when it fires.
+func guard(q string, res **Results, err *error) {
+	if p := recover(); p != nil {
+		if res != nil {
+			*res = nil
+		}
+		*err = attachQuery(q, rel.NewPanicError(p))
+	}
+}
+
+// attachQuery labels panic-derived errors with the offending query
+// text; governance and ordinary errors pass through unchanged.
+func attachQuery(q string, err error) error {
+	var pe *rel.PanicError
+	if errors.As(err, &pe) {
+		return fmt.Errorf("db2rdf: query %q: %w", q, err)
+	}
+	return err
 }
 
 // queryLocked is Query under an already-held store read lock. Internal
@@ -166,10 +244,10 @@ func (s *Store) Query(q string) (*Results, error) {
 // plan is only reused against the exact store state it was compiled
 // for. Queries that materialize property-path closures are compiled
 // afresh each time (their SQL references per-query temp tables).
-func (s *Store) queryLocked(q string) (*Results, error) {
+func (s *Store) queryLocked(ctx context.Context, q string) (*Results, error) {
 	epoch := s.inner.Epoch()
 	if cp, ok := s.plans.get(q, epoch); ok {
-		return s.executeCompiled(cp)
+		return s.executeCompiled(ctx, cp)
 	}
 	parsed, err := sparql.Parse(q)
 	if err != nil {
@@ -179,7 +257,7 @@ func (s *Store) queryLocked(q string) (*Results, error) {
 		inferenceRewrite(parsed)
 	}
 	sparql.UnifyEqualityFilters(parsed)
-	virtual, cleanup, err := s.materializeClosures(parsed)
+	virtual, cleanup, err := s.materializeClosures(ctx, parsed)
 	if err != nil {
 		return nil, err
 	}
@@ -197,7 +275,7 @@ func (s *Store) queryLocked(q string) (*Results, error) {
 	if len(parsed.Closures) == 0 {
 		s.plans.put(cp)
 	}
-	return s.executeCompiled(cp)
+	return s.executeCompiled(ctx, cp)
 }
 
 // Explanation reports how a query would run.
@@ -215,11 +293,28 @@ type Explanation struct {
 	// compiled-plan cache counters.
 	PlanCacheHits   uint64
 	PlanCacheMisses uint64
+
+	// Governance settings that would apply when this query runs:
+	// the effective deadline (zero time = none; the earlier of the
+	// caller context's deadline and Options.QueryTimeout) and the row
+	// and memory budgets (0 = unlimited).
+	Deadline       time.Time
+	MaxResultRows  int64
+	MaxMemoryBytes int64
 }
 
 // Explain returns the optimizer and translator artifacts for a query
 // without executing it. Like Query, it holds the store read lock.
 func (s *Store) Explain(q string) (*Explanation, error) {
+	return s.ExplainContext(context.Background(), q)
+}
+
+// ExplainContext is Explain under a context; the reported governance
+// fields reflect ctx's deadline combined with the store options.
+func (s *Store) ExplainContext(ctx context.Context, q string) (expl *Explanation, err error) {
+	defer guard(q, nil, &err)
+	ctx, cancel := s.governCtx(ctx)
+	defer cancel()
 	s.inner.RLock()
 	defer s.inner.RUnlock()
 	parsed, err := sparql.Parse(q)
@@ -230,9 +325,9 @@ func (s *Store) Explain(q string) (*Explanation, error) {
 		inferenceRewrite(parsed)
 	}
 	sparql.UnifyEqualityFilters(parsed)
-	virtual, cleanup, err := s.materializeClosures(parsed)
+	virtual, cleanup, err := s.materializeClosures(ctx, parsed)
 	if err != nil {
-		return nil, err
+		return nil, attachQuery(q, err)
 	}
 	defer cleanup()
 	exec, flow, err := s.optimize(parsed)
@@ -248,9 +343,14 @@ func (s *Store) Explain(q string) (*Explanation, error) {
 	if err != nil {
 		return nil, err
 	}
-	expl := &Explanation{Flow: flow.String(), Tree: exec.String(), Plan: plan.String(), SQL: tr.SQL}
+	expl = &Explanation{Flow: flow.String(), Tree: exec.String(), Plan: plan.String(), SQL: tr.SQL}
 	expl.PlanCached = s.plans.contains(q, s.inner.Epoch())
 	expl.PlanCacheHits, expl.PlanCacheMisses = s.plans.stats()
+	if d, ok := ctx.Deadline(); ok {
+		expl.Deadline = d
+	}
+	expl.MaxResultRows = s.opts.MaxResultRows
+	expl.MaxMemoryBytes = s.opts.MaxMemoryBytes
 	return expl, nil
 }
 
@@ -287,7 +387,7 @@ func (s *Store) translate(parsed *sparql.Query, virtual map[string]string) (*tra
 // execute compiles tr.SQL (when non-empty) and runs it. Internal
 // callers that build query ASTs directly (CONSTRUCT, DESCRIBE) use it;
 // these one-off plans bypass the cache.
-func (s *Store) execute(parsed *sparql.Query, tr *translator.Result) (*Results, error) {
+func (s *Store) execute(ctx context.Context, parsed *sparql.Query, tr *translator.Result) (*Results, error) {
 	cp := &compiledPlan{parsed: parsed, tr: tr}
 	if tr.SQL != "" {
 		var err error
@@ -295,12 +395,14 @@ func (s *Store) execute(parsed *sparql.Query, tr *translator.Result) (*Results, 
 			return nil, fmt.Errorf("db2rdf: parsing generated SQL: %w", err)
 		}
 	}
-	return s.executeCompiled(cp)
+	return s.executeCompiled(ctx, cp)
 }
 
-// executeCompiled runs a compiled plan. The plan's fields are
-// read-only, so concurrent readers may execute the same cached plan.
-func (s *Store) executeCompiled(cp *compiledPlan) (*Results, error) {
+// executeCompiled runs a compiled plan under ctx and the store's
+// resource budgets. The plan's fields are read-only, so concurrent
+// readers may execute the same cached plan; an aborted execution
+// leaves the cached plan valid.
+func (s *Store) executeCompiled(ctx context.Context, cp *compiledPlan) (*Results, error) {
 	tr := cp.tr
 	out := &Results{IsAsk: tr.Ask}
 	if cp.rq == nil {
@@ -315,8 +417,14 @@ func (s *Store) executeCompiled(cp *compiledPlan) (*Results, error) {
 		out.Rows = append(out.Rows, make([]Binding, len(out.Vars)))
 		return out, nil
 	}
-	rs, err := s.inner.DB.Exec(cp.rq)
+	rs, err := s.inner.DB.ExecContext(ctx, cp.rq, s.limits())
 	if err != nil {
+		if isGovernanceErr(err) {
+			// Keep governance errors unwrapped beyond errors.Is/As needs:
+			// callers match them directly and the SQL is an internal
+			// artifact that would only obscure the typed error.
+			return nil, err
+		}
 		return nil, fmt.Errorf("db2rdf: executing generated SQL: %w", err)
 	}
 	if tr.Ask {

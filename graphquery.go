@@ -1,11 +1,13 @@
 package db2rdf
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"sort"
 
 	"db2rdf/internal/rdf"
+	"db2rdf/internal/rel"
 	"db2rdf/internal/sparql"
 )
 
@@ -13,6 +15,21 @@ import (
 // resulting triples (deduplicated, in deterministic first-seen order).
 // It holds the store read lock for the whole operation.
 func (s *Store) QueryGraph(q string) ([]rdf.Triple, error) {
+	return s.QueryGraphContext(context.Background(), q)
+}
+
+// QueryGraphContext is QueryGraph under a context, with the same
+// governance semantics as QueryContext: typed abort errors, the
+// store's deadline and budgets applied (to every constituent query —
+// a DESCRIBE fans out into one query per resource), panics contained.
+func (s *Store) QueryGraphContext(ctx context.Context, q string) (out []rdf.Triple, err error) {
+	defer func() {
+		if p := recover(); p != nil {
+			out, err = nil, attachQuery(q, rel.NewPanicError(p))
+		}
+	}()
+	ctx, cancel := s.governCtx(ctx)
+	defer cancel()
 	parsed, err := sparql.Parse(q)
 	if err != nil {
 		return nil, err
@@ -21,19 +38,21 @@ func (s *Store) QueryGraph(q string) ([]rdf.Triple, error) {
 	defer s.inner.RUnlock()
 	switch {
 	case parsed.Construct != nil:
-		return s.construct(parsed, q)
+		out, err = s.construct(ctx, parsed, q)
 	case len(parsed.Describe) > 0:
-		return s.describe(parsed)
+		out, err = s.describe(ctx, parsed)
+	default:
+		return nil, fmt.Errorf("db2rdf: QueryGraph wants a CONSTRUCT or DESCRIBE query; use Query for SELECT/ASK")
 	}
-	return nil, fmt.Errorf("db2rdf: QueryGraph wants a CONSTRUCT or DESCRIBE query; use Query for SELECT/ASK")
+	return out, attachQuery(q, err)
 }
 
 // construct runs the WHERE clause and instantiates the template once
 // per solution. Instantiations with unbound variables, literal
 // subjects or non-IRI predicates are skipped, per the SPARQL spec.
 // The caller holds the store read lock.
-func (s *Store) construct(parsed *sparql.Query, original string) ([]rdf.Triple, error) {
-	res, err := s.queryLocked(original) // reparsed internally; keeps one code path
+func (s *Store) construct(ctx context.Context, parsed *sparql.Query, original string) ([]rdf.Triple, error) {
+	res, err := s.queryLocked(ctx, original) // reparsed internally; keeps one code path
 	if err != nil {
 		return nil, err
 	}
@@ -83,7 +102,7 @@ func (s *Store) construct(parsed *sparql.Query, original string) ([]rdf.Triple, 
 // keeps terms exact — escaped literals and blank nodes do not survive a
 // round trip through the SPARQL grammar — and skips a full parse per
 // lookup. The caller holds the store read lock.
-func (s *Store) queryPattern(sub, pred, obj sparql.TermOrVar, vars []string) (*Results, error) {
+func (s *Store) queryPattern(ctx context.Context, sub, pred, obj sparql.TermOrVar, vars []string) (*Results, error) {
 	where := &sparql.Pattern{Kind: sparql.Simple}
 	tp := &sparql.TriplePattern{ID: 1, S: sub, P: pred, O: obj, Parent: where}
 	where.Triples = []*sparql.TriplePattern{tp}
@@ -92,14 +111,14 @@ func (s *Store) queryPattern(sub, pred, obj sparql.TermOrVar, vars []string) (*R
 	if err != nil {
 		return nil, err
 	}
-	return s.execute(q, tr)
+	return s.execute(ctx, q, tr)
 }
 
 // describe returns every triple in which each described resource
 // appears as subject or object. Variable resources are resolved
 // through the WHERE clause first. The caller holds the store read
 // lock.
-func (s *Store) describe(parsed *sparql.Query) ([]rdf.Triple, error) {
+func (s *Store) describe(ctx context.Context, parsed *sparql.Query) ([]rdf.Triple, error) {
 	var resources []rdf.Term
 	needWhere := false
 	for _, tv := range parsed.Describe {
@@ -119,7 +138,7 @@ func (s *Store) describe(parsed *sparql.Query) ([]rdf.Triple, error) {
 		if err != nil {
 			return nil, err
 		}
-		res, err := s.execute(parsed, tr)
+		res, err := s.execute(ctx, parsed, tr)
 		if err != nil {
 			return nil, err
 		}
@@ -158,7 +177,7 @@ func (s *Store) describe(parsed *sparql.Query) ([]rdf.Triple, error) {
 		}
 		// Outgoing and incoming edges, via directly built ASTs so blank
 		// nodes and exotic literals are handled exactly.
-		res, err := s.queryPattern(sparql.Constant(r), sparql.Variable("p"), sparql.Variable("o"), []string{"p", "o"})
+		res, err := s.queryPattern(ctx, sparql.Constant(r), sparql.Variable("p"), sparql.Variable("o"), []string{"p", "o"})
 		if err != nil {
 			return nil, err
 		}
@@ -167,7 +186,7 @@ func (s *Store) describe(parsed *sparql.Query) ([]rdf.Triple, error) {
 				add(rdf.NewTriple(r, row[0].Term, row[1].Term))
 			}
 		}
-		res, err = s.queryPattern(sparql.Variable("s"), sparql.Variable("p"), sparql.Constant(r), []string{"s", "p"})
+		res, err = s.queryPattern(ctx, sparql.Variable("s"), sparql.Variable("p"), sparql.Constant(r), []string{"s", "p"})
 		if err != nil {
 			return nil, err
 		}
@@ -186,9 +205,14 @@ func (s *Store) describe(parsed *sparql.Query) ([]rdf.Triple, error) {
 // set export byte-identical documents regardless of load order or
 // loader (sequential or parallel).
 func (s *Store) Export(w io.Writer) (int, error) {
+	// Export runs through the query pipeline, so the store's governance
+	// options apply: an Export under MaxResultRows smaller than the
+	// store's triple count will (correctly) trip the budget.
+	ctx, cancel := s.governCtx(context.Background())
+	defer cancel()
 	s.inner.RLock()
 	defer s.inner.RUnlock()
-	res, err := s.queryLocked(`SELECT ?s ?p ?o WHERE { ?s ?p ?o }`)
+	res, err := s.queryLocked(ctx, `SELECT ?s ?p ?o WHERE { ?s ?p ?o }`)
 	if err != nil {
 		return 0, err
 	}

@@ -60,6 +60,13 @@ func (r *Reader) ReadAll() ([]Triple, error) {
 
 // ParseTripleLine parses a single N-Triples statement terminated by '.'.
 func ParseTripleLine(line string) (Triple, error) {
+	// NUL is not a legal character anywhere in an N-Triples statement
+	// (terms or whitespace); accepting one would silently embed it in
+	// an interned term and corrupt round-tripping. Reject it up front
+	// so the Reader reports it with the offending line number.
+	if i := strings.IndexByte(line, 0); i >= 0 {
+		return Triple{}, fmt.Errorf("NUL byte at offset %d", i)
+	}
 	p := &ntParser{in: line}
 	s, err := p.term()
 	if err != nil {

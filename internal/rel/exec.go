@@ -1,6 +1,7 @@
 package rel
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"strings"
@@ -21,18 +22,46 @@ func (db *DB) Query(sql string) (*ResultSet, error) {
 	return db.Exec(q)
 }
 
-// Exec executes a parsed query.
+// Exec executes a parsed query with no deadline and no budgets.
 func (db *DB) Exec(q *Query) (*ResultSet, error) {
+	return db.ExecContext(context.Background(), q, Limits{})
+}
+
+// exec is one statement execution: the database plus the query's
+// governance state (cancellation signal and budget counters), threaded
+// through every operator so long-running loops can checkpoint.
+type exec struct {
+	db  *DB
+	gov *govern
+}
+
+// ExecContext executes a parsed query under ctx and lim (see govern.go
+// for the governance model). Cancellation and deadline expiry surface
+// as ErrCanceled / ErrDeadlineExceeded, budget trips as *BudgetError,
+// each within one chunk (checkpointRows rows) of work. Any panic
+// raised during execution — in an operator, a compiled-expression
+// closure, or a morsel worker — is recovered and returned as a
+// *PanicError, leaving the DB fully usable.
+func (db *DB) ExecContext(ctx context.Context, q *Query, lim Limits) (rs *ResultSet, err error) {
+	defer func() {
+		if p := recover(); p != nil {
+			rs, err = nil, recoveredError(p)
+		}
+	}()
+	ex := &exec{db: db, gov: newGovern(ctx, lim)}
 	env := make(map[string]*relation)
 	live := cteLiveColumns(q)
 	for i, cte := range q.CTEs {
-		rs, err := db.evalSelectLive(cte.Select, env, live[i])
+		if err := ex.gov.check(CkCore); err != nil {
+			return nil, err
+		}
+		rs, err := ex.evalSelectLive(cte.Select, env, live[i])
 		if err != nil {
 			return nil, fmt.Errorf("in CTE %s: %w", cte.Name, err)
 		}
 		env[strings.ToLower(cte.Name)] = resultToRelation(rs)
 	}
-	return db.evalSelect(q.Body, env)
+	return ex.evalSelect(q.Body, env)
 }
 
 // resultToRelation wraps a result set as an unqualified relation.
@@ -63,15 +92,15 @@ func aliased(base *relation, alias string) *relation {
 	return r
 }
 
-func (db *DB) evalSelect(s *Select, env map[string]*relation) (*ResultSet, error) {
-	return db.evalSelectLive(s, env, nil)
+func (ex *exec) evalSelect(s *Select, env map[string]*relation) (*ResultSet, error) {
+	return ex.evalSelectLive(s, env, nil)
 }
 
 // evalSelectLive is evalSelect with a live-output-column set (nil =
 // all): expression items outside it are skipped, their slots left
 // NULL. Pruning is only sound when the select cannot observe its own
 // dead columns, so it is disabled under UNION, DISTINCT and ORDER BY.
-func (db *DB) evalSelectLive(s *Select, env map[string]*relation, live map[string]bool) (*ResultSet, error) {
+func (ex *exec) evalSelectLive(s *Select, env map[string]*relation, live map[string]bool) (*ResultSet, error) {
 	if len(s.Cores) > 1 || s.Cores[0].Distinct || len(s.OrderBy) > 0 {
 		live = nil
 	}
@@ -87,7 +116,7 @@ func (db *DB) evalSelectLive(s *Select, env map[string]*relation, live map[strin
 		}
 	}
 	for i, core := range s.Cores {
-		rs, err := db.evalCore(core, env, rowCap, live)
+		rs, err := ex.evalCore(core, env, rowCap, live)
 		if err != nil {
 			return nil, err
 		}
@@ -100,11 +129,13 @@ func (db *DB) evalSelectLive(s *Select, env map[string]*relation, live map[strin
 		}
 		out.Rows = append(out.Rows, rs.Rows...)
 		if !s.UnionAll[i-1] {
-			out.Rows = dedupRows(out.Rows)
+			if out.Rows, err = dedupRows(out.Rows, ex.gov); err != nil {
+				return nil, err
+			}
 		}
 	}
 	if len(s.OrderBy) > 0 {
-		if err := db.applyOrderBy(out, s.OrderBy); err != nil {
+		if err := ex.applyOrderBy(out, s.OrderBy); err != nil {
 			return nil, err
 		}
 	}
@@ -121,15 +152,22 @@ func (db *DB) evalSelectLive(s *Select, env map[string]*relation, live map[strin
 	return out, nil
 }
 
-func (db *DB) applyOrderBy(rs *ResultSet, items []OrderItem) error {
+func (ex *exec) applyOrderBy(rs *ResultSet, items []OrderItem) error {
 	rel := resultToRelation(rs)
 	type keyed struct {
 		row  Row
 		keys []Value
 	}
 	ks := make([]keyed, len(rs.Rows))
-	ctx := newRowCtx(rel, db)
+	ctx := newRowCtx(rel, ex.db)
+	t := ticker{g: ex.gov, site: CkOrderBy}
+	if err := t.flush(); err != nil {
+		return err
+	}
 	for i, row := range rs.Rows {
+		if err := t.step(); err != nil {
+			return err
+		}
 		ctx.row = row
 		keys := make([]Value, len(items))
 		for j, it := range items {
@@ -140,6 +178,12 @@ func (db *DB) applyOrderBy(rs *ResultSet, items []OrderItem) error {
 			keys[j] = v
 		}
 		ks[i] = keyed{row: row, keys: keys}
+	}
+	// The comparison sort itself is not interruptible; the checkpoint
+	// above bounds the uncancellable stretch to O(n log n) compares over
+	// rows that already fit in (and were charged against) the budget.
+	if err := t.flush(); err != nil {
+		return err
 	}
 	sort.SliceStable(ks, func(a, b int) bool {
 		for j, it := range items {
@@ -176,13 +220,20 @@ func (db *DB) applyOrderBy(rs *ResultSet, items []OrderItem) error {
 // occurrences in order. Rows are bucketed by hash and candidates are
 // verified exactly, so no key strings are built and no separator
 // collision can conflate distinct rows.
-func dedupRows(rows []Row) []Row {
+func dedupRows(rows []Row, g *govern) ([]Row, error) {
 	if len(rows) < 2 {
-		return rows
+		return rows, nil
+	}
+	t := ticker{g: g, site: CkDedup}
+	if err := t.flush(); err != nil {
+		return nil, err
 	}
 	seen := make(map[uint64][]int32, len(rows))
 	out := rows[:0:0]
 	for _, r := range rows {
+		if err := t.step(); err != nil {
+			return nil, err
+		}
 		h := rowKeyHash(r)
 		dup := false
 		for _, j := range seen[h] {
@@ -196,7 +247,7 @@ func dedupRows(rows []Row) []Row {
 			out = append(out, r)
 		}
 	}
-	return out
+	return out, nil
 }
 
 // evalCore evaluates one SELECT core. rowCap >= 0 bounds the number of
@@ -205,7 +256,10 @@ func dedupRows(rows []Row) []Row {
 // joined rows can appear in the result. live (nil = all) names the
 // output columns any later select can observe; projection skips the
 // expression items outside it.
-func (db *DB) evalCore(core *SelectCore, env map[string]*relation, rowCap int64, live map[string]bool) (*ResultSet, error) {
+func (ex *exec) evalCore(core *SelectCore, env map[string]*relation, rowCap int64, live map[string]bool) (*ResultSet, error) {
+	if err := ex.gov.check(CkCore); err != nil {
+		return nil, err
+	}
 	// Split WHERE into conjuncts.
 	var conjs []Expr
 	if core.Where != nil {
@@ -216,18 +270,18 @@ func (db *DB) evalCore(core *SelectCore, env map[string]*relation, rowCap int64,
 	// Build each FROM unit, pushing single-alias filters into pure base scans.
 	units := make([]*relation, 0, len(core.From))
 	for _, fi := range core.From {
-		u, err := db.buildUnit(fi, conjs, applied, env)
+		u, err := ex.buildUnit(fi, conjs, applied, env)
 		if err != nil {
 			return nil, err
 		}
 		units = append(units, u)
 	}
 
-	cur, err := db.joinUnits(units, conjs, applied)
+	cur, err := ex.joinUnits(units, conjs, applied)
 	if err != nil {
 		return nil, err
 	}
-	cur, err = db.materialize(cur)
+	cur, err = ex.materialize(cur)
 	if err != nil {
 		return nil, err
 	}
@@ -241,7 +295,7 @@ func (db *DB) evalCore(core *SelectCore, env map[string]*relation, rowCap int64,
 		}
 	}
 	if len(residual) > 0 {
-		cur, err = db.filterRelation(cur, residual)
+		cur, err = ex.filterRelation(cur, residual)
 		if err != nil {
 			return nil, err
 		}
@@ -252,22 +306,22 @@ func (db *DB) evalCore(core *SelectCore, env map[string]*relation, rowCap int64,
 		trimmed.rows = cur.rows[:rowCap]
 		cur = &trimmed
 	}
-	return db.project(core, cur, live)
+	return ex.project(core, cur, live)
 }
 
 // buildUnit materializes one FROM item including its explicit join chain.
-func (db *DB) buildUnit(fi FromItem, conjs []Expr, applied []bool, env map[string]*relation) (*relation, error) {
+func (ex *exec) buildUnit(fi FromItem, conjs []Expr, applied []bool, env map[string]*relation) (*relation, error) {
 	pushable := len(fi.Joins) == 0
-	left, err := db.buildPrimary(fi, conjs, applied, env, pushable)
+	left, err := ex.buildPrimary(fi, conjs, applied, env, pushable)
 	if err != nil {
 		return nil, err
 	}
 	for _, jc := range fi.Joins {
-		right, err := db.buildPrimary(jc.Right, nil, nil, env, false)
+		right, err := ex.buildPrimary(jc.Right, nil, nil, env, false)
 		if err != nil {
 			return nil, err
 		}
-		left, err = db.joinOn(left, right, jc.On, jc.Left)
+		left, err = ex.joinOn(left, right, jc.On, jc.Left)
 		if err != nil {
 			return nil, err
 		}
@@ -279,10 +333,10 @@ func (db *DB) buildUnit(fi FromItem, conjs []Expr, applied []bool, env map[strin
 // is true and the item is a base table, single-alias equality filters
 // from conjs are pushed into the scan (index-accelerated) and marked
 // applied.
-func (db *DB) buildPrimary(fi FromItem, conjs []Expr, applied []bool, env map[string]*relation, push bool) (*relation, error) {
+func (ex *exec) buildPrimary(fi FromItem, conjs []Expr, applied []bool, env map[string]*relation, push bool) (*relation, error) {
 	alias := strings.ToLower(fi.Alias)
 	if fi.Sub != nil {
-		rs, err := db.evalSelect(fi.Sub, env)
+		rs, err := ex.evalSelect(fi.Sub, env)
 		if err != nil {
 			return nil, err
 		}
@@ -291,11 +345,11 @@ func (db *DB) buildPrimary(fi FromItem, conjs []Expr, applied []bool, env map[st
 	if cte, ok := env[strings.ToLower(fi.Table)]; ok {
 		r := aliased(cte, alias)
 		if push {
-			return db.pushFilters(r, alias, conjs, applied, nil)
+			return ex.pushFilters(r, alias, conjs, applied)
 		}
 		return r, nil
 	}
-	t := db.Table(fi.Table)
+	t := ex.db.Table(fi.Table)
 	if t == nil {
 		return nil, fmt.Errorf("sql: unknown table %q", fi.Table)
 	}
@@ -306,7 +360,7 @@ func (db *DB) buildPrimary(fi FromItem, conjs []Expr, applied []bool, env map[st
 	r := newRelation(cols)
 	r.aliases[alias] = true
 	if push {
-		return db.scanWithFilters(t, r, alias, conjs, applied)
+		return ex.scanWithFilters(t, r, alias, conjs, applied)
 	}
 	r.rows = t.Rows()
 	r.base = t
@@ -315,7 +369,7 @@ func (db *DB) buildPrimary(fi FromItem, conjs []Expr, applied []bool, env map[st
 
 // scanWithFilters scans a base table applying this alias's conjuncts,
 // using a hash index for the first "col = constant" conjunct if any.
-func (db *DB) scanWithFilters(t *Table, shape *relation, alias string, conjs []Expr, applied []bool) (*relation, error) {
+func (ex *exec) scanWithFilters(t *Table, shape *relation, alias string, conjs []Expr, applied []bool) (*relation, error) {
 	var mine []Expr
 	var mineIdx []int
 	for i, c := range conjs {
@@ -350,7 +404,7 @@ func (db *DB) scanWithFilters(t *Table, shape *relation, alias string, conjs []E
 		if !ok || b.Op != "=" {
 			continue
 		}
-		col, lit, ok := constEquality(b, alias, db)
+		col, lit, ok := constEquality(b, alias, ex.db)
 		if !ok {
 			continue
 		}
@@ -368,8 +422,12 @@ func (db *DB) scanWithFilters(t *Table, shape *relation, alias string, conjs []E
 	out := newRelation(shape.cols)
 	out.aliases[alias] = true
 	if indexConj >= 0 {
-		pred := db.compilePred(rest, out)
+		pred := ex.db.compilePred(rest, out)
 		ids, _ := t.lookup(indexCol, indexVal)
+		tk := ticker{g: ex.gov, site: CkFilter}
+		if err := tk.flush(); err != nil {
+			return nil, err
+		}
 		for _, id := range ids {
 			row := t.RowAt(int(id))
 			ok, err := pred(row)
@@ -378,7 +436,15 @@ func (db *DB) scanWithFilters(t *Table, shape *relation, alias string, conjs []E
 			}
 			if ok {
 				out.rows = append(out.rows, row)
+				if err := tk.emit(); err != nil {
+					return nil, err
+				}
+			} else if err := tk.step(); err != nil {
+				return nil, err
 			}
+		}
+		if err := tk.flush(); err != nil {
+			return nil, err
 		}
 	} else {
 		// Defer the filters: a later index nested-loop join can apply
@@ -455,7 +521,7 @@ func constEquality(b *BinOp, alias string, db *DB) (string, Value, bool) {
 
 // pushFilters applies this alias's single-alias conjuncts to an already
 // materialized relation (CTE reference).
-func (db *DB) pushFilters(r *relation, alias string, conjs []Expr, applied []bool, _ any) (*relation, error) {
+func (ex *exec) pushFilters(r *relation, alias string, conjs []Expr, applied []bool) (*relation, error) {
 	var mine []Expr
 	for i, c := range conjs {
 		if applied[i] {
@@ -471,18 +537,22 @@ func (db *DB) pushFilters(r *relation, alias string, conjs []Expr, applied []boo
 	if len(mine) == 0 {
 		return r, nil
 	}
-	return db.filterRelation(r, mine)
+	return ex.filterRelation(r, mine)
 }
 
-func (db *DB) filterRelation(r *relation, conds []Expr) (*relation, error) {
+func (ex *exec) filterRelation(r *relation, conds []Expr) (*relation, error) {
 	out := newRelation(r.cols)
 	for a := range r.aliases {
 		out.aliases[a] = true
 	}
-	pred := db.compilePred(conds, r)
+	pred := ex.db.compilePred(conds, r)
 	w := planWorkers(len(r.rows))
 	parts := make([][]Row, w)
 	err := parallelChunks(len(r.rows), w, func(chunk, lo, hi int) error {
+		tk := ticker{g: ex.gov, site: CkFilter}
+		if err := tk.flush(); err != nil {
+			return err
+		}
 		var local []Row
 		for _, row := range r.rows[lo:hi] {
 			keep, err := pred(row)
@@ -491,10 +561,16 @@ func (db *DB) filterRelation(r *relation, conds []Expr) (*relation, error) {
 			}
 			if keep {
 				local = append(local, row)
+				err = tk.emit()
+			} else {
+				err = tk.step()
+			}
+			if err != nil {
+				return err
 			}
 		}
 		parts[chunk] = local
-		return nil
+		return tk.flush()
 	})
 	if err != nil {
 		return nil, err
@@ -508,7 +584,7 @@ func (db *DB) filterRelation(r *relation, conds []Expr) (*relation, error) {
 // joinUnits combines the comma-separated FROM units using the WHERE
 // conjuncts: greedy ordering, hash joins on equality predicates,
 // cross products as a last resort.
-func (db *DB) joinUnits(units []*relation, conjs []Expr, applied []bool) (*relation, error) {
+func (ex *exec) joinUnits(units []*relation, conjs []Expr, applied []bool) (*relation, error) {
 	if len(units) == 1 {
 		return units[0], nil
 	}
@@ -539,7 +615,7 @@ func (db *DB) joinUnits(units []*relation, conjs []Expr, applied []bool) (*relat
 		next := units[best]
 		used[best] = true
 		var err error
-		cur, err = db.joinPair(cur, next, conjs, applied)
+		cur, err = ex.joinPair(cur, next, conjs, applied)
 		if err != nil {
 			return nil, err
 		}
@@ -555,7 +631,7 @@ func (db *DB) joinUnits(units []*relation, conjs []Expr, applied []bool) (*relat
 			}
 		}
 		if len(ready) > 0 {
-			cur, err = db.filterRelation(cur, ready)
+			cur, err = ex.filterRelation(cur, ready)
 			if err != nil {
 				return nil, err
 			}
@@ -618,11 +694,11 @@ func countEqLinks(l, r *relation, conjs []Expr, applied []bool) int {
 
 // materialize applies any pending filters, detaching the relation from
 // its base table.
-func (db *DB) materialize(r *relation) (*relation, error) {
+func (ex *exec) materialize(r *relation) (*relation, error) {
 	if len(r.pending) == 0 {
 		return r, nil
 	}
-	out, err := db.filterRelation(r, r.pending)
+	out, err := ex.filterRelation(r, r.pending)
 	if err != nil {
 		return nil, err
 	}
@@ -653,22 +729,32 @@ func indexLink(r *relation, links []eqLink, right bool) (int, string) {
 
 // joinPair joins cur with next using the available equality conjuncts
 // (hash join) or a cross product when none apply.
-func (db *DB) joinPair(cur, next *relation, conjs []Expr, applied []bool) (*relation, error) {
+func (ex *exec) joinPair(cur, next *relation, conjs []Expr, applied []bool) (*relation, error) {
 	links := eqLinks(cur, next, conjs, applied)
 	out := combineShape(cur, next)
 	if len(links) == 0 {
 		var err error
-		if cur, err = db.materialize(cur); err != nil {
+		if cur, err = ex.materialize(cur); err != nil {
 			return nil, err
 		}
-		if next, err = db.materialize(next); err != nil {
+		if next, err = ex.materialize(next); err != nil {
 			return nil, err
 		}
-		var arena rowArena
+		tk := ticker{g: ex.gov, site: CkCross}
+		if err := tk.flush(); err != nil {
+			return nil, err
+		}
+		arena := rowArena{gov: ex.gov}
 		for _, lr := range cur.rows {
 			for _, rr := range next.rows {
 				out.rows = append(out.rows, arena.combine(lr, rr))
+				if err := tk.emit(); err != nil {
+					return nil, err
+				}
 			}
+		}
+		if err := tk.flush(); err != nil {
+			return nil, err
 		}
 		return out, nil
 	}
@@ -687,22 +773,22 @@ func (db *DB) joinPair(cur, next *relation, conjs []Expr, applied []bool) (*rela
 	var mcur, mnext *relation
 	var err error
 	if li, col := indexLink(next, links, true); li >= 0 {
-		if mcur, err = db.materialize(cur); err != nil {
+		if mcur, err = ex.materialize(cur); err != nil {
 			return nil, err
 		}
 		if len(mcur.rows) < len(next.rows) {
-			if err := db.indexProbe(out, mcur, next, links, li, col, true); err != nil {
+			if err := ex.indexProbe(out, mcur, next, links, li, col, true); err != nil {
 				return nil, err
 			}
 			return out, nil
 		}
 	}
 	if li, col := indexLink(cur, links, false); li >= 0 {
-		if mnext, err = db.materialize(next); err != nil {
+		if mnext, err = ex.materialize(next); err != nil {
 			return nil, err
 		}
 		if len(mnext.rows) < len(cur.rows) {
-			if err := db.indexProbe(out, mnext, cur, links, li, col, false); err != nil {
+			if err := ex.indexProbe(out, mnext, cur, links, li, col, false); err != nil {
 				return nil, err
 			}
 			return out, nil
@@ -710,16 +796,18 @@ func (db *DB) joinPair(cur, next *relation, conjs []Expr, applied []bool) (*rela
 	}
 	// Hash join: build on next, probe cur.
 	if mcur == nil {
-		if mcur, err = db.materialize(cur); err != nil {
+		if mcur, err = ex.materialize(cur); err != nil {
 			return nil, err
 		}
 	}
 	if mnext == nil {
-		if mnext, err = db.materialize(next); err != nil {
+		if mnext, err = ex.materialize(next); err != nil {
 			return nil, err
 		}
 	}
-	db.hashJoinInto(out, mcur, mnext, links)
+	if err := ex.hashJoinInto(out, mcur, mnext, links); err != nil {
+		return nil, err
+	}
 	return out, nil
 }
 
@@ -729,7 +817,7 @@ func (db *DB) joinPair(cur, next *relation, conjs []Expr, applied []bool) (*rela
 // follow probe's in out. Probe rows are partitioned across workers;
 // per-worker outputs are concatenated in input order, so the result
 // is deterministic and identical to the sequential loop.
-func (db *DB) indexProbe(out *relation, probe, indexed *relation, links []eqLink, li int, col string, indexedIsRight bool) error {
+func (ex *exec) indexProbe(out *relation, probe, indexed *relation, links []eqLink, li int, col string, indexedIsRight bool) error {
 	idx := indexed.base.indexFor(col)
 	if idx == nil {
 		return fmt.Errorf("sql: internal: index on %q vanished", col)
@@ -739,19 +827,29 @@ func (db *DB) indexProbe(out *relation, probe, indexed *relation, links []eqLink
 	if !indexedIsRight {
 		keyPos = links[li].ri
 	}
-	pendOK := db.compilePred(indexed.pending, indexed)
+	pendOK := ex.db.compilePred(indexed.pending, indexed)
 	w := planWorkers(len(probe.rows))
 	parts := make([][]Row, w)
 	err := parallelChunks(len(probe.rows), w, func(chunk, lo, hi int) error {
+		tk := ticker{g: ex.gov, site: CkIndexProbe}
+		if err := tk.flush(); err != nil {
+			return err
+		}
 		var local []Row
-		var arena rowArena
+		arena := rowArena{gov: ex.gov}
 		for _, pr := range probe.rows[lo:hi] {
+			if err := tk.step(); err != nil {
+				return err
+			}
 			v := pr[keyPos]
 			if v.IsNull() {
 				continue
 			}
 		cand:
 			for _, id := range idx.lookupVal(v) {
+				if err := tk.step(); err != nil {
+					return err
+				}
 				ir := irows[id]
 				for _, lk := range links {
 					lv, rv := pr[lk.li], ir[lk.ri]
@@ -774,10 +872,13 @@ func (db *DB) indexProbe(out *relation, probe, indexed *relation, links []eqLink
 				} else {
 					local = append(local, arena.combine(ir, pr))
 				}
+				if err := tk.emit(); err != nil {
+					return err
+				}
 			}
 		}
 		parts[chunk] = local
-		return nil
+		return tk.flush()
 	})
 	if err != nil {
 		return err
@@ -794,24 +895,48 @@ func (db *DB) indexProbe(out *relation, probe, indexed *relation, links []eqLink
 // runs over dictionary ids — uses an exact map[int64] kernel; other
 // shapes bucket by FNV-mixed uint64 hashes verified per candidate.
 // The probe loop fans out across workers above the row threshold.
-func (db *DB) hashJoinInto(out *relation, cur, next *relation, links []eqLink) {
-	if len(links) == 1 && db.intHashJoin(out, cur, next, links[0]) {
-		return
+func (ex *exec) hashJoinInto(out *relation, cur, next *relation, links []eqLink) error {
+	if len(links) == 1 {
+		handled, err := ex.intHashJoin(out, cur, next, links[0])
+		if err != nil {
+			return err
+		}
+		if handled {
+			return nil
+		}
+	}
+	bt := ticker{g: ex.gov, site: CkHashBuild}
+	if err := bt.flush(); err != nil {
+		return err
 	}
 	build := make(map[uint64][]Row, len(next.rows))
 	for _, rr := range next.rows {
+		if err := bt.step(); err != nil {
+			return err
+		}
 		h, ok := linkKeyHash(rr, links, false)
 		if !ok {
 			continue
 		}
 		build[h] = append(build[h], rr)
+		bt.addBytes(hashEntryBytes)
+	}
+	if err := bt.flush(); err != nil {
+		return err
 	}
 	w := planWorkers(len(cur.rows))
 	parts := make([][]Row, w)
-	_ = parallelChunks(len(cur.rows), w, func(chunk, lo, hi int) error {
+	err := parallelChunks(len(cur.rows), w, func(chunk, lo, hi int) error {
+		tk := ticker{g: ex.gov, site: CkHashProbe}
+		if err := tk.flush(); err != nil {
+			return err
+		}
 		var local []Row
-		var arena rowArena
+		arena := rowArena{gov: ex.gov}
 		for _, lr := range cur.rows[lo:hi] {
+			if err := tk.step(); err != nil {
+				return err
+			}
 			h, ok := linkKeyHash(lr, links, true)
 			if !ok {
 				continue
@@ -819,15 +944,22 @@ func (db *DB) hashJoinInto(out *relation, cur, next *relation, links []eqLink) {
 			for _, rr := range build[h] {
 				if linkKeyEqual(lr, rr, links) {
 					local = append(local, arena.combine(lr, rr))
+					if err := tk.emit(); err != nil {
+						return err
+					}
 				}
 			}
 		}
 		parts[chunk] = local
-		return nil
+		return tk.flush()
 	})
+	if err != nil {
+		return err
+	}
 	for _, p := range parts {
 		out.rows = append(out.rows, p...)
 	}
+	return nil
 }
 
 // intHashJoin is the type-specialized single-link kernel: an exact
@@ -836,39 +968,63 @@ func (db *DB) hashJoinInto(out *relation, cur, next *relation, links []eqLink) {
 // without joining when a build-side key value belongs to a non-int
 // class (the caller then falls back to the hashed kernel); probe
 // values of other classes can never equal an int key and are skipped.
-func (db *DB) intHashJoin(out *relation, cur, next *relation, link eqLink) bool {
+func (ex *exec) intHashJoin(out *relation, cur, next *relation, link eqLink) (bool, error) {
+	bt := ticker{g: ex.gov, site: CkHashBuild}
+	if err := bt.flush(); err != nil {
+		return false, err
+	}
 	build := make(map[int64][]Row, len(next.rows))
 	for _, rr := range next.rows {
+		if err := bt.step(); err != nil {
+			return false, err
+		}
 		k, st := intLinkKey(rr[link.ri])
 		if st < 0 {
-			return false
+			return false, nil
 		}
 		if st == 0 {
 			continue // NULLs never join
 		}
 		build[k] = append(build[k], rr)
+		bt.addBytes(hashEntryBytes)
+	}
+	if err := bt.flush(); err != nil {
+		return false, err
 	}
 	w := planWorkers(len(cur.rows))
 	parts := make([][]Row, w)
-	_ = parallelChunks(len(cur.rows), w, func(chunk, lo, hi int) error {
+	err := parallelChunks(len(cur.rows), w, func(chunk, lo, hi int) error {
+		tk := ticker{g: ex.gov, site: CkHashProbe}
+		if err := tk.flush(); err != nil {
+			return err
+		}
 		var local []Row
-		var arena rowArena
+		arena := rowArena{gov: ex.gov}
 		for _, lr := range cur.rows[lo:hi] {
+			if err := tk.step(); err != nil {
+				return err
+			}
 			k, st := intLinkKey(lr[link.li])
 			if st != 1 {
 				continue
 			}
 			for _, rr := range build[k] {
 				local = append(local, arena.combine(lr, rr))
+				if err := tk.emit(); err != nil {
+					return err
+				}
 			}
 		}
 		parts[chunk] = local
-		return nil
+		return tk.flush()
 	})
+	if err != nil {
+		return true, err
+	}
 	for _, p := range parts {
 		out.rows = append(out.rows, p...)
 	}
-	return true
+	return true, nil
 }
 
 func combineShape(l, r *relation) *relation {
@@ -894,10 +1050,14 @@ func combineRows(l, r Row) Row {
 // rowArena carves output rows out of large value blocks: the join and
 // projection kernels emit one row per match, and one allocation per
 // row is the dominant cost of wide scans. An arena is single-goroutine
-// state — each morsel worker owns its own.
+// state — each morsel worker owns its own. Block growth is charged
+// against the query's memory budget (gov may be nil in governance-free
+// contexts); a trip aborts via mustChargeBytes, unwound to a typed
+// error at the worker or ExecContext recovery point.
 type rowArena struct {
 	buf  []Value
 	next int // size of the next block, grown geometrically
+	gov  *govern
 }
 
 func (a *rowArena) alloc(n int) Row {
@@ -910,6 +1070,9 @@ func (a *rowArena) alloc(n int) Row {
 		}
 		if sz < n {
 			sz = n
+		}
+		if a.gov != nil {
+			a.gov.mustChargeBytes(int64(sz) * valueBytes)
 		}
 		a.buf = make([]Value, sz)
 		if sz < 16384 {
@@ -930,7 +1093,7 @@ func (a *rowArena) combine(l, r Row) Row {
 }
 
 // joinOn implements explicit [LEFT OUTER] JOIN ... ON.
-func (db *DB) joinOn(left, right *relation, on Expr, outer bool) (*relation, error) {
+func (ex *exec) joinOn(left, right *relation, on Expr, outer bool) (*relation, error) {
 	out := combineShape(left, right)
 	onConjs := conjuncts(on, nil)
 	// Equality links usable for hashing.
@@ -959,17 +1122,27 @@ func (db *DB) joinOn(left, right *relation, on Expr, outer bool) (*relation, err
 		residual = append(residual, c)
 	}
 	nulls := make(Row, len(right.cols))
-	resOK := db.compilePred(residual, out)
+	resOK := ex.db.compilePred(residual, out)
 	if li, col := indexLink(right, links, true); li >= 0 && len(left.rows) < len(right.rows) {
 		idx := right.base.indexFor(col)
 		rrows := right.base.Rows()
-		var arena rowArena
+		tk := ticker{g: ex.gov, site: CkJoinOn}
+		if err := tk.flush(); err != nil {
+			return nil, err
+		}
+		arena := rowArena{gov: ex.gov}
 		for _, lr := range left.rows {
+			if err := tk.step(); err != nil {
+				return nil, err
+			}
 			matched := false
 			v := lr[links[li].li]
 			if !v.IsNull() && idx != nil {
 			probeOn:
 				for _, id := range idx.lookupVal(v) {
+					if err := tk.step(); err != nil {
+						return nil, err
+					}
 					rr := rrows[id]
 					for _, lk := range links {
 						if !Equal(lr[lk.li], rr[lk.ri]) {
@@ -984,30 +1157,57 @@ func (db *DB) joinOn(left, right *relation, on Expr, outer bool) (*relation, err
 					if ok {
 						out.rows = append(out.rows, row)
 						matched = true
+						if err := tk.emit(); err != nil {
+							return nil, err
+						}
 					}
 				}
 			}
 			if outer && !matched {
 				out.rows = append(out.rows, arena.combine(lr, nulls))
+				if err := tk.emit(); err != nil {
+					return nil, err
+				}
 			}
+		}
+		if err := tk.flush(); err != nil {
+			return nil, err
 		}
 		return out, nil
 	}
 	if len(links) > 0 {
+		bt := ticker{g: ex.gov, site: CkHashBuild}
+		if err := bt.flush(); err != nil {
+			return nil, err
+		}
 		build := make(map[uint64][]Row, len(right.rows))
 		for _, rr := range right.rows {
+			if err := bt.step(); err != nil {
+				return nil, err
+			}
 			h, ok := linkKeyHash(rr, links, false)
 			if !ok {
 				continue
 			}
 			build[h] = append(build[h], rr)
+			bt.addBytes(hashEntryBytes)
+		}
+		if err := bt.flush(); err != nil {
+			return nil, err
 		}
 		w := planWorkers(len(left.rows))
 		parts := make([][]Row, w)
 		err := parallelChunks(len(left.rows), w, func(chunk, lo, hi int) error {
+			tk := ticker{g: ex.gov, site: CkJoinOn}
+			if err := tk.flush(); err != nil {
+				return err
+			}
 			var local []Row
-			var arena rowArena
+			arena := rowArena{gov: ex.gov}
 			for _, lr := range left.rows[lo:hi] {
+				if err := tk.step(); err != nil {
+					return err
+				}
 				matched := false
 				if h, ok := linkKeyHash(lr, links, true); ok {
 					for _, rr := range build[h] {
@@ -1022,15 +1222,21 @@ func (db *DB) joinOn(left, right *relation, on Expr, outer bool) (*relation, err
 						if ok {
 							local = append(local, row)
 							matched = true
+							if err := tk.emit(); err != nil {
+								return err
+							}
 						}
 					}
 				}
 				if outer && !matched {
 					local = append(local, arena.combine(lr, nulls))
+					if err := tk.emit(); err != nil {
+						return err
+					}
 				}
 			}
 			parts[chunk] = local
-			return nil
+			return tk.flush()
 		})
 		if err != nil {
 			return nil, err
@@ -1041,10 +1247,17 @@ func (db *DB) joinOn(left, right *relation, on Expr, outer bool) (*relation, err
 		return out, nil
 	}
 	// Nested loop.
-	var arena rowArena
+	tk := ticker{g: ex.gov, site: CkJoinOn}
+	if err := tk.flush(); err != nil {
+		return nil, err
+	}
+	arena := rowArena{gov: ex.gov}
 	for _, lr := range left.rows {
 		matched := false
 		for _, rr := range right.rows {
+			if err := tk.step(); err != nil {
+				return nil, err
+			}
 			row := arena.combine(lr, rr)
 			ok, err := resOK(row)
 			if err != nil {
@@ -1053,11 +1266,20 @@ func (db *DB) joinOn(left, right *relation, on Expr, outer bool) (*relation, err
 			if ok {
 				out.rows = append(out.rows, row)
 				matched = true
+				if err := tk.emit(); err != nil {
+					return nil, err
+				}
 			}
 		}
 		if outer && !matched {
 			out.rows = append(out.rows, arena.combine(lr, nulls))
+			if err := tk.emit(); err != nil {
+				return nil, err
+			}
 		}
+	}
+	if err := tk.flush(); err != nil {
+		return nil, err
 	}
 	return out, nil
 }
@@ -1066,7 +1288,7 @@ func (db *DB) joinOn(left, right *relation, on Expr, outer bool) (*relation, err
 // (nil = all) is the set of output columns any downstream select can
 // observe: dead expression items are not evaluated, their slot left
 // NULL, which is indistinguishable to consumers of the live columns.
-func (db *DB) project(core *SelectCore, r *relation, live map[string]bool) (*ResultSet, error) {
+func (ex *exec) project(core *SelectCore, r *relation, live map[string]bool) (*ResultSet, error) {
 	var names []string
 	var exprs []Expr // nil entry means direct column copy at positions[i]
 	var positions []int
@@ -1135,7 +1357,7 @@ func (db *DB) project(core *SelectCore, r *relation, live map[string]bool) (*Res
 		identity := len(names) == len(r.cols)
 		for i := range names {
 			if exprs[i] != nil {
-				compiled[i] = db.compileExpr(exprs[i], r)
+				compiled[i] = ex.db.compileExpr(exprs[i], r)
 				identity = false
 			} else if positions[i] != i {
 				identity = false
@@ -1146,6 +1368,9 @@ func (db *DB) project(core *SelectCore, r *relation, live map[string]bool) (*Res
 			// `SELECT A.r0 AS v_x FROM QT2 AS A` CTE hops): reuse the
 			// input rows, copying only the row-pointer slice so later
 			// in-place reordering (ORDER BY) cannot alias table storage.
+			if err := ex.gov.check(CkProject); err != nil {
+				return nil, err
+			}
 			rs.Rows = append([]Row(nil), r.rows...)
 		} else {
 			// One output row per input row, written in place by index, so
@@ -1154,8 +1379,15 @@ func (db *DB) project(core *SelectCore, r *relation, live map[string]bool) (*Res
 			w := planWorkers(n)
 			width := len(names)
 			err := parallelChunks(n, w, func(chunk, lo, hi int) error {
-				var arena rowArena
+				tk := ticker{g: ex.gov, site: CkProject}
+				if err := tk.flush(); err != nil {
+					return err
+				}
+				arena := rowArena{gov: ex.gov}
 				for ri := lo; ri < hi; ri++ {
+					if err := tk.emit(); err != nil {
+						return err
+					}
 					row := r.rows[ri]
 					outRow := arena.alloc(width)
 					for i := range names {
@@ -1173,7 +1405,7 @@ func (db *DB) project(core *SelectCore, r *relation, live map[string]bool) (*Res
 					}
 					rows[ri] = outRow
 				}
-				return nil
+				return tk.flush()
 			})
 			if err != nil {
 				return nil, err
@@ -1182,7 +1414,10 @@ func (db *DB) project(core *SelectCore, r *relation, live map[string]bool) (*Res
 		}
 	}
 	if core.Distinct {
-		rs.Rows = dedupRows(rs.Rows)
+		var err error
+		if rs.Rows, err = dedupRows(rs.Rows, ex.gov); err != nil {
+			return nil, err
+		}
 	}
 	return rs, nil
 }

@@ -1,0 +1,100 @@
+package rel
+
+import "sync/atomic"
+
+// Fault injection for the governance layer — a test-only hook that
+// forces a failure at the Nth visit to a named checkpoint, so every
+// abort path (cancellation, deadline, budget trip, panic containment)
+// can be exercised deterministically, including inside morsel workers,
+// under the race detector. Production code never arms it; the cost to
+// a normal query is one atomic pointer load per checkpoint.
+//
+// Usage (tests only):
+//
+//	rel.InjectFault(rel.CkHashProbe, rel.FaultCancel, 1)
+//	defer rel.ClearFault()
+//	_, err := db.ExecContext(ctx, q, lim) // err == rel.ErrCanceled
+//
+// The harness is global: tests that arm it must not run in parallel
+// with other tests of the same package.
+
+// FaultMode selects what an injected checkpoint failure looks like.
+type FaultMode uint8
+
+// Fault modes.
+const (
+	// FaultNone disarms (equivalent to ClearFault).
+	FaultNone FaultMode = iota
+	// FaultCancel makes the checkpoint report ErrCanceled.
+	FaultCancel
+	// FaultDeadline makes the checkpoint report ErrDeadlineExceeded.
+	FaultDeadline
+	// FaultBudget makes the checkpoint report a *BudgetError.
+	FaultBudget
+	// FaultPanic makes the checkpoint panic, exercising containment.
+	FaultPanic
+)
+
+// faultPanicMsg is the panic value used by FaultPanic; tests match it.
+const faultPanicMsg = "rel: injected checkpoint panic"
+
+type faultPlan struct {
+	site  CheckSite
+	mode  FaultMode
+	nth   int64
+	hits  atomic.Int64
+	fired atomic.Bool
+}
+
+var faultState atomic.Pointer[faultPlan]
+
+// InjectFault arms the harness: the nth visit (1-based) to a
+// checkpoint at site (CkAny matches every site) fails with the given
+// mode. Re-arming replaces any previous plan and resets the counters.
+// Test-only; see the package comment above.
+func InjectFault(site CheckSite, mode FaultMode, nth int64) {
+	if mode == FaultNone {
+		ClearFault()
+		return
+	}
+	if nth < 1 {
+		nth = 1
+	}
+	faultState.Store(&faultPlan{site: site, mode: mode, nth: nth})
+}
+
+// ClearFault disarms the harness.
+func ClearFault() { faultState.Store(nil) }
+
+// FaultFired reports whether the currently armed fault has triggered,
+// letting tests assert that the targeted checkpoint was reached.
+func FaultFired() bool {
+	p := faultState.Load()
+	return p != nil && p.fired.Load()
+}
+
+// faultCheck is consulted by every governance checkpoint.
+func faultCheck(site CheckSite) error {
+	p := faultState.Load()
+	if p == nil {
+		return nil
+	}
+	if p.site != CkAny && p.site != site {
+		return nil
+	}
+	if p.hits.Add(1) != p.nth {
+		return nil
+	}
+	p.fired.Store(true)
+	switch p.mode {
+	case FaultCancel:
+		return ErrCanceled
+	case FaultDeadline:
+		return ErrDeadlineExceeded
+	case FaultBudget:
+		return &BudgetError{Budget: "injected", Limit: 0, Used: 1}
+	case FaultPanic:
+		panic(faultPanicMsg)
+	}
+	return nil
+}

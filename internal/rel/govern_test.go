@@ -1,0 +1,290 @@
+package rel
+
+import (
+	"context"
+	"errors"
+	"runtime"
+	"strings"
+	"testing"
+	"time"
+)
+
+// Governance tests: typed abort errors, budget accounting, fault
+// injection at named checkpoints (including inside morsel workers),
+// panic containment, and DB-usable-after-abort. None of these use
+// timing-dependent deadlines — contexts are pre-canceled or already
+// expired, and mid-execution aborts go through the fault harness — so
+// they are deterministic under -race and arbitrary scheduling.
+
+// govQuery joins, filters, projects and sorts, touching most
+// checkpoint sites in one statement.
+const govQuery = "SELECT p.name AS pname, c.name AS cname FROM people AS p, cities AS c WHERE p.city = c.id AND p.age > 20 ORDER BY pname"
+
+func mustParse(t *testing.T, sql string) *Query {
+	t.Helper()
+	q, err := ParseQuery(sql)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return q
+}
+
+// checkUsable asserts the DB still answers queries correctly.
+func checkUsable(t *testing.T, db *DB) {
+	t.Helper()
+	rs, err := db.Query(govQuery)
+	if err != nil {
+		t.Fatalf("follow-up query after abort: %v", err)
+	}
+	if len(rs.Rows) != 3 {
+		t.Fatalf("follow-up query after abort: want 3 rows, got %d", len(rs.Rows))
+	}
+}
+
+func TestExecContextCanceled(t *testing.T) {
+	db := peopleDB(t)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err := db.ExecContext(ctx, mustParse(t, govQuery), Limits{})
+	if !errors.Is(err, ErrCanceled) {
+		t.Fatalf("want ErrCanceled, got %v", err)
+	}
+	checkUsable(t, db)
+}
+
+func TestExecContextExpiredDeadline(t *testing.T) {
+	db := peopleDB(t)
+	ctx, cancel := context.WithDeadline(context.Background(), time.Now().Add(-time.Hour))
+	defer cancel()
+	_, err := db.ExecContext(ctx, mustParse(t, govQuery), Limits{})
+	if !errors.Is(err, ErrDeadlineExceeded) {
+		t.Fatalf("want ErrDeadlineExceeded, got %v", err)
+	}
+	checkUsable(t, db)
+}
+
+func TestRowBudget(t *testing.T) {
+	db := peopleDB(t)
+	_, err := db.ExecContext(context.Background(), mustParse(t, govQuery), Limits{MaxRows: 2})
+	var be *BudgetError
+	if !errors.As(err, &be) {
+		t.Fatalf("want *BudgetError, got %v", err)
+	}
+	if !errors.Is(err, ErrBudgetExceeded) {
+		t.Fatalf("BudgetError must match ErrBudgetExceeded, got %v", err)
+	}
+	if be.Budget != "rows" || be.Used <= be.Limit {
+		t.Fatalf("bad budget report: %+v", be)
+	}
+	if !strings.Contains(be.Error(), "over") {
+		t.Fatalf("error should report overage: %q", be.Error())
+	}
+	checkUsable(t, db)
+}
+
+func TestMemoryBudget(t *testing.T) {
+	db := peopleDB(t)
+	_, err := db.ExecContext(context.Background(), mustParse(t, govQuery), Limits{MaxBytes: 64})
+	var be *BudgetError
+	if !errors.As(err, &be) {
+		t.Fatalf("want *BudgetError, got %v", err)
+	}
+	if be.Budget != "memory" {
+		t.Fatalf("want memory budget, got %+v", be)
+	}
+	checkUsable(t, db)
+}
+
+func TestUnlimitedByDefault(t *testing.T) {
+	db := peopleDB(t)
+	rs, err := db.ExecContext(context.Background(), mustParse(t, govQuery), Limits{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rs.Rows) != 3 {
+		t.Fatalf("want 3 rows, got %d", len(rs.Rows))
+	}
+}
+
+// TestFaultInjectionSites forces each fault mode at several distinct
+// checkpoints — hash build, hash probe (a morsel worker), projection
+// (a morsel worker), ORDER BY, filter — and asserts the typed error
+// surfaces and the DB remains usable.
+func TestFaultInjectionSites(t *testing.T) {
+	db := peopleDB(t)
+	q := mustParse(t, govQuery)
+	sites := []CheckSite{CkHashBuild, CkHashProbe, CkProject, CkOrderBy, CkFilter}
+	modes := []struct {
+		mode FaultMode
+		want error
+	}{
+		{FaultCancel, ErrCanceled},
+		{FaultDeadline, ErrDeadlineExceeded},
+		{FaultBudget, ErrBudgetExceeded},
+	}
+	for _, site := range sites {
+		for _, m := range modes {
+			t.Run(site.String()+"/"+m.want.Error(), func(t *testing.T) {
+				InjectFault(site, m.mode, 1)
+				defer ClearFault()
+				_, err := db.ExecContext(context.Background(), q, Limits{})
+				if !errors.Is(err, m.want) {
+					t.Fatalf("site %v mode %v: want %v, got %v", site, m.mode, m.want, err)
+				}
+				if !FaultFired() {
+					t.Fatalf("site %v never reached", site)
+				}
+				ClearFault()
+				checkUsable(t, db)
+			})
+		}
+	}
+}
+
+// TestFaultInsideMorselWorker pins parallelism on (every loop fans
+// out) and injects deep enough that the failing checkpoint runs on a
+// spawned worker goroutine, not the coordinating one.
+func TestFaultInsideMorselWorker(t *testing.T) {
+	SetParallelism(4, 1)
+	defer SetParallelism(0, 0)
+	db := peopleDB(t)
+	q := mustParse(t, govQuery)
+
+	before := runtime.NumGoroutine()
+	for _, m := range []struct {
+		mode FaultMode
+		want error
+	}{
+		{FaultCancel, ErrCanceled},
+		{FaultBudget, ErrBudgetExceeded},
+	} {
+		// nth=2: the first visit to CkHashProbe is another worker's
+		// entry flush, so the fault lands mid-fan-out.
+		InjectFault(CkHashProbe, m.mode, 2)
+		_, err := db.ExecContext(context.Background(), q, Limits{})
+		ClearFault()
+		if !errors.Is(err, m.want) {
+			t.Fatalf("mode %v: want %v, got %v", m.mode, m.want, err)
+		}
+		checkUsable(t, db)
+	}
+	waitForGoroutines(t, before)
+}
+
+// TestFaultPanicContained injects a panic at a worker checkpoint and in
+// sequential code, asserting it converts to *PanicError, no goroutine
+// leaks, and the DB still works.
+func TestFaultPanicContained(t *testing.T) {
+	SetParallelism(4, 1)
+	defer SetParallelism(0, 0)
+	db := peopleDB(t)
+	q := mustParse(t, govQuery)
+	before := runtime.NumGoroutine()
+	for _, site := range []CheckSite{CkHashProbe, CkOrderBy, CkHashBuild} {
+		InjectFault(site, FaultPanic, 1)
+		_, err := db.ExecContext(context.Background(), q, Limits{})
+		ClearFault()
+		var pe *PanicError
+		if !errors.As(err, &pe) {
+			t.Fatalf("site %v: want *PanicError, got %v", site, err)
+		}
+		if pe.V != faultPanicMsg {
+			t.Fatalf("site %v: wrong panic value %v", site, pe.V)
+		}
+		if len(pe.Stack) == 0 {
+			t.Fatalf("site %v: no stack captured", site)
+		}
+		checkUsable(t, db)
+	}
+	waitForGoroutines(t, before)
+}
+
+// TestPanicInCompiledExpr panics inside a registered scalar function —
+// the compiled-expression closure path — under both sequential and
+// parallel projection.
+func TestPanicInCompiledExpr(t *testing.T) {
+	db := peopleDB(t)
+	db.RegisterFunc("boom", func(args []Value) (Value, error) { panic("boom function") })
+	q := mustParse(t, "SELECT boom(age) FROM people")
+	for _, workers := range []int{1, 4} {
+		SetParallelism(workers, 1)
+		_, err := db.ExecContext(context.Background(), q, Limits{})
+		SetParallelism(0, 0)
+		var pe *PanicError
+		if !errors.As(err, &pe) {
+			t.Fatalf("workers=%d: want *PanicError, got %v", workers, err)
+		}
+		checkUsable(t, db)
+	}
+}
+
+// TestAbortEquivalenceParallelSequential asserts the same injected
+// fault yields the same typed error whether the executor runs
+// sequentially or fanned out.
+func TestAbortEquivalenceParallelSequential(t *testing.T) {
+	db := peopleDB(t)
+	q := mustParse(t, govQuery)
+	for _, site := range []CheckSite{CkFilter, CkHashBuild, CkProject} {
+		var errs [2]error
+		for i, workers := range []int{1, 4} {
+			SetParallelism(workers, 1)
+			InjectFault(site, FaultCancel, 1)
+			_, errs[i] = db.ExecContext(context.Background(), q, Limits{})
+			ClearFault()
+			SetParallelism(0, 0)
+		}
+		if !errors.Is(errs[0], ErrCanceled) || !errors.Is(errs[1], ErrCanceled) {
+			t.Fatalf("site %v: sequential err %v vs parallel err %v", site, errs[0], errs[1])
+		}
+	}
+	checkUsable(t, db)
+}
+
+// TestBudgetTripInArena drives the memory budget through the
+// rowArena.alloc panic path specifically: parallel projection of a
+// wide row with a budget smaller than one arena block.
+func TestBudgetTripInArena(t *testing.T) {
+	SetParallelism(4, 1)
+	defer SetParallelism(0, 0)
+	db := peopleDB(t)
+	q := mustParse(t, "SELECT p.name, c.name FROM people AS p, cities AS c WHERE p.city = c.id")
+	_, err := db.ExecContext(context.Background(), q, Limits{MaxBytes: 8})
+	var be *BudgetError
+	if !errors.As(err, &be) {
+		t.Fatalf("want *BudgetError from arena growth, got %v", err)
+	}
+	if be.Budget != "memory" {
+		t.Fatalf("want memory budget, got %+v", be)
+	}
+	checkUsable(t, db)
+}
+
+// TestExecNilContext ensures a nil context behaves like Background.
+func TestExecNilContext(t *testing.T) {
+	db := peopleDB(t)
+	//lint:ignore SA1012 deliberate nil-context robustness check
+	rs, err := db.ExecContext(nil, mustParse(t, govQuery), Limits{}) //nolint:staticcheck
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rs.Rows) != 3 {
+		t.Fatalf("want 3 rows, got %d", len(rs.Rows))
+	}
+}
+
+// waitForGoroutines polls until the goroutine count settles back to
+// (or below) the baseline, tolerating a small slack for runtime
+// helpers; it fails the test on timeout — i.e. a leak.
+func waitForGoroutines(t *testing.T, base int) {
+	t.Helper()
+	deadline := time.Now().Add(3 * time.Second)
+	for {
+		if n := runtime.NumGoroutine(); n <= base+2 {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("goroutine leak: %d running, baseline %d", runtime.NumGoroutine(), base)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}

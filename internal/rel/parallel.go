@@ -55,10 +55,14 @@ func planWorkers(n int) int {
 
 // parallelChunks partitions [0, n) into w contiguous ranges and runs
 // fn(chunk, lo, hi) for each on its own goroutine (inline when w <= 1).
-// The first non-nil error (by chunk order) is returned.
+// The first non-nil error (by chunk order) is returned. A panic inside
+// a chunk — worker goroutine or inline — is contained by runChunk and
+// surfaces as that chunk's error, so one bad row (or a tripped memory
+// budget unwinding out of rowArena.alloc) cannot take the process down
+// or strand sibling workers: every worker always reaches wg.Done.
 func parallelChunks(n, w int, fn func(chunk, lo, hi int) error) error {
 	if w <= 1 {
-		return fn(0, 0, n)
+		return runChunk(fn, 0, 0, n)
 	}
 	errs := make([]error, w)
 	var wg sync.WaitGroup
@@ -71,7 +75,7 @@ func parallelChunks(n, w int, fn func(chunk, lo, hi int) error) error {
 		wg.Add(1)
 		go func(c, lo, hi int) {
 			defer wg.Done()
-			errs[c] = fn(c, lo, hi)
+			errs[c] = runChunk(fn, c, lo, hi)
 		}(c, lo, hi)
 		lo = hi
 	}
@@ -82,4 +86,15 @@ func parallelChunks(n, w int, fn func(chunk, lo, hi int) error) error {
 		}
 	}
 	return nil
+}
+
+// runChunk runs one chunk with panic containment: governance aborts
+// unwrap to their typed error, any other panic becomes a *PanicError.
+func runChunk(fn func(chunk, lo, hi int) error, c, lo, hi int) (err error) {
+	defer func() {
+		if p := recover(); p != nil {
+			err = recoveredError(p)
+		}
+	}()
+	return fn(c, lo, hi)
 }

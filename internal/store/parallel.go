@@ -2,10 +2,13 @@ package store
 
 import (
 	"bufio"
+	"fmt"
 	"io"
+	"math"
 	"runtime"
 	"strings"
 	"sync"
+	"sync/atomic"
 
 	"db2rdf/internal/dict"
 	"db2rdf/internal/rdf"
@@ -87,31 +90,74 @@ func (s *Store) LoadTriplesParallel(ts []rdf.Triple, workers int) error {
 	return s.bulkLoadLocked(enc, workers)
 }
 
+// lineChunk is one dispatch unit of the encode pipeline: a run of
+// input lines plus the 1-based line number of the first, so a worker
+// can report errors by absolute input position.
+type lineChunk struct {
+	base  int
+	lines []string
+}
+
+// encodeErrs tracks the earliest parse error across encode workers.
+// minLine doubles as the cheap abort signal: the scanner polls it to
+// stop dispatching, and workers use it to skip queued chunks that lie
+// entirely after the known-first error.
+type encodeErrs struct {
+	minLine atomic.Int64 // math.MaxInt64 = no error yet
+	mu      sync.Mutex
+	line    int
+	err     error
+}
+
+func (e *encodeErrs) record(line int, err error) {
+	e.mu.Lock()
+	if e.err == nil || line < e.line {
+		e.line, e.err = line, err
+	}
+	e.mu.Unlock()
+	for {
+		cur := e.minLine.Load()
+		if int64(line) >= cur || e.minLine.CompareAndSwap(cur, int64(line)) {
+			return
+		}
+	}
+}
+
 // encodeStream parses and encodes N-Triples concurrently. Lines are
 // scanned sequentially (the scanner is the only stage that must be
 // serial) and dispatched to workers in chunks.
+//
+// Error handling: the first parse error (by input line, not by which
+// worker happened to hit it first) aborts the load. The scanner stops
+// dispatching, already-queued chunks positioned after the error are
+// drained without parsing, and the channel is closed so every worker
+// exits — no goroutine outlives the call. Chunks before the error are
+// still parsed, which is what makes "first" deterministic: an earlier
+// error in a slower worker's queue always wins.
 func (s *Store) encodeStream(r io.Reader, workers int) ([]encTriple, error) {
-	in := make(chan []string, workers)
+	in := make(chan lineChunk, workers)
 	parts := make([][]encTriple, workers)
-	errs := make([]error, workers)
+	ee := &encodeErrs{}
+	ee.minLine.Store(math.MaxInt64)
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
 		go func(w int) {
 			defer wg.Done()
 			local := make([]encTriple, 0, encodeChunk)
-			for lines := range in {
-				for _, line := range lines {
+			for chunk := range in {
+				if int64(chunk.base) > ee.minLine.Load() {
+					continue // wholly after the first known error: drain
+				}
+				for i, line := range chunk.lines {
 					line = strings.TrimSpace(line)
 					if line == "" || strings.HasPrefix(line, "#") {
 						continue
 					}
 					t, err := rdf.ParseTripleLine(line)
 					if err != nil {
-						if errs[w] == nil {
-							errs[w] = err
-						}
-						continue
+						ee.record(chunk.base+i, err)
+						break
 					}
 					local = append(local, s.encodeTriple(t))
 				}
@@ -123,25 +169,33 @@ func (s *Store) encodeStream(r io.Reader, workers int) ([]encTriple, error) {
 	scan := bufio.NewScanner(r)
 	scan.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
 	chunk := make([]string, 0, encodeChunk)
+	base, lineNo := 1, 0
+	aborted := false
 	for scan.Scan() {
+		if ee.minLine.Load() != math.MaxInt64 {
+			aborted = true
+			break
+		}
+		lineNo++
+		if len(chunk) == 0 {
+			base = lineNo
+		}
 		chunk = append(chunk, scan.Text())
 		if len(chunk) == encodeChunk {
-			in <- chunk
+			in <- lineChunk{base: base, lines: chunk}
 			chunk = make([]string, 0, encodeChunk)
 		}
 	}
-	if len(chunk) > 0 {
-		in <- chunk
+	if len(chunk) > 0 && !aborted {
+		in <- lineChunk{base: base, lines: chunk}
 	}
 	close(in)
 	wg.Wait()
+	if ee.err != nil {
+		return nil, fmt.Errorf("line %d: %w", ee.line, ee.err)
+	}
 	if err := scan.Err(); err != nil {
 		return nil, err
-	}
-	for _, err := range errs {
-		if err != nil {
-			return nil, err
-		}
 	}
 	total := 0
 	for _, p := range parts {
@@ -210,8 +264,15 @@ func (s *Store) bulkLoadLocked(enc []encTriple, workers int) error {
 		reverseBuckets[rw] = append(reverseBuckets[rw], e)
 	}
 
+	// A failed bucket sets abort so sibling workers stop at their next
+	// entity-group boundary instead of loading on; all of them still
+	// drain through wg.Wait, so no goroutine leaks. The per-worker
+	// stats are merged only when every bucket succeeded, so a failed
+	// load never leaves partially merged statistics behind (the first
+	// error, in deterministic bucket order, is returned).
 	statsParts := make([]*Stats, workers)
 	errs := make([]error, 2*workers)
+	var abort atomic.Bool
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		wg.Add(2)
@@ -219,11 +280,11 @@ func (s *Store) bulkLoadLocked(enc []encTriple, workers int) error {
 			defer wg.Done()
 			st := newStats(s.Opts.TopK)
 			statsParts[w] = st
-			errs[w] = s.direct.bulkInsert(s, directBuckets[w], st, false)
+			errs[w] = s.direct.bulkInsert(s, directBuckets[w], st, false, &abort)
 		}(w)
 		go func(w int) {
 			defer wg.Done()
-			errs[workers+w] = s.reverse.bulkInsert(s, reverseBuckets[w], nil, true)
+			errs[workers+w] = s.reverse.bulkInsert(s, reverseBuckets[w], nil, true, &abort)
 		}(w)
 	}
 	wg.Wait()
@@ -256,8 +317,10 @@ type entityRange struct {
 // bulkInsert loads one bucket into the side. Triples of entities the
 // store has never seen (the common bulk case) are built as rows in
 // local memory and batch-appended; entities with existing rows fall
-// back to the incremental insert path.
-func (d *side) bulkInsert(s *Store, bucket []encTriple, stats *Stats, reverse bool) error {
+// back to the incremental insert path. abort is the load-wide failure
+// flag: set on the first error, polled at entity-group boundaries so
+// sibling buckets stop early instead of completing a doomed load.
+func (d *side) bulkInsert(s *Store, bucket []encTriple, stats *Stats, reverse bool, abort *atomic.Bool) error {
 	if len(bucket) == 0 {
 		return nil
 	}
@@ -290,7 +353,10 @@ func (d *side) bulkInsert(s *Store, bucket []encTriple, stats *Stats, reverse bo
 	var ranges []entityRange
 	agg := &bulkAgg{spillPreds: make(map[int64]bool), multiPreds: make(map[int64]bool)}
 
-	for _, ent := range order {
+	for gi, ent := range order {
+		if gi&63 == 0 && abort.Load() {
+			return nil // a sibling bucket failed; its error is reported
+		}
 		encs := byEntity[ent]
 		sh := d.shard(ent)
 		if len(sh.entityRows[ent]) > 0 {
@@ -302,6 +368,7 @@ func (d *side) bulkInsert(s *Store, bucket []encTriple, stats *Stats, reverse bo
 				}
 				fresh, err := d.insert(s, entity, e.p, member, e.pred)
 				if err != nil {
+					abort.Store(true)
 					return err
 				}
 				if fresh && stats != nil {
@@ -329,6 +396,7 @@ func (d *side) bulkInsert(s *Store, bucket []encTriple, stats *Stats, reverse bo
 	if len(pendingPrimary) > 0 {
 		base, err := d.primary.AppendRows(pendingPrimary)
 		if err != nil {
+			abort.Store(true)
 			return err
 		}
 		for _, r := range ranges {
@@ -342,6 +410,7 @@ func (d *side) bulkInsert(s *Store, bucket []encTriple, stats *Stats, reverse bo
 	}
 	if len(pendingSecondary) > 0 {
 		if _, err := d.secondary.AppendRows(pendingSecondary); err != nil {
+			abort.Store(true)
 			return err
 		}
 	}

@@ -1,6 +1,7 @@
 package db2rdf
 
 import (
+	"context"
 	"fmt"
 	"sync/atomic"
 
@@ -28,8 +29,10 @@ var pathTableN int64
 
 // materializeClosures computes and loads each closure of the query,
 // returning the marker->table map and a cleanup function that drops
-// the temporary relations.
-func (s *Store) materializeClosures(parsed *sparql.Query) (map[string]string, func(), error) {
+// the temporary relations. An abort (cancellation, deadline, budget)
+// between closures drops any temporaries already created before the
+// error is returned, so governance failures never leak PATHTMP tables.
+func (s *Store) materializeClosures(ctx context.Context, parsed *sparql.Query) (map[string]string, func(), error) {
 	if len(parsed.Closures) == 0 {
 		return nil, func() {}, nil
 	}
@@ -41,7 +44,7 @@ func (s *Store) materializeClosures(parsed *sparql.Query) (map[string]string, fu
 		}
 	}
 	for _, cl := range parsed.Closures {
-		pairs, err := s.closurePairs(cl)
+		pairs, err := s.closurePairs(ctx, cl)
 		if err != nil {
 			cleanup()
 			return nil, nil, err
@@ -76,15 +79,18 @@ func (s *Store) materializeClosures(parsed *sparql.Query) (map[string]string, fu
 }
 
 // closurePairs evaluates the closure's base steps through ordinary
-// (closure-free) queries and computes the reachability pairs.
-func (s *Store) closurePairs(cl sparql.Closure) ([][2]int64, error) {
+// (closure-free) queries and computes the reachability pairs. The step
+// queries run under ctx and the store budgets like any other query,
+// and the BFS itself polls cancellation at chunk granularity, so a
+// pathological closure (quadratic reachability) can be aborted too.
+func (s *Store) closurePairs(ctx context.Context, cl sparql.Closure) ([][2]int64, error) {
 	adj := map[int64][]int64{}
 	nodes := map[int64]bool{}
 	for _, step := range cl.Steps {
 		// queryLocked, not Query: the caller already holds the store
 		// read lock, and RWMutex read locks must not be re-acquired
 		// (a queued writer between the two acquisitions deadlocks).
-		res, err := s.queryLocked(fmt.Sprintf("SELECT ?a ?b WHERE { ?a <%s> ?b }", step.IRI))
+		res, err := s.queryLocked(ctx, fmt.Sprintf("SELECT ?a ?b WHERE { ?a <%s> ?b }", step.IRI))
 		if err != nil {
 			return nil, fmt.Errorf("db2rdf: evaluating path step <%s>: %w", step.IRI, err)
 		}
@@ -114,11 +120,18 @@ func (s *Store) closurePairs(cl sparql.Closure) ([][2]int64, error) {
 			}
 		}
 	} else {
-		// Transitive closure: BFS from every source node.
+		// Transitive closure: BFS from every source node, checking
+		// cancellation every 1024 pops (the executor's chunk granularity).
+		popped := 0
 		for start := range adj {
 			visited := map[int64]bool{}
 			queue := append([]int64(nil), adj[start]...)
 			for len(queue) > 0 {
+				if popped++; popped&1023 == 0 {
+					if err := ctxErr(ctx); err != nil {
+						return nil, err
+					}
+				}
 				n := queue[0]
 				queue = queue[1:]
 				if visited[n] {
