@@ -14,11 +14,12 @@ test:
 race:
 	$(GO) test -race ./...
 
-# bench records the PR 2 baseline numbers (load, cold-plan query,
-# warm-plan query) to BENCH_PR2.json; bench-all runs the full paper
+# bench records the PR 4 baseline numbers (load, cold-plan query,
+# warm-plan query, resident table bytes under the columnar and row
+# layouts) to BENCH_PR4.json; bench-all runs the full paper
 # figure/table benchmark sweep.
 bench:
-	DB2RDF_BENCH_OUT=BENCH_PR2.json $(GO) test -run '^TestBenchBaseline$$' -count=1 -v .
+	DB2RDF_BENCH_OUT=BENCH_PR4.json $(GO) test -run '^TestBenchBaseline$$' -count=1 -v .
 
 bench-all:
 	$(GO) test -run '^$$' -bench . -benchtime 1x ./...

@@ -3,9 +3,14 @@ package db2rdf_test
 // TestBenchBaseline is the `make bench` entry point: it measures bulk
 // load, cold-plan query and warm-plan (cache-hit) query latencies with
 // testing.Benchmark and writes them as JSON to the file named by the
-// DB2RDF_BENCH_OUT environment variable (BENCH_PR2.json from the
+// DB2RDF_BENCH_OUT environment variable (BENCH_PR4.json from the
 // Makefile). Without the variable it is skipped, so plain `go test`
 // stays fast.
+//
+// Besides ns/op each point carries bytes/op and allocs/op, and two
+// non-latency points record the resident size of a loaded LUBM store
+// under the columnar (default) and legacy row layouts, so the memory
+// claim of the columnar storage is tracked across PRs.
 
 import (
 	"encoding/json"
@@ -13,12 +18,25 @@ import (
 	"testing"
 
 	"db2rdf"
+	"db2rdf/internal/rel"
 )
 
 type benchPoint struct {
-	Name string  `json:"name"`
-	NsOp float64 `json:"ns_per_op"`
-	N    int     `json:"iterations"`
+	Name     string  `json:"name"`
+	NsOp     float64 `json:"ns_per_op"`
+	N        int     `json:"iterations"`
+	BytesOp  int64   `json:"bytes_per_op,omitempty"`
+	AllocsOp int64   `json:"allocs_per_op,omitempty"`
+}
+
+func latencyPoint(name string, r testing.BenchmarkResult) benchPoint {
+	return benchPoint{
+		Name:     name,
+		NsOp:     float64(r.NsPerOp()),
+		N:        r.N,
+		BytesOp:  r.AllocedBytesPerOp(),
+		AllocsOp: r.AllocsPerOp(),
+	}
 }
 
 func TestBenchBaseline(t *testing.T) {
@@ -30,6 +48,7 @@ func TestBenchBaseline(t *testing.T) {
 	q := ds.Queries[0].SPARQL
 
 	load := testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
 			s, err := db2rdf.Open(db2rdf.Options{})
 			if err != nil {
@@ -52,6 +71,7 @@ func TestBenchBaseline(t *testing.T) {
 		t.Fatal(err)
 	}
 	cold := testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
 			s.ResetPlanCache()
 			if _, err := s.Query(q); err != nil {
@@ -60,6 +80,7 @@ func TestBenchBaseline(t *testing.T) {
 		}
 	})
 	warm := testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
 			if _, err := s.Query(q); err != nil {
 				b.Fatal(err)
@@ -67,10 +88,27 @@ func TestBenchBaseline(t *testing.T) {
 		}
 	})
 
+	// Resident table footprint of the same LUBM dataset under both
+	// layouts. The store above is columnar (the default); load a second
+	// store under the legacy row layout for the comparison point.
+	colBytes := s.StorageBytes()
+	rel.SetDefaultStorage(rel.StorageRows)
+	rowStore, err := db2rdf.Open(db2rdf.Options{})
+	rel.SetDefaultStorage(rel.StorageColumnar)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := rowStore.LoadTriples(ds.Triples); err != nil {
+		t.Fatal(err)
+	}
+	rowBytes := rowStore.StorageBytes()
+
 	points := []benchPoint{
-		{Name: "load_lubm", NsOp: float64(load.NsPerOp()), N: load.N},
-		{Name: "query_cold_plan", NsOp: float64(cold.NsPerOp()), N: cold.N},
-		{Name: "query_warm_plan", NsOp: float64(warm.NsPerOp()), N: warm.N},
+		latencyPoint("load_lubm", load),
+		latencyPoint("query_cold_plan", cold),
+		latencyPoint("query_warm_plan", warm),
+		{Name: "table_resident_bytes", NsOp: float64(colBytes), N: 1},
+		{Name: "table_resident_bytes_rowlayout", NsOp: float64(rowBytes), N: 1},
 	}
 	data, err := json.MarshalIndent(points, "", "  ")
 	if err != nil {
@@ -81,6 +119,10 @@ func TestBenchBaseline(t *testing.T) {
 	}
 	t.Logf("wrote %s", out)
 	for _, p := range points {
-		t.Logf("%-18s %12.0f ns/op (n=%d)", p.Name, p.NsOp, p.N)
+		t.Logf("%-30s %14.0f ns/op (n=%d, %d B/op, %d allocs/op)", p.Name, p.NsOp, p.N, p.BytesOp, p.AllocsOp)
+	}
+	if rowBytes > 0 {
+		t.Logf("columnar/row resident ratio: %.2fx smaller (%d vs %d bytes)",
+			float64(rowBytes)/float64(colBytes), colBytes, rowBytes)
 	}
 }

@@ -11,6 +11,8 @@ echo "== go test -race =="
 go test -race ./...
 echo "== kernel equivalence (parallel on/off) and plan cache =="
 go test -race -run 'TestKernelEquivalence|TestPlanCache' -count=1 .
+echo "== columnar/row storage equivalence =="
+go test -race -run 'TestStorageEquivalence' -count=1 .
 echo "== abort paths (governance, fault injection, panic containment) =="
 go test -race -count=1 \
     -run 'TestExecContext|TestFault|TestPanic|TestAbort|Budget|TestQueryContext|TestDeadline|TestQueryTimeout|TestEarlierParent|TestGraphQueryGovernance|TestPathClosureGovernance|TestExplainGovernance' \

@@ -130,6 +130,18 @@ func (s *Store) Len() int {
 	return s.inner.EntityCount(false)
 }
 
+// StorageBytes returns the resident in-memory size of the four DB2RDF
+// relations (DPH, DS, RPH, RS) in bytes: vector/row storage, null
+// bitmaps, and string contents. It is the number the columnar layout
+// (rel.StorageColumnar, the default) is designed to shrink — sparse
+// predicate columns cost one presence bit per absent value instead of
+// a full value slot.
+func (s *Store) StorageBytes() int64 {
+	s.inner.RLock()
+	defer s.inner.RUnlock()
+	return s.inner.StorageBytes()
+}
+
 // Internal exposes the underlying store for the benchmark harness and
 // tools; library users should not need it.
 func (s *Store) Internal() *store.Store { return s.inner }

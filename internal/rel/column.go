@@ -1,0 +1,355 @@
+package rel
+
+import (
+	"math"
+	"math/bits"
+)
+
+// Columnar table storage (§2 of the paper motivates it): the DPH/RPH
+// relations are wide and sparse by design — k (pred_i, val_i) pairs
+// per row, most NULL for any given subject — so storing rows as
+// []Value burns 40 bytes per absent predicate. A colVec instead keeps
+// one typed vector per column, split into fixed-size chunks of 1024
+// rows. Each chunk holds a presence bitmap (1 bit per row; a cleared
+// bit is NULL) and a densely packed slice of the present values, so a
+// NULL costs one bit and access is rank(popcount) into the packed
+// slice. Chunks that are entirely NULL are nil pointers: a column a
+// subject never uses costs 8 bytes per 1024 rows.
+//
+// Each chunk also carries zone-map statistics — min/max over packed
+// int values (maintained widening-only, so they are sound bounds even
+// after updates) and the presence count (null count = chunk length −
+// n) — letting the vectorized scan skip whole chunks for
+// `col = const`, range and IS [NOT] NULL conjuncts before any per-row
+// work.
+//
+// Values whose kind does not match the declared column type (a Bool
+// anywhere, a Float in a TInt column — possible because Insert is
+// dynamically typed) are stored out of line in the chunk's exception
+// map and counted on the vector. A column with exceptions is never
+// vectorized or zone-pruned; the RDF store itself only writes
+// dictionary ids into TInt columns, so production workloads carry
+// zero exceptions.
+//
+// Concurrency: colVec methods take no locks. The owning Table
+// serializes writers with its mutex, and readers (the executor) run
+// under the store-level read lock that excludes writers for the whole
+// query, the same contract Table.Rows relied on.
+
+const (
+	chunkShift = 10
+	chunkRows  = 1 << chunkShift // rows per chunk
+	chunkMask  = chunkRows - 1
+	chunkWords = chunkRows / 64 // bitmap words per chunk
+)
+
+// colChunk is 1024 rows of one column.
+type colChunk struct {
+	bits [chunkWords]uint64 // presence bitmap; clear bit = NULL
+	n    int                // number of set bits (packed values)
+
+	// Exactly one of the packed slices is used, per the column type.
+	ints   []int64
+	floats []float64
+	strs   []string
+
+	// Zone map over packed int values: sound (possibly loose) bounds,
+	// widened on write, never narrowed. Valid only when zoneInit.
+	min, max int64
+	zoneInit bool
+
+	// exc holds values whose kind mismatches the column type, keyed by
+	// in-chunk offset. The packed slice carries a zero placeholder at
+	// the same rank so presence arithmetic stays uniform.
+	exc map[uint16]Value
+}
+
+// colVec is one column of a table.
+type colVec struct {
+	typ      ColumnType
+	chunks   []*colChunk // nil entry = all-NULL chunk
+	excCount int         // total exception values; >0 disables vectorization
+}
+
+// has reports whether the row at in-chunk offset off is present.
+func (c *colChunk) has(off int) bool {
+	return c.bits[off>>6]>>(uint(off)&63)&1 == 1
+}
+
+// rank counts present rows strictly before in-chunk offset off — the
+// packed-slice position of the value at off (when present).
+func (c *colChunk) rank(off int) int {
+	w := off >> 6
+	r := bits.OnesCount64(c.bits[w] & (1<<(uint(off)&63) - 1))
+	for i := 0; i < w; i++ {
+		r += bits.OnesCount64(c.bits[i])
+	}
+	return r
+}
+
+// conforms reports whether v can live in the packed slice of a column
+// of type typ (as opposed to the exception map).
+func conforms(typ ColumnType, v Value) bool {
+	switch typ {
+	case TInt:
+		return v.K == KindInt
+	case TFloat:
+		return v.K == KindFloat
+	default:
+		return v.K == KindString
+	}
+}
+
+// widen grows the chunk's int zone map to cover x.
+func (c *colChunk) widen(x int64) {
+	if !c.zoneInit {
+		c.min, c.max, c.zoneInit = x, x, true
+		return
+	}
+	if x < c.min {
+		c.min = x
+	}
+	if x > c.max {
+		c.max = x
+	}
+}
+
+// grow extends the chunk directory to cover row index i-1 (i rows).
+func (v *colVec) grow(i int) {
+	need := (i + chunkMask) >> chunkShift
+	for len(v.chunks) < need {
+		v.chunks = append(v.chunks, nil)
+	}
+}
+
+// appendVal writes val at row i, which must be the next unwritten row
+// (append order). Appending within a chunk always lands past every
+// set bit, so the packed insert is a plain append.
+func (v *colVec) appendVal(i int, val Value) {
+	v.grow(i + 1)
+	if val.IsNull() {
+		return
+	}
+	ci := i >> chunkShift
+	ck := v.chunks[ci]
+	if ck == nil {
+		ck = &colChunk{}
+		v.chunks[ci] = ck
+	}
+	off := i & chunkMask
+	ck.bits[off>>6] |= 1 << (uint(off) & 63)
+	ck.n++
+	if !conforms(v.typ, val) {
+		v.appendPlaceholder(ck)
+		if ck.exc == nil {
+			ck.exc = make(map[uint16]Value)
+		}
+		ck.exc[uint16(off)] = val
+		v.excCount++
+		return
+	}
+	switch v.typ {
+	case TInt:
+		ck.widen(val.I)
+		ck.ints = append(ck.ints, val.I)
+	case TFloat:
+		ck.floats = append(ck.floats, val.F)
+	default:
+		ck.strs = append(ck.strs, val.S)
+	}
+}
+
+func (v *colVec) appendPlaceholder(ck *colChunk) {
+	switch v.typ {
+	case TInt:
+		ck.ints = append(ck.ints, 0)
+	case TFloat:
+		ck.floats = append(ck.floats, 0)
+	default:
+		ck.strs = append(ck.strs, "")
+	}
+}
+
+// get returns the value at row i (Null when absent). Lock-free; see
+// the concurrency note at the top of the file.
+func (v *colVec) get(i int) Value {
+	ci := i >> chunkShift
+	if ci >= len(v.chunks) {
+		return Null
+	}
+	ck := v.chunks[ci]
+	if ck == nil {
+		return Null
+	}
+	off := i & chunkMask
+	if !ck.has(off) {
+		return Null
+	}
+	if ck.exc != nil {
+		if ev, ok := ck.exc[uint16(off)]; ok {
+			return ev
+		}
+	}
+	switch v.typ {
+	case TInt:
+		return Int(ck.ints[ck.rank(off)])
+	case TFloat:
+		return Float(ck.floats[ck.rank(off)])
+	default:
+		return Str(ck.strs[ck.rank(off)])
+	}
+}
+
+// set replaces the value at row i, handling NULL↔value transitions
+// with a packed insert/delete at the row's rank. The memmove is
+// bounded by the chunk's packed size (≤1024 values).
+func (v *colVec) set(i int, val Value) {
+	v.grow(i + 1)
+	ci := i >> chunkShift
+	ck := v.chunks[ci]
+	off := i & chunkMask
+	if ck == nil {
+		if val.IsNull() {
+			return
+		}
+		ck = &colChunk{}
+		v.chunks[ci] = ck
+	}
+	present := ck.has(off)
+	if val.IsNull() {
+		if !present {
+			return
+		}
+		v.deletePacked(ck, ck.rank(off))
+		ck.bits[off>>6] &^= 1 << (uint(off) & 63)
+		ck.n--
+		if ck.exc != nil {
+			if _, ok := ck.exc[uint16(off)]; ok {
+				delete(ck.exc, uint16(off))
+				v.excCount--
+			}
+		}
+		return
+	}
+	r := ck.rank(off)
+	if !present {
+		v.insertPacked(ck, r)
+		ck.bits[off>>6] |= 1 << (uint(off) & 63)
+		ck.n++
+	} else if ck.exc != nil {
+		if _, ok := ck.exc[uint16(off)]; ok {
+			delete(ck.exc, uint16(off))
+			v.excCount--
+		}
+	}
+	if !conforms(v.typ, val) {
+		v.zeroPacked(ck, r)
+		if ck.exc == nil {
+			ck.exc = make(map[uint16]Value)
+		}
+		ck.exc[uint16(off)] = val
+		v.excCount++
+		return
+	}
+	switch v.typ {
+	case TInt:
+		ck.widen(val.I)
+		ck.ints[r] = val.I
+	case TFloat:
+		ck.floats[r] = val.F
+	default:
+		ck.strs[r] = val.S
+	}
+}
+
+func (v *colVec) insertPacked(ck *colChunk, r int) {
+	switch v.typ {
+	case TInt:
+		ck.ints = append(ck.ints, 0)
+		copy(ck.ints[r+1:], ck.ints[r:])
+	case TFloat:
+		ck.floats = append(ck.floats, 0)
+		copy(ck.floats[r+1:], ck.floats[r:])
+	default:
+		ck.strs = append(ck.strs, "")
+		copy(ck.strs[r+1:], ck.strs[r:])
+	}
+}
+
+func (v *colVec) deletePacked(ck *colChunk, r int) {
+	switch v.typ {
+	case TInt:
+		ck.ints = append(ck.ints[:r], ck.ints[r+1:]...)
+	case TFloat:
+		ck.floats = append(ck.floats[:r], ck.floats[r+1:]...)
+	default:
+		copy(ck.strs[r:], ck.strs[r+1:])
+		ck.strs[len(ck.strs)-1] = "" // release the string for GC
+		ck.strs = ck.strs[:len(ck.strs)-1]
+	}
+}
+
+func (v *colVec) zeroPacked(ck *colChunk, r int) {
+	switch v.typ {
+	case TInt:
+		ck.ints[r] = 0
+	case TFloat:
+		ck.floats[r] = 0
+	default:
+		ck.strs[r] = ""
+	}
+}
+
+// chunkOf returns chunk ci, or nil when the chunk is all-NULL (or past
+// the directory, which only happens on an empty vector).
+func (v *colVec) chunkOf(ci int) *colChunk {
+	if ci >= len(v.chunks) {
+		return nil
+	}
+	return v.chunks[ci]
+}
+
+// gatherChunk materializes the full chunk ci into rows[*][colPos],
+// walking set bits in order with a running packed cursor — the dense
+// fast path used when a scan selects an entire chunk. Absent rows are
+// left untouched (the caller's rows start zeroed, and the Value zero
+// value is Null).
+func (v *colVec) gatherChunk(ci int, rows []Row, colPos int) {
+	ck := v.chunkOf(ci)
+	if ck == nil {
+		return
+	}
+	k := 0
+	for w := 0; w < chunkWords; w++ {
+		word := ck.bits[w]
+		for word != 0 {
+			off := w<<6 + bits.TrailingZeros64(word)
+			word &= word - 1
+			var val Value
+			switch v.typ {
+			case TInt:
+				val = Int(ck.ints[k])
+			case TFloat:
+				val = Float(ck.floats[k])
+			default:
+				val = Str(ck.strs[k])
+			}
+			k++
+			if ck.exc != nil {
+				if ev, ok := ck.exc[uint16(off)]; ok {
+					val = ev
+				}
+			}
+			rows[off][colPos] = val
+		}
+	}
+}
+
+// floatBitsKey canonicalizes a float for bit-pattern hashing: all NaN
+// payloads collapse to one key, mirroring keyCanon in hash.go.
+func floatBitsKey(f float64) uint64 {
+	if math.IsNaN(f) {
+		return math.Float64bits(math.NaN())
+	}
+	return math.Float64bits(f)
+}

@@ -1,0 +1,388 @@
+package rel
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"reflect"
+	"testing"
+)
+
+// Tests for the columnar layout (column.go, vecscan.go): round-trip
+// equivalence against the row layout across randomized mutation
+// sequences, packed insert/delete transitions, exception values,
+// zone-map pruning correctness, the cached column-name lookup, the
+// float-index regression, and governance semantics of the vectorized
+// scan.
+
+// buildBoth creates the same table under both layouts.
+func buildBoth(t *testing.T, schema Schema) (col, row *Table) {
+	t.Helper()
+	defer SetDefaultStorage(StorageColumnar)
+	SetDefaultStorage(StorageColumnar)
+	col = NewTable("c", schema)
+	SetDefaultStorage(StorageRows)
+	row = NewTable("r", schema)
+	if !col.Columnar() || row.Columnar() {
+		t.Fatal("SetDefaultStorage not honored")
+	}
+	return col, row
+}
+
+// randValue draws a value for a column of type typ; about a third are
+// NULL and a few are kind-mismatched (exception-path) values.
+func randValue(r *rand.Rand, typ ColumnType) Value {
+	switch n := r.Intn(10); {
+	case n < 3:
+		return Null
+	case n == 9: // kind mismatch
+		switch typ {
+		case TInt:
+			return Bool(r.Intn(2) == 0)
+		case TFloat:
+			return Int(int64(r.Intn(100)))
+		default:
+			return Float(r.Float64())
+		}
+	default:
+		switch typ {
+		case TInt:
+			return Int(int64(r.Intn(2000) - 1000))
+		case TFloat:
+			return Float(r.NormFloat64())
+		default:
+			return Str(fmt.Sprintf("s%d", r.Intn(500)))
+		}
+	}
+}
+
+func sameTable(t *testing.T, col, row *Table, what string) {
+	t.Helper()
+	if col.Len() != row.Len() {
+		t.Fatalf("%s: Len %d vs %d", what, col.Len(), row.Len())
+	}
+	for i := 0; i < col.Len(); i++ {
+		cr, rr := col.RowAt(i), row.RowAt(i)
+		if !reflect.DeepEqual(cr, rr) {
+			t.Fatalf("%s: RowAt(%d): %v vs %v", what, i, cr, rr)
+		}
+		for j := range cr {
+			if cv, rv := col.CellAt(i, j), row.CellAt(i, j); !reflect.DeepEqual(cv, rv) {
+				t.Fatalf("%s: CellAt(%d,%d): %v vs %v", what, i, j, cv, rv)
+			}
+		}
+	}
+	if !reflect.DeepEqual(col.Rows(), row.Rows()) && col.Len() > 0 {
+		t.Fatalf("%s: Rows() diverge", what)
+	}
+	if cb, rb := col.EstimateBytes(), row.EstimateBytes(); cb != rb {
+		t.Fatalf("%s: EstimateBytes %d vs %d (must be layout-independent)", what, cb, rb)
+	}
+}
+
+// TestColumnarRoundTrip drives randomized appends, batch appends,
+// cell updates and row updates through both layouts and requires
+// identical logical content after every phase — including NULL↔value
+// transitions that shift the packed vectors, and exception values.
+func TestColumnarRoundTrip(t *testing.T) {
+	schema := Schema{
+		{Name: "i", Type: TInt},
+		{Name: "s", Type: TString},
+		{Name: "f", Type: TFloat},
+	}
+	col, row := buildBoth(t, schema)
+	r := rand.New(rand.NewSource(42))
+	mkRow := func() Row {
+		out := make(Row, len(schema))
+		for j, c := range schema {
+			out[j] = randValue(r, c.Type)
+		}
+		return out
+	}
+	// Appends crossing several chunk boundaries.
+	for i := 0; i < 2600; i++ {
+		rw := mkRow()
+		if err := col.Insert(rw); err != nil {
+			t.Fatal(err)
+		}
+		if err := row.Insert(rw); err != nil {
+			t.Fatal(err)
+		}
+	}
+	sameTable(t, col, row, "after appends")
+
+	batch := make([]Row, 1500)
+	for i := range batch {
+		batch[i] = mkRow()
+	}
+	cb, err := col.AppendRows(batch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rb, err := row.AppendRows(batch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cb != rb {
+		t.Fatalf("AppendRows base %d vs %d", cb, rb)
+	}
+	sameTable(t, col, row, "after batch")
+
+	for n := 0; n < 3000; n++ {
+		i, j := r.Intn(col.Len()), r.Intn(len(schema))
+		v := randValue(r, schema[j].Type)
+		if err := col.SetCell(i, j, v); err != nil {
+			t.Fatal(err)
+		}
+		if err := row.SetCell(i, j, v); err != nil {
+			t.Fatal(err)
+		}
+	}
+	sameTable(t, col, row, "after SetCell churn")
+
+	for n := 0; n < 200; n++ {
+		i := r.Intn(col.Len())
+		rw := mkRow()
+		if err := col.UpdateRow(i, rw); err != nil {
+			t.Fatal(err)
+		}
+		if err := row.UpdateRow(i, rw); err != nil {
+			t.Fatal(err)
+		}
+	}
+	sameTable(t, col, row, "after UpdateRow churn")
+}
+
+// TestSetCellOutOfRange pins the error contract.
+func TestSetCellOutOfRange(t *testing.T) {
+	SetDefaultStorage(StorageColumnar)
+	tbl := NewTable("t", Schema{{Name: "a", Type: TInt}})
+	if err := tbl.Insert(Row{Int(1)}); err != nil {
+		t.Fatal(err)
+	}
+	if err := tbl.SetCell(1, 0, Int(2)); err == nil {
+		t.Fatal("row out of range must error")
+	}
+	if err := tbl.SetCell(0, 1, Int(2)); err == nil {
+		t.Fatal("column out of range must error")
+	}
+}
+
+// TestRowLayoutSetCellCopies: on the row layout a SetCell must not
+// mutate rows already handed out to readers (query results alias
+// table rows there).
+func TestRowLayoutSetCellCopies(t *testing.T) {
+	defer SetDefaultStorage(StorageColumnar)
+	SetDefaultStorage(StorageRows)
+	tbl := NewTable("t", Schema{{Name: "a", Type: TInt}})
+	if err := tbl.Insert(Row{Int(1)}); err != nil {
+		t.Fatal(err)
+	}
+	seen := tbl.RowAt(0)
+	if err := tbl.SetCell(0, 0, Int(2)); err != nil {
+		t.Fatal(err)
+	}
+	if seen[0].I != 1 {
+		t.Fatal("SetCell mutated a row aliased by a reader")
+	}
+	if got := tbl.CellAt(0, 0); got.I != 2 {
+		t.Fatalf("update lost: %v", got)
+	}
+}
+
+// TestTableColumnIndexCached: the per-table name cache must agree with
+// the linear Schema scan, case-insensitively.
+func TestTableColumnIndexCached(t *testing.T) {
+	schema := Schema{{Name: "Entry", Type: TInt}, {Name: "spill", Type: TInt}, {Name: "Pred0", Type: TInt}}
+	tbl := NewTable("t", schema)
+	for _, name := range []string{"entry", "ENTRY", "Entry", "spill", "pred0", "PRED0", "nosuch"} {
+		if got, want := tbl.ColumnIndex(name), schema.ColumnIndex(name); got != want {
+			t.Fatalf("ColumnIndex(%q) = %d, Schema gives %d", name, got, want)
+		}
+	}
+}
+
+// TestFloatIndexRegression: hashIndex used to silently skip TFloat
+// columns (CreateIndex refused them) and float values stored in
+// indexed TInt columns were never indexed, so an index scan missed
+// rows a full scan would find. Floats now index by class: integral
+// floats in the int map (1 finds 1.0), others by bit pattern.
+func TestFloatIndexRegression(t *testing.T) {
+	for _, storage := range []Storage{StorageColumnar, StorageRows} {
+		SetDefaultStorage(storage)
+		db := NewDB()
+		tbl := mustTable(t, db, "m", Schema{{Name: "id", Type: TInt}, {Name: "v", Type: TFloat}}, []Row{
+			{Int(0), Float(1.5)},
+			{Int(1), Float(2.0)},
+			{Int(2), Null},
+			{Int(3), Float(1.5)},
+			{Int(4), Int(7)}, // int stored in the float column
+		})
+		if err := tbl.CreateIndex("v"); err != nil {
+			t.Fatalf("%v: TFloat index must be supported: %v", storage, err)
+		}
+		lookup := func(v Value, want int) {
+			t.Helper()
+			ids, ok := tbl.lookup("v", v)
+			if !ok {
+				t.Fatalf("%v: index vanished", storage)
+			}
+			if len(ids) != want {
+				t.Fatalf("%v: lookup(%v) = %v, want %d ids", storage, v, ids, want)
+			}
+		}
+		lookup(Float(1.5), 2)
+		lookup(Float(2.0), 1)
+		lookup(Int(2), 1)     // integral float found via int probe
+		lookup(Float(7), 1)   // stored int found via integral-float probe
+		lookup(Float(9.9), 0) // absent
+		lookup(Null, 0)       // NULL never matches
+
+		// End-to-end: the indexed scan path must agree with a full scan.
+		rs, err := db.Query("SELECT m.id FROM m AS m WHERE m.v = 1.5")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(rs.Rows) != 2 {
+			t.Fatalf("%v: indexed float equality: want 2 rows, got %v", storage, rs.Rows)
+		}
+
+		// Float values inside an indexed TInt column must be indexed too.
+		ti := mustTable(t, db, "n", Schema{{Name: "k", Type: TInt}}, []Row{
+			{Int(1)}, {Float(1)}, {Float(2.5)},
+		})
+		if err := ti.CreateIndex("k"); err != nil {
+			t.Fatal(err)
+		}
+		if ids, _ := ti.lookup("k", Int(1)); len(ids) != 2 {
+			t.Fatalf("%v: int probe must see the integral float: %v", storage, ids)
+		}
+		if ids, _ := ti.lookup("k", Float(2.5)); len(ids) != 1 {
+			t.Fatalf("%v: non-integral float must be indexed by bit pattern: %v", storage, ids)
+		}
+	}
+	SetDefaultStorage(StorageColumnar)
+}
+
+// zoneDB builds one DB per layout holding the same 8192-row table:
+// "v" is clustered (ascending, so zone maps prune aggressively), "u"
+// is shuffled (no pruning), "s" is a string tag, "n" is NULL on odd
+// rows.
+func zoneDB(t *testing.T, storage Storage) *DB {
+	t.Helper()
+	SetDefaultStorage(storage)
+	db := NewDB()
+	tbl, err := db.CreateTable("z", Schema{
+		{Name: "v", Type: TInt},
+		{Name: "u", Type: TInt},
+		{Name: "s", Type: TString},
+		{Name: "n", Type: TInt},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := rand.New(rand.NewSource(3))
+	perm := r.Perm(8192)
+	rows := make([]Row, 8192)
+	for i := range rows {
+		nv := Value(Int(int64(i)))
+		if i%2 == 1 {
+			nv = Null
+		}
+		rows[i] = Row{Int(int64(i)), Int(int64(perm[i])), Str(fmt.Sprintf("tag%d", i%7)), nv}
+	}
+	if _, err := tbl.AppendRows(rows); err != nil {
+		t.Fatal(err)
+	}
+	return db
+}
+
+// TestVectorizedScanEquivalence runs scan-shaped queries — equality,
+// ranges, inequality, null tests, residual string predicates, and
+// mixes — against both layouts under sequential and parallel
+// execution; results must match row for row.
+func TestVectorizedScanEquivalence(t *testing.T) {
+	defer SetDefaultStorage(StorageColumnar)
+	defer SetParallelism(0, 0)
+	colDB := zoneDB(t, StorageColumnar)
+	rowDB := zoneDB(t, StorageRows)
+	queries := []string{
+		"SELECT z.v FROM z AS z WHERE z.v = 5000",
+		"SELECT z.v FROM z AS z WHERE z.v = 100000",    // zone-skips every chunk
+		"SELECT z.v FROM z AS z WHERE z.v < 100",       // prunes all but chunk 0
+		"SELECT z.v FROM z AS z WHERE z.v >= 8100",     // prunes all but the tail
+		"SELECT z.v FROM z AS z WHERE z.v != 0",        // no pruning possible
+		"SELECT z.v FROM z AS z WHERE 2048 <= z.v AND z.v <= 2050", // literal on the left
+		"SELECT z.u FROM z AS z WHERE z.u = 5000",      // shuffled: no chunk pruned
+		"SELECT z.v FROM z AS z WHERE z.n IS NULL AND z.v < 64",
+		"SELECT z.v FROM z AS z WHERE z.n IS NOT NULL AND z.v > 8000",
+		"SELECT z.v FROM z AS z WHERE z.v < 300 AND z.s = 'tag3'",  // residual predicate
+		"SELECT z.s FROM z AS z WHERE z.s = 'tag5' AND z.u < 40",
+		"SELECT z.v, z.u FROM z AS z",                   // unfiltered dense gather
+		"SELECT z.v FROM z AS z WHERE z.v + 0 = 77",     // non-vectorizable arithmetic
+	}
+	for _, q := range queries {
+		for _, workers := range []int{1, 4} {
+			SetParallelism(workers, 1)
+			a, err := colDB.Query(q)
+			if err != nil {
+				t.Fatalf("columnar %q: %v", q, err)
+			}
+			b, err := rowDB.Query(q)
+			if err != nil {
+				t.Fatalf("rows %q: %v", q, err)
+			}
+			if !reflect.DeepEqual(a.Rows, b.Rows) {
+				t.Fatalf("workers=%d %q: columnar %d rows vs row-layout %d rows", workers, q, len(a.Rows), len(b.Rows))
+			}
+			SetParallelism(0, 0)
+		}
+	}
+}
+
+// TestVecScanBudgetChargesSelectedRows: a highly selective scan over a
+// mostly-pruned table must charge only the selected rows against the
+// row budget — never the rows of skipped chunks — while a scan that
+// actually produces many rows must still trip.
+func TestVecScanBudgetChargesSelectedRows(t *testing.T) {
+	defer SetDefaultStorage(StorageColumnar)
+	db := zoneDB(t, StorageColumnar)
+	q, err := ParseQuery("SELECT z.v FROM z AS z WHERE z.v < 10")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 10 selected rows scan + 10 projected ≤ 50, even though the table
+	// holds 8192 rows across 8 chunks (7 of them zone-skipped).
+	if _, err := db.ExecContext(context.Background(), q, Limits{MaxRows: 50}); err != nil {
+		t.Fatalf("budget must ignore pruned chunks: %v", err)
+	}
+	wide, err := ParseQuery("SELECT z.v FROM z AS z WHERE z.v >= 0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := db.ExecContext(context.Background(), wide, Limits{MaxRows: 50}); err == nil {
+		t.Fatal("a scan emitting 8192 rows must trip a 50-row budget")
+	}
+}
+
+// TestVecScanFaultInjection: the vectorized scan must keep honoring
+// CkFilter checkpoints (cancellation inside the chunk loop).
+func TestVecScanFaultInjection(t *testing.T) {
+	defer SetDefaultStorage(StorageColumnar)
+	db := zoneDB(t, StorageColumnar)
+	q, err := ParseQuery("SELECT z.v FROM z AS z WHERE z.v != -1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{1, 4} {
+		SetParallelism(workers, 1)
+		InjectFault(CkFilter, FaultCancel, 1)
+		_, execErr := db.ExecContext(context.Background(), q, Limits{})
+		fired := FaultFired()
+		ClearFault()
+		SetParallelism(0, 0)
+		if execErr == nil || !fired {
+			t.Fatalf("workers=%d: vectorized scan skipped the CkFilter checkpoint (err=%v fired=%v)", workers, execErr, fired)
+		}
+	}
+}

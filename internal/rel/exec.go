@@ -362,8 +362,12 @@ func (ex *exec) buildPrimary(fi FromItem, conjs []Expr, applied []bool, env map[
 	if push {
 		return ex.scanWithFilters(t, r, alias, conjs, applied)
 	}
-	r.rows = t.Rows()
 	r.base = t
+	if t.Columnar() {
+		r.scan = true
+	} else {
+		r.rows = t.Rows()
+	}
 	return r, nil
 }
 
@@ -385,7 +389,7 @@ func (ex *exec) scanWithFilters(t *Table, shape *relation, alias string, conjs [
 			bare := bareCols(c, nil)
 			ok = len(bare) > 0
 			for _, col := range bare {
-				if t.Schema.ColumnIndex(col) < 0 {
+				if t.ColumnIndex(col) < 0 {
 					ok = false
 					break
 				}
@@ -424,17 +428,24 @@ func (ex *exec) scanWithFilters(t *Table, shape *relation, alias string, conjs [
 	if indexConj >= 0 {
 		pred := ex.db.compilePred(rest, out)
 		ids, _ := t.lookup(indexCol, indexVal)
+		rd := t.reader()
+		arena := rowArena{gov: ex.gov}
 		tk := ticker{g: ex.gov, site: CkFilter}
 		if err := tk.flush(); err != nil {
 			return nil, err
 		}
 		for _, id := range ids {
-			row := t.RowAt(int(id))
+			row := rd.rowAt(int(id))
 			ok, err := pred(row)
 			if err != nil {
 				return nil, err
 			}
 			if ok {
+				if !rd.shared() {
+					// Columnar reads land in the reader's scratch
+					// buffer; copy survivors into the arena.
+					row = arena.clone(row)
+				}
 				out.rows = append(out.rows, row)
 				if err := tk.emit(); err != nil {
 					return nil, err
@@ -448,10 +459,16 @@ func (ex *exec) scanWithFilters(t *Table, shape *relation, alias string, conjs [
 		}
 	} else {
 		// Defer the filters: a later index nested-loop join can apply
-		// them per probed row, avoiding a filtered copy of the table.
-		out.rows = t.Rows()
+		// them per probed row, avoiding a filtered copy of the table —
+		// and on a columnar table the whole scan stays unmaterialized
+		// until the vectorized path runs it.
 		out.base = t
 		out.pending = rest
+		if t.Columnar() {
+			out.scan = true
+		} else {
+			out.rows = t.Rows()
+		}
 	}
 	for _, i := range mineIdx {
 		applied[i] = true
@@ -541,6 +558,13 @@ func (ex *exec) pushFilters(r *relation, alias string, conjs []Expr, applied []b
 }
 
 func (ex *exec) filterRelation(r *relation, conds []Expr) (*relation, error) {
+	if r.scan {
+		// Fold the conjuncts into the scan's pending set and run the
+		// vectorized scan once instead of materializing first.
+		s := *r
+		s.pending = append(append([]Expr(nil), r.pending...), conds...)
+		return ex.vecScan(&s)
+	}
 	out := newRelation(r.cols)
 	for a := range r.aliases {
 		out.aliases[a] = true
@@ -592,7 +616,7 @@ func (ex *exec) joinUnits(units []*relation, conjs []Expr, applied []bool) (*rel
 	// Start from the smallest unit.
 	start := 0
 	for i := 1; i < len(units); i++ {
-		if len(units[i].rows) < len(units[start].rows) {
+		if units[i].rowCount() < units[start].rowCount() {
 			start = i
 		}
 	}
@@ -608,7 +632,7 @@ func (ex *exec) joinUnits(units []*relation, conjs []Expr, applied []bool) (*rel
 			switch {
 			case best < 0,
 				eq > bestEq,
-				eq == bestEq && len(u.rows) < len(units[best].rows):
+				eq == bestEq && u.rowCount() < units[best].rowCount():
 				best, bestEq = i, eq
 			}
 		}
@@ -693,8 +717,12 @@ func countEqLinks(l, r *relation, conjs []Expr, applied []bool) int {
 }
 
 // materialize applies any pending filters, detaching the relation from
-// its base table.
+// its base table. Columnar scans run the vectorized path (zone-map
+// pruning, selection vectors) whether or not filters are pending.
 func (ex *exec) materialize(r *relation) (*relation, error) {
+	if r.scan {
+		return ex.vecScan(r)
+	}
 	if len(r.pending) == 0 {
 		return r, nil
 	}
@@ -776,7 +804,7 @@ func (ex *exec) joinPair(cur, next *relation, conjs []Expr, applied []bool) (*re
 		if mcur, err = ex.materialize(cur); err != nil {
 			return nil, err
 		}
-		if len(mcur.rows) < len(next.rows) {
+		if len(mcur.rows) < next.rowCount() {
 			if err := ex.indexProbe(out, mcur, next, links, li, col, true); err != nil {
 				return nil, err
 			}
@@ -787,7 +815,7 @@ func (ex *exec) joinPair(cur, next *relation, conjs []Expr, applied []bool) (*re
 		if mnext, err = ex.materialize(next); err != nil {
 			return nil, err
 		}
-		if len(mnext.rows) < len(cur.rows) {
+		if len(mnext.rows) < cur.rowCount() {
 			if err := ex.indexProbe(out, mnext, cur, links, li, col, false); err != nil {
 				return nil, err
 			}
@@ -822,7 +850,6 @@ func (ex *exec) indexProbe(out *relation, probe, indexed *relation, links []eqLi
 	if idx == nil {
 		return fmt.Errorf("sql: internal: index on %q vanished", col)
 	}
-	irows := indexed.base.Rows()
 	keyPos := links[li].li
 	if !indexedIsRight {
 		keyPos = links[li].ri
@@ -837,6 +864,9 @@ func (ex *exec) indexProbe(out *relation, probe, indexed *relation, links []eqLi
 		}
 		var local []Row
 		arena := rowArena{gov: ex.gov}
+		// Each worker owns its reader: columnar reads share a per-reader
+		// scratch row, consumed before the next rowAt (combine copies).
+		rd := indexed.base.reader()
 		for _, pr := range probe.rows[lo:hi] {
 			if err := tk.step(); err != nil {
 				return err
@@ -850,7 +880,7 @@ func (ex *exec) indexProbe(out *relation, probe, indexed *relation, links []eqLi
 				if err := tk.step(); err != nil {
 					return err
 				}
-				ir := irows[id]
+				ir := rd.rowAt(int(id))
 				for _, lk := range links {
 					lv, rv := pr[lk.li], ir[lk.ri]
 					if !indexedIsRight {
@@ -1092,8 +1122,32 @@ func (a *rowArena) combine(l, r Row) Row {
 	return out
 }
 
+// clone copies r into the arena.
+func (a *rowArena) clone(r Row) Row {
+	out := a.alloc(len(r))
+	copy(out, r)
+	return out
+}
+
+// allocRows allocates n zeroed rows (every cell Null) of the given
+// width. Arena blocks are freshly made and never recycled, so the
+// zero guarantee holds.
+func (a *rowArena) allocRows(n, width int) []Row {
+	out := make([]Row, n)
+	for i := range out {
+		out[i] = a.alloc(width)
+	}
+	return out
+}
+
 // joinOn implements explicit [LEFT OUTER] JOIN ... ON.
 func (ex *exec) joinOn(left, right *relation, on Expr, outer bool) (*relation, error) {
+	var err error
+	// The left side is always iterated row-by-row; the right side stays
+	// unmaterialized only on the index path below.
+	if left, err = ex.materialize(left); err != nil {
+		return nil, err
+	}
 	out := combineShape(left, right)
 	onConjs := conjuncts(on, nil)
 	// Equality links usable for hashing.
@@ -1123,9 +1177,9 @@ func (ex *exec) joinOn(left, right *relation, on Expr, outer bool) (*relation, e
 	}
 	nulls := make(Row, len(right.cols))
 	resOK := ex.db.compilePred(residual, out)
-	if li, col := indexLink(right, links, true); li >= 0 && len(left.rows) < len(right.rows) {
+	if li, col := indexLink(right, links, true); li >= 0 && len(left.rows) < right.rowCount() {
 		idx := right.base.indexFor(col)
-		rrows := right.base.Rows()
+		rd := right.base.reader()
 		tk := ticker{g: ex.gov, site: CkJoinOn}
 		if err := tk.flush(); err != nil {
 			return nil, err
@@ -1143,7 +1197,7 @@ func (ex *exec) joinOn(left, right *relation, on Expr, outer bool) (*relation, e
 					if err := tk.step(); err != nil {
 						return nil, err
 					}
-					rr := rrows[id]
+					rr := rd.rowAt(int(id))
 					for _, lk := range links {
 						if !Equal(lr[lk.li], rr[lk.ri]) {
 							continue probeOn
@@ -1174,6 +1228,9 @@ func (ex *exec) joinOn(left, right *relation, on Expr, outer bool) (*relation, e
 			return nil, err
 		}
 		return out, nil
+	}
+	if right, err = ex.materialize(right); err != nil {
+		return nil, err
 	}
 	if len(links) > 0 {
 		bt := ticker{g: ex.gov, site: CkHashBuild}

@@ -22,6 +22,22 @@ type relation struct {
 	// copy of the whole table. Consumers must call DB.materialize (or
 	// check pending per probe) before using rows.
 	pending []Expr
+	// scan marks an unmaterialized full scan of a columnar base table:
+	// rows is nil and materialize routes through the vectorized scan
+	// (vecscan.go) instead of copying the table up front. Size the
+	// relation with rowCount, not len(rows).
+	scan bool
+}
+
+// rowCount is the relation's input cardinality for plan sizing: the
+// base table's row count for an unmaterialized columnar scan (an
+// upper bound when filters are pending, exactly like the row layout's
+// deferred scans), len(rows) otherwise.
+func (r *relation) rowCount() int {
+	if r.scan {
+		return r.base.Len()
+	}
+	return len(r.rows)
 }
 
 func newRelation(cols []string) *relation {

@@ -245,10 +245,36 @@ func (t *ticker) step() error {
 	return nil
 }
 
+// stepN records n units of work at once (a vectorized batch),
+// flushing when the accumulated count crosses a chunk boundary. Used
+// by the columnar scan, which evaluates whole selection vectors
+// between checkpoints instead of individual rows.
+func (t *ticker) stepN(n int) error {
+	if n <= 0 {
+		return nil
+	}
+	if t.n += n; t.n >= checkpointRows {
+		return t.flush()
+	}
+	return nil
+}
+
 // emit records one output row (and one unit of work).
 func (t *ticker) emit() error {
 	t.emitted++
 	return t.step()
+}
+
+// emitN records n output rows (and n units of work) at once — the
+// columnar scan's dense fast path emits a whole chunk per call, which
+// never exceeds checkpointRows, so the checkpoint cadence is
+// unchanged.
+func (t *ticker) emitN(n int) error {
+	if n <= 0 {
+		return nil
+	}
+	t.emitted += int64(n)
+	return t.stepN(n)
 }
 
 // addBytes records allocation to be charged at the next flush.

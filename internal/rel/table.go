@@ -5,6 +5,8 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
+	"unsafe"
 )
 
 // ColumnType is the declared type of a table column.
@@ -29,7 +31,9 @@ type Column struct {
 // Schema is an ordered list of columns.
 type Schema []Column
 
-// ColumnIndex returns the position of the named column, or -1.
+// ColumnIndex returns the position of the named column, or -1. This is
+// the slow path (linear scan); hot callers resolve through the table's
+// cached map (Table.ColumnIndex).
 func (s Schema) ColumnIndex(name string) int {
 	for i, c := range s {
 		if strings.EqualFold(c.Name, name) {
@@ -48,11 +52,39 @@ func (s Schema) Names() []string {
 	return out
 }
 
-// hashIndex is an equality index on one column.
+// Storage selects a table's backing layout.
+type Storage uint8
+
+const (
+	// StorageColumnar stores one typed vector per column with null
+	// bitmaps and zone maps (see column.go). The default.
+	StorageColumnar Storage = iota
+	// StorageRows stores []Row — the legacy layout, kept for the
+	// columnar/row equivalence tests and as a fallback.
+	StorageRows
+)
+
+// defaultStorage holds the Storage value new tables adopt.
+var defaultStorage atomic.Uint32
+
+// SetDefaultStorage selects the layout used by tables created after
+// the call. Existing tables keep their layout. Used by the
+// storage-equivalence tests to build a row-layout store next to a
+// columnar one.
+func SetDefaultStorage(s Storage) { defaultStorage.Store(uint32(s)) }
+
+// DefaultStorage reports the layout new tables will use.
+func DefaultStorage() Storage { return Storage(defaultStorage.Load()) }
+
+// hashIndex is an equality index on one column. Numeric indexes key
+// ints exactly and floats under join-key semantics: an integral float
+// lands in (and probes) the int map — 1 joins 1.0 — and non-integral
+// floats are keyed by canonicalized bit pattern.
 type hashIndex struct {
-	col  int
-	ints map[int64][]int32
-	strs map[string][]int32
+	col    int
+	ints   map[int64][]int32
+	floats map[uint64][]int32 // non-integral floats by bit pattern
+	strs   map[string][]int32
 }
 
 // Table is an in-memory relation with optional hash indexes.
@@ -63,20 +95,56 @@ type Table struct {
 	Schema Schema
 
 	mu      sync.RWMutex
-	rows    []Row
+	storage Storage
+	nrows   int
+	cols    []*colVec // columnar layout
+	rows    []Row     // row layout
 	indexes map[string]*hashIndex // by lower-cased column name
+	colIdx  map[string]int        // lower-cased column name → position
 }
 
-// NewTable creates an empty table.
+// NewTable creates an empty table using the current default storage
+// layout. The column-name cache is built here once; Schema is
+// immutable after table creation (there is no ALTER TABLE), so the
+// cache can never go stale.
 func NewTable(name string, schema Schema) *Table {
-	return &Table{Name: name, Schema: schema, indexes: make(map[string]*hashIndex)}
+	t := &Table{
+		Name:    name,
+		Schema:  schema,
+		storage: DefaultStorage(),
+		indexes: make(map[string]*hashIndex),
+		colIdx:  make(map[string]int, len(schema)),
+	}
+	for i, c := range schema {
+		t.colIdx[strings.ToLower(c.Name)] = i
+	}
+	if t.storage == StorageColumnar {
+		t.cols = make([]*colVec, len(schema))
+		for i, c := range schema {
+			t.cols[i] = &colVec{typ: c.Type}
+		}
+	}
+	return t
 }
+
+// ColumnIndex returns the position of the named column, or -1, via the
+// map built at table creation — O(1) instead of Schema.ColumnIndex's
+// O(columns) scan, which matters on DPH/RPH tables with 2k+2 columns.
+func (t *Table) ColumnIndex(name string) int {
+	if i, ok := t.colIdx[strings.ToLower(name)]; ok {
+		return i
+	}
+	return -1
+}
+
+// Columnar reports whether the table uses the columnar layout.
+func (t *Table) Columnar() bool { return t.storage == StorageColumnar }
 
 // Len returns the number of rows.
 func (t *Table) Len() int {
 	t.mu.RLock()
 	defer t.mu.RUnlock()
-	return len(t.rows)
+	return t.nrows
 }
 
 // Insert appends a row; it must match the schema width.
@@ -94,18 +162,26 @@ func (t *Table) AppendRow(r Row) (int, error) {
 	}
 	t.mu.Lock()
 	defer t.mu.Unlock()
-	id := int32(len(t.rows))
-	t.rows = append(t.rows, r)
-	for _, idx := range t.indexes {
-		idx.add(r, id)
+	id := t.nrows
+	if t.storage == StorageColumnar {
+		for j, col := range t.cols {
+			col.appendVal(id, r[j])
+		}
+	} else {
+		t.rows = append(t.rows, r)
 	}
-	return int(id), nil
+	t.nrows++
+	for _, idx := range t.indexes {
+		idx.add(r[idx.col], int32(id))
+	}
+	return id, nil
 }
 
 // AppendRows appends a batch of rows under one lock acquisition and
 // returns the index of the first; row i of the batch lands at index
 // base+i. Used by the bulk loader to amortize locking and index
-// maintenance across a whole batch.
+// maintenance across a whole batch. Under the columnar layout the
+// batch is written column-wise, one vector at a time.
 func (t *Table) AppendRows(rs []Row) (int, error) {
 	for _, r := range rs {
 		if len(r) != len(t.Schema) {
@@ -114,11 +190,20 @@ func (t *Table) AppendRows(rs []Row) (int, error) {
 	}
 	t.mu.Lock()
 	defer t.mu.Unlock()
-	base := len(t.rows)
-	t.rows = append(t.rows, rs...)
+	base := t.nrows
+	if t.storage == StorageColumnar {
+		for j, col := range t.cols {
+			for i, r := range rs {
+				col.appendVal(base+i, r[j])
+			}
+		}
+	} else {
+		t.rows = append(t.rows, rs...)
+	}
+	t.nrows += len(rs)
 	for i, r := range rs {
 		for _, idx := range t.indexes {
-			idx.add(r, int32(base+i))
+			idx.add(r[idx.col], int32(base+i))
 		}
 	}
 	return base, nil
@@ -130,38 +215,179 @@ func (t *Table) AppendRows(rs []Row) (int, error) {
 func (t *Table) UpdateRow(i int, r Row) error {
 	t.mu.Lock()
 	defer t.mu.Unlock()
-	if i < 0 || i >= len(t.rows) {
+	if i < 0 || i >= t.nrows {
 		return fmt.Errorf("rel: table %s: row %d out of range", t.Name, i)
+	}
+	if len(r) != len(t.Schema) {
+		return fmt.Errorf("rel: table %s: row width %d != schema width %d", t.Name, len(r), len(t.Schema))
+	}
+	if t.storage == StorageColumnar {
+		for j, col := range t.cols {
+			col.set(i, r[j])
+		}
+		return nil
 	}
 	t.rows[i] = r
 	return nil
 }
 
-// RowAt returns row i. The returned slice must not be modified.
+// CellAt returns the value at (row i, column j). Cheaper than RowAt
+// when only a few cells of a wide row are needed — on a columnar
+// table it reads one vector instead of materializing 2k+2 columns.
+func (t *Table) CellAt(i, j int) Value {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	if t.storage == StorageColumnar {
+		return t.cols[j].get(i)
+	}
+	return t.rows[i][j]
+}
+
+// SetCell updates the single cell (row i, column j). On the row layout
+// the row is copied before mutation, because query results may alias
+// table rows; the columnar layout mutates the vector in place (readers
+// always materialize copies). Indexed columns must not change value
+// unless reindexed by the caller.
+func (t *Table) SetCell(i, j int, v Value) error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if i < 0 || i >= t.nrows {
+		return fmt.Errorf("rel: table %s: row %d out of range", t.Name, i)
+	}
+	if j < 0 || j >= len(t.Schema) {
+		return fmt.Errorf("rel: table %s: column %d out of range", t.Name, j)
+	}
+	if t.storage == StorageColumnar {
+		t.cols[j].set(i, v)
+		return nil
+	}
+	r := make(Row, len(t.rows[i]))
+	copy(r, t.rows[i])
+	r[j] = v
+	t.rows[i] = r
+	return nil
+}
+
+// RowAt returns row i. The returned slice must not be modified. On a
+// columnar table this materializes a fresh row; prefer CellAt when
+// only a few columns are needed.
 func (t *Table) RowAt(i int) Row {
 	t.mu.RLock()
 	defer t.mu.RUnlock()
-	return t.rows[i]
+	if t.storage == StorageRows {
+		return t.rows[i]
+	}
+	r := make(Row, len(t.cols))
+	for j, col := range t.cols {
+		r[j] = col.get(i)
+	}
+	return r
 }
 
-// Rows returns the backing row slice. The result must be treated as
-// read-only.
+// Rows returns every row. Under the row layout this is the backing
+// slice and must be treated as read-only; under the columnar layout it
+// materializes the whole table (the executor's scan paths read the
+// vectors directly instead — see vecscan.go).
 func (t *Table) Rows() []Row {
 	t.mu.RLock()
 	defer t.mu.RUnlock()
-	return t.rows
+	if t.storage == StorageRows {
+		return t.rows
+	}
+	return t.materializeAllLocked()
 }
+
+func (t *Table) materializeAllLocked() []Row {
+	n := t.nrows
+	width := len(t.cols)
+	out := make([]Row, n)
+	if n == 0 {
+		return out
+	}
+	block := make([]Value, n*width) // zero Value is Null
+	for i := range out {
+		out[i] = block[i*width : (i+1)*width : (i+1)*width]
+	}
+	nchunks := (n + chunkRows - 1) >> chunkShift
+	for ci := 0; ci < nchunks; ci++ {
+		lo := ci << chunkShift
+		hi := lo + chunkRows
+		if hi > n {
+			hi = n
+		}
+		seg := out[lo:hi]
+		for j, col := range t.cols {
+			col.gatherChunk(ci, seg, j)
+		}
+	}
+	return out
+}
+
+// reader returns a snapshot for repeated point reads (index probes).
+// For a columnar table rowAt fills a single scratch buffer, so the
+// returned row is valid only until the next rowAt call and must be
+// copied (rowArena.combine does) before being retained. One reader
+// belongs to exactly one goroutine.
+func (t *Table) reader() *tableReader {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	if t.storage == StorageRows {
+		return &tableReader{rows: t.rows}
+	}
+	return &tableReader{columnar: true, cols: t.cols, buf: make(Row, len(t.cols))}
+}
+
+type tableReader struct {
+	columnar bool
+	rows     []Row
+	cols     []*colVec
+	buf      Row
+}
+
+// rowAt returns row i; see Table.reader for the aliasing contract.
+func (rd *tableReader) rowAt(i int) Row {
+	if !rd.columnar {
+		return rd.rows[i]
+	}
+	// Hot path for index probes over wide sparse tables: compute the
+	// chunk coordinates once, and settle absent cells (nil chunk or
+	// cleared presence bit — the common case for DPH/RPH predicate
+	// columns) without the call into colVec.get.
+	ci, off := i>>chunkShift, i&chunkMask
+	word, bit := uint(off)>>6, uint64(1)<<(uint(off)&63)
+	for j, c := range rd.cols {
+		var ck *colChunk
+		if ci < len(c.chunks) {
+			ck = c.chunks[ci]
+		}
+		if ck == nil || ck.bits[word]&bit == 0 {
+			rd.buf[j] = Null
+			continue
+		}
+		if ck.exc == nil && c.typ == TInt {
+			rd.buf[j] = Int(ck.ints[ck.rank(off)])
+			continue
+		}
+		rd.buf[j] = c.get(i)
+	}
+	return rd.buf
+}
+
+// shared reports whether rowAt returns long-lived rows (row layout)
+// as opposed to a reused scratch buffer.
+func (rd *tableReader) shared() bool { return !rd.columnar }
 
 // CreateIndex builds (or rebuilds) a hash index on the named column.
 func (t *Table) CreateIndex(col string) error {
-	ci := t.Schema.ColumnIndex(col)
+	ci := t.ColumnIndex(col)
 	if ci < 0 {
 		return fmt.Errorf("rel: table %s has no column %q", t.Name, col)
 	}
 	idx := &hashIndex{col: ci}
 	switch t.Schema[ci].Type {
-	case TInt:
+	case TInt, TFloat:
 		idx.ints = make(map[int64][]int32)
+		idx.floats = make(map[uint64][]int32)
 	case TString:
 		idx.strs = make(map[string][]int32)
 	default:
@@ -169,8 +395,15 @@ func (t *Table) CreateIndex(col string) error {
 	}
 	t.mu.Lock()
 	defer t.mu.Unlock()
-	for i, r := range t.rows {
-		idx.add(r, int32(i))
+	if t.storage == StorageColumnar {
+		v := t.cols[ci]
+		for i := 0; i < t.nrows; i++ {
+			idx.add(v.get(i), int32(i))
+		}
+	} else {
+		for i, r := range t.rows {
+			idx.add(r[ci], int32(i))
+		}
 	}
 	t.indexes[strings.ToLower(col)] = idx
 	return nil
@@ -206,8 +439,9 @@ func (t *Table) indexFor(col string) *hashIndex {
 }
 
 // lookupVal returns the row ids matching v under join key semantics:
-// an integral float probes an int index (1 joins 1.0), any other type
-// mismatch matches nothing.
+// an integral float probes the int map (1 joins 1.0), a non-integral
+// float probes the bit-pattern map, any other type mismatch matches
+// nothing.
 func (x *hashIndex) lookupVal(v Value) []int32 {
 	switch {
 	case x.ints != nil:
@@ -218,6 +452,9 @@ func (x *hashIndex) lookupVal(v Value) []int32 {
 			if v.F == float64(int64(v.F)) {
 				return x.ints[int64(v.F)]
 			}
+			if x.floats != nil {
+				return x.floats[floatBitsKey(v.F)]
+			}
 		}
 	case x.strs != nil:
 		if v.K == KindString {
@@ -227,12 +464,22 @@ func (x *hashIndex) lookupVal(v Value) []int32 {
 	return nil
 }
 
-func (x *hashIndex) add(r Row, id int32) {
-	v := r[x.col]
+// add indexes value v at row id. Numeric values are classed the same
+// way lookupVal probes them, so a float stored in an indexed int
+// column is found by both `col = 1` and `col = 1.0`.
+func (x *hashIndex) add(v Value, id int32) {
 	switch {
 	case x.ints != nil:
-		if v.K == KindInt {
+		switch v.K {
+		case KindInt:
 			x.ints[v.I] = append(x.ints[v.I], id)
+		case KindFloat:
+			if v.F == float64(int64(v.F)) {
+				x.ints[int64(v.F)] = append(x.ints[int64(v.F)], id)
+			} else if x.floats != nil {
+				k := floatBitsKey(v.F)
+				x.floats[k] = append(x.floats[k], id)
+			}
 		}
 	case x.strs != nil:
 		if v.K == KindString {
@@ -244,10 +491,14 @@ func (x *hashIndex) add(r Row, id int32) {
 // EstimateBytes approximates the on-disk footprint of the table, used by
 // the NULL-storage experiment (§2.3). NULLs cost one bit (null bitmap /
 // value compression, as DB2 and Postgres do); ints cost 8, floats 8,
-// strings their length plus 4.
+// strings their length plus 4. Both storage layouts report identical
+// estimates for identical logical content.
 func (t *Table) EstimateBytes() int64 {
 	t.mu.RLock()
 	defer t.mu.RUnlock()
+	if t.storage == StorageColumnar {
+		return t.estimateColumnarLocked()
+	}
 	var total, nulls int64
 	for _, r := range t.rows {
 		total += 8 // row header
@@ -265,6 +516,100 @@ func (t *Table) EstimateBytes() int64 {
 		}
 	}
 	return total + (nulls+7)/8
+}
+
+func (t *Table) estimateColumnarLocked() int64 {
+	total := int64(t.nrows) * 8 // row headers
+	var nulls int64
+	for _, col := range t.cols {
+		present := 0
+		for ci := range col.chunks {
+			ck := col.chunks[ci]
+			if ck == nil {
+				continue
+			}
+			present += ck.n
+			switch col.typ {
+			case TInt, TFloat:
+				total += int64(len(ck.ints)+len(ck.floats)) * 8
+			default:
+				for _, s := range ck.strs {
+					total += int64(len(s)) + 4
+				}
+			}
+			// Exception values were counted as placeholders of the
+			// column type above; re-count them by their actual kind.
+			for _, ev := range ck.exc {
+				switch col.typ {
+				case TInt, TFloat:
+					total -= 8
+				default:
+					total -= 4
+				}
+				switch ev.K {
+				case KindInt, KindFloat:
+					total += 8
+				case KindString:
+					total += int64(len(ev.S)) + 4
+				default:
+					total++
+				}
+			}
+		}
+		nulls += int64(t.nrows - present)
+	}
+	return total + (nulls+7)/8
+}
+
+// ResidentBytes reports the actual in-process memory footprint of the
+// table's data (excluding indexes, which are layout-independent):
+// slice headers, Value structs and string contents for the row layout;
+// chunk directories, bitmaps, packed vectors and exception maps for
+// the columnar layout. This is the number behind the
+// table_resident_bytes benchmark metric.
+func (t *Table) ResidentBytes() int64 {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	const (
+		sliceHeader = 24
+		stringHeader = 16
+		mapEntry    = 64 // rough per-entry cost of a small map
+	)
+	if t.storage == StorageRows {
+		total := int64(sliceHeader) + int64(cap(t.rows))*sliceHeader
+		for _, r := range t.rows {
+			total += int64(cap(r)) * valueBytes
+			for _, v := range r {
+				if v.K == KindString {
+					total += int64(len(v.S))
+				}
+			}
+		}
+		return total
+	}
+	chunkFixed := int64(unsafe.Sizeof(colChunk{}))
+	var total int64
+	for _, col := range t.cols {
+		total += int64(unsafe.Sizeof(colVec{})) + int64(cap(col.chunks))*8
+		for _, ck := range col.chunks {
+			if ck == nil {
+				continue
+			}
+			total += chunkFixed
+			total += int64(cap(ck.ints))*8 + int64(cap(ck.floats))*8
+			total += int64(cap(ck.strs)) * stringHeader
+			for _, s := range ck.strs {
+				total += int64(len(s))
+			}
+			for _, ev := range ck.exc {
+				total += mapEntry
+				if ev.K == KindString {
+					total += int64(len(ev.S))
+				}
+			}
+		}
+	}
+	return total
 }
 
 // DB is a named collection of tables plus the scalar-function registry

@@ -1,0 +1,360 @@
+package rel
+
+import "math/bits"
+
+// Vectorized scan over a columnar base table. Instead of materializing
+// every row and filtering row-at-a-time, the scan works one chunk
+// (1024 rows) at a time per morsel worker:
+//
+//  1. zone-map check — per-chunk min/max (TInt) and presence counts
+//     can prove no row of the chunk satisfies a conjunct, skipping the
+//     chunk before any per-row work;
+//  2. selection vector — the vectorizable conjuncts (`col <cmp> int
+//     literal` on TInt columns, `col IS [NOT] NULL` on any type) are
+//     evaluated directly against the packed vectors, producing the
+//     in-chunk offsets of surviving rows;
+//  3. residual predicates — conjuncts the vectorizer cannot express
+//     (string comparisons, functions, multi-column arithmetic) run the
+//     ordinary compiled-closure path over a scratch-materialized row,
+//     but only for rows that survived step 2;
+//  4. gather — survivors are materialized into arena rows.
+//
+// Governance (see govern.go): selected rows are emitted — charged
+// against the row budget — exactly like the row-at-a-time filter;
+// evaluated-but-rejected rows tick the checkpoint counter without
+// charging, and a zone-skipped chunk counts as a single unit of work,
+// so a scan that skips everything stays cancelable but a budget can
+// never be tripped by rows the query never produced.
+
+// vecOp is a vectorizable comparison.
+type vecOp uint8
+
+const (
+	vecEq vecOp = iota
+	vecNe
+	vecLt
+	vecLe
+	vecGt
+	vecGe
+	vecIsNull
+	vecNotNull
+)
+
+// vecFilter is one vectorizable conjunct: schema column `col`
+// compared against the int literal `val` (unused for the null tests).
+type vecFilter struct {
+	col int
+	op  vecOp
+	val int64
+}
+
+var cmpFlip = map[string]vecOp{"=": vecEq, "!=": vecNe, "<": vecGt, "<=": vecGe, ">": vecLt, ">=": vecLe}
+var cmpFwd = map[string]vecOp{"=": vecEq, "!=": vecNe, "<": vecLt, "<=": vecLe, ">": vecGt, ">=": vecGe}
+
+// compileVecFilters splits conds into vectorizable filters and the
+// residual row-at-a-time predicates. r must be a scan relation over t
+// (column positions == schema positions). Columns carrying exception
+// values (kind-mismatched cells; see column.go) are never vectorized —
+// their packed vectors and zone maps do not describe the cell values.
+func compileVecFilters(t *Table, r *relation, conds []Expr) (vfs []vecFilter, residual []Expr) {
+	for _, c := range conds {
+		switch x := c.(type) {
+		case *IsNullExpr:
+			if cr, ok := x.X.(*ColRef); ok {
+				if pos := r.colIndex(cr.Alias, cr.Column); pos >= 0 {
+					op := vecIsNull
+					if x.Not {
+						op = vecNotNull
+					}
+					vfs = append(vfs, vecFilter{col: pos, op: op})
+					continue
+				}
+			}
+		case *BinOp:
+			if op, ok := cmpFwd[x.Op]; ok {
+				if vf, ok2 := vecCompare(t, r, x.L, x.R, op, cmpFlip[x.Op]); ok2 {
+					vfs = append(vfs, vf)
+					continue
+				}
+			}
+		}
+		residual = append(residual, c)
+	}
+	return vfs, residual
+}
+
+// vecCompare recognizes `col <cmp> intLit` with the column on either
+// side of a TInt column free of exception values.
+func vecCompare(t *Table, r *relation, l, rhs Expr, fwd, flip vecOp) (vecFilter, bool) {
+	if cr, ok := l.(*ColRef); ok {
+		if lit, ok2 := rhs.(*Lit); ok2 && lit.V.K == KindInt {
+			if pos := vecIntCol(t, r, cr); pos >= 0 {
+				return vecFilter{col: pos, op: fwd, val: lit.V.I}, true
+			}
+		}
+	}
+	if cr, ok := rhs.(*ColRef); ok {
+		if lit, ok2 := l.(*Lit); ok2 && lit.V.K == KindInt {
+			if pos := vecIntCol(t, r, cr); pos >= 0 {
+				return vecFilter{col: pos, op: flip, val: lit.V.I}, true
+			}
+		}
+	}
+	return vecFilter{}, false
+}
+
+func vecIntCol(t *Table, r *relation, cr *ColRef) int {
+	pos := r.colIndex(cr.Alias, cr.Column)
+	if pos < 0 || t.Schema[pos].Type != TInt || t.cols[pos].excCount > 0 {
+		return -1
+	}
+	return pos
+}
+
+func cmpInt(op vecOp, v, lit int64) bool {
+	switch op {
+	case vecEq:
+		return v == lit
+	case vecNe:
+		return v != lit
+	case vecLt:
+		return v < lit
+	case vecLe:
+		return v <= lit
+	case vecGt:
+		return v > lit
+	default:
+		return v >= lit
+	}
+}
+
+// skipChunk consults the chunk's zone map: true means no row in the
+// chunk can satisfy the filter. ck == nil is an all-NULL chunk; n is
+// the number of table rows the chunk covers.
+func (f vecFilter) skipChunk(ck *colChunk, n int) bool {
+	switch f.op {
+	case vecIsNull:
+		return ck != nil && ck.n == n // no NULLs present
+	case vecNotNull:
+		return ck == nil || ck.n == 0
+	default:
+		if ck == nil || ck.n == 0 || !ck.zoneInit {
+			return true // comparisons never match NULL
+		}
+		switch f.op {
+		case vecEq:
+			return f.val < ck.min || f.val > ck.max
+		case vecNe:
+			return ck.min == ck.max && ck.min == f.val
+		case vecLt:
+			return ck.min >= f.val
+		case vecLe:
+			return ck.min > f.val
+		case vecGt:
+			return ck.max <= f.val
+		default: // vecGe
+			return ck.max < f.val
+		}
+	}
+}
+
+// firstPass evaluates the filter over the whole chunk, appending the
+// in-chunk offsets of matching rows to sel. For comparisons it walks
+// the presence bitmap's set bits with a running packed cursor, so each
+// value is read sequentially — no per-row rank.
+func (f vecFilter) firstPass(ck *colChunk, n int, sel []int32) []int32 {
+	switch f.op {
+	case vecIsNull:
+		if ck == nil {
+			for off := 0; off < n; off++ {
+				sel = append(sel, int32(off))
+			}
+			return sel
+		}
+		for off := 0; off < n; off++ {
+			if !ck.has(off) {
+				sel = append(sel, int32(off))
+			}
+		}
+		return sel
+	case vecNotNull:
+		if ck == nil {
+			return sel
+		}
+		for w := 0; w < chunkWords; w++ {
+			word := ck.bits[w]
+			for word != 0 {
+				sel = append(sel, int32(w<<6+bits.TrailingZeros64(word)))
+				word &= word - 1
+			}
+		}
+		return sel
+	default:
+		if ck == nil {
+			return sel
+		}
+		k := 0
+		for w := 0; w < chunkWords; w++ {
+			word := ck.bits[w]
+			for word != 0 {
+				off := w<<6 + bits.TrailingZeros64(word)
+				word &= word - 1
+				if cmpInt(f.op, ck.ints[k], f.val) {
+					sel = append(sel, int32(off))
+				}
+				k++
+			}
+		}
+		return sel
+	}
+}
+
+// refine keeps only the rows of sel that also satisfy the filter,
+// compacting in place.
+func (f vecFilter) refine(ck *colChunk, sel []int32) []int32 {
+	kept := sel[:0]
+	for _, off := range sel {
+		present := ck != nil && ck.has(int(off))
+		switch f.op {
+		case vecIsNull:
+			if !present {
+				kept = append(kept, off)
+			}
+		case vecNotNull:
+			if present {
+				kept = append(kept, off)
+			}
+		default:
+			if present && cmpInt(f.op, ck.ints[ck.rank(int(off))], f.val) {
+				kept = append(kept, off)
+			}
+		}
+	}
+	return kept
+}
+
+// vecScan materializes a columnar scan relation (r.scan), applying its
+// pending conjuncts with the chunk pipeline described at the top of
+// the file. Chunks are partitioned across morsel workers and the
+// per-worker outputs concatenated in chunk order, so the result is
+// row-for-row identical to the sequential row-layout scan.
+func (ex *exec) vecScan(r *relation) (*relation, error) {
+	t := r.base
+	out := newRelation(r.cols)
+	for a := range r.aliases {
+		out.aliases[a] = true
+	}
+	t.mu.RLock()
+	cols := t.cols
+	nrows := t.nrows
+	t.mu.RUnlock()
+	vfs, residual := compileVecFilters(t, r, r.pending)
+	var rowPred func(Row) (bool, error)
+	if len(residual) > 0 {
+		rowPred = ex.db.compilePred(residual, r)
+	}
+	nchunks := (nrows + chunkRows - 1) >> chunkShift
+	w := planWorkers(nrows)
+	if w > nchunks && nchunks > 0 {
+		w = nchunks
+	}
+	width := len(cols)
+	parts := make([][]Row, w)
+	err := parallelChunks(nchunks, w, func(chunk, clo, chi int) error {
+		tk := ticker{g: ex.gov, site: CkFilter}
+		if err := tk.flush(); err != nil {
+			return err
+		}
+		var local []Row
+		arena := rowArena{gov: ex.gov}
+		var sel []int32
+		var scratch Row
+	chunks:
+		for ci := clo; ci < chi; ci++ {
+			base := ci << chunkShift
+			n := nrows - base
+			if n > chunkRows {
+				n = chunkRows
+			}
+			for _, f := range vfs {
+				if f.skipChunk(cols[f.col].chunkOf(ci), n) {
+					// The whole chunk is pruned: one unit of work, no
+					// budget charge — the query produced nothing here.
+					if err := tk.step(); err != nil {
+						return err
+					}
+					continue chunks
+				}
+			}
+			sel = sel[:0]
+			if len(vfs) == 0 {
+				if rowPred == nil {
+					// Unfiltered scan: gather the chunk column-wise.
+					rows := arena.allocRows(n, width)
+					for j, col := range cols {
+						col.gatherChunk(ci, rows, j)
+					}
+					local = append(local, rows...)
+					if err := tk.emitN(n); err != nil {
+						return err
+					}
+					continue
+				}
+				for off := 0; off < n; off++ {
+					sel = append(sel, int32(off))
+				}
+			} else {
+				sel = vfs[0].firstPass(cols[vfs[0].col].chunkOf(ci), n, sel)
+				for _, f := range vfs[1:] {
+					if len(sel) == 0 {
+						break
+					}
+					sel = f.refine(cols[f.col].chunkOf(ci), sel)
+				}
+			}
+			if rowPred != nil && len(sel) > 0 {
+				if scratch == nil {
+					scratch = make(Row, width)
+				}
+				kept := sel[:0]
+				for _, off := range sel {
+					for j, col := range cols {
+						scratch[j] = col.get(base + int(off))
+					}
+					ok, err := rowPred(scratch)
+					if err != nil {
+						return err
+					}
+					if ok {
+						kept = append(kept, off)
+					}
+				}
+				sel = kept
+			}
+			for _, off := range sel {
+				row := arena.alloc(width)
+				for j, col := range cols {
+					row[j] = col.get(base + int(off))
+				}
+				local = append(local, row)
+				if err := tk.emit(); err != nil {
+					return err
+				}
+			}
+			// Rejected rows are work done but not rows produced: tick
+			// the checkpoint cadence without charging the row budget.
+			if err := tk.stepN(n - len(sel)); err != nil {
+				return err
+			}
+		}
+		parts[chunk] = local
+		return tk.flush()
+	})
+	if err != nil {
+		return nil, err
+	}
+	for _, p := range parts {
+		out.rows = append(out.rows, p...)
+	}
+	return out, nil
+}
