@@ -14,8 +14,10 @@ package db2rdf_test
 
 import (
 	"encoding/json"
+	"fmt"
 	"os"
 	"testing"
+	"time"
 
 	"db2rdf"
 	"db2rdf/internal/rel"
@@ -88,6 +90,31 @@ func TestBenchBaseline(t *testing.T) {
 		}
 	})
 
+	// Instrumented-vs-disabled delta: a second store whose slow-query
+	// log forces per-operator profiling on every query (threshold high
+	// enough that the callback never fires), against the same warm plan.
+	instr, err := db2rdf.Open(db2rdf.Options{
+		SlowQueryThreshold: time.Hour,
+		SlowQueryLog:       func(db2rdf.SlowQuery) {},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := instr.LoadTriples(ds.Triples); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := instr.Query(q); err != nil {
+		t.Fatal(err)
+	}
+	warmInstr := testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := instr.Query(q); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+
 	// Resident table footprint of the same LUBM dataset under both
 	// layouts. The store above is columnar (the default); load a second
 	// store under the legacy row layout for the comparison point.
@@ -107,8 +134,31 @@ func TestBenchBaseline(t *testing.T) {
 		latencyPoint("load_lubm", load),
 		latencyPoint("query_cold_plan", cold),
 		latencyPoint("query_warm_plan", warm),
+		latencyPoint("query_warm_plan_instrumented", warmInstr),
 		{Name: "table_resident_bytes", NsOp: float64(colBytes), N: 1},
 		{Name: "table_resident_bytes_rowlayout", NsOp: float64(rowBytes), N: 1},
+	}
+	if warm.NsPerOp() > 0 {
+		points = append(points, benchPoint{
+			Name: "instrumentation_overhead_ratio",
+			NsOp: float64(warmInstr.NsPerOp()) / float64(warm.NsPerOp()),
+			N:    1,
+		})
+	}
+	// Per-pattern estimation quality over the corpus: one point per
+	// (query, access node), NsOp carrying the q-error.
+	for _, cq := range ds.Queries {
+		an, err := s.Analyze(cq.SPARQL)
+		if err != nil {
+			t.Fatalf("analyze %s: %v", cq.Name, err)
+		}
+		for _, p := range an.Patterns {
+			points = append(points, benchPoint{
+				Name: fmt.Sprintf("qerror_%s_%s", cq.Name, p.Cte),
+				NsOp: p.QError,
+				N:    int(p.Actual),
+			})
+		}
 	}
 	data, err := json.MarshalIndent(points, "", "  ")
 	if err != nil {

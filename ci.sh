@@ -17,6 +17,12 @@ echo "== abort paths (governance, fault injection, panic containment) =="
 go test -race -count=1 \
     -run 'TestExecContext|TestFault|TestPanic|TestAbort|Budget|TestQueryContext|TestDeadline|TestQueryTimeout|TestEarlierParent|TestGraphQueryGovernance|TestPathClosureGovernance|TestExplainGovernance' \
     ./internal/rel/ .
+echo "== observability: plan-cache accounting, metrics, analyze harness =="
+go test -race -count=1 \
+    -run 'TestPlanCacheAccountingConcurrent|TestPlanCacheStaleGetAccounting|TestMetricsRegistry|TestSlowQueryLog|TestAnalyzeEstimateVsActual|TestZoneMapExceptionPruning|TestLimitOffsetPathEquivalence' \
+    ./internal/rel/ .
+echo "== hot-path perf gate (instrumentation compiled in, disabled) =="
+DB2RDF_PERF_GATE=1 go test -count=1 -run '^TestPerfGate$' -v .
 echo "== fuzz smoke (5s per target) =="
 go test -run '^$' -fuzz '^FuzzLoadReader$' -fuzztime 5s .
 go test -run '^$' -fuzz '^FuzzParseQuery$' -fuzztime 5s .

@@ -45,10 +45,13 @@ func main() {
 	timeout := flag.Duration("timeout", 0, "per-query deadline, e.g. 500ms (0 = none)")
 	maxRows := flag.Int64("max-rows", 0, "per-query row budget, counting intermediate results (0 = unlimited)")
 	maxBytes := flag.Int64("max-bytes", 0, "per-query executor memory budget in bytes (0 = unlimited)")
+	analyze := flag.Bool("analyze", false, "EXPLAIN ANALYZE: execute with per-operator instrumentation and print estimates vs actuals")
+	metrics := flag.Bool("metrics", false, "print the store metrics registry (Prometheus text) before exiting")
+	slowQuery := flag.Duration("slow-query", 0, "log queries at or over this duration to stderr, with their operator profile (0 = off)")
 	flag.Parse()
 
-	gov := govFlags{timeout: *timeout, maxRows: *maxRows, maxBytes: *maxBytes}
-	if err := realMain(loads, *query, *queryFile, *explain, *run, *stats, *k, *color, *noopt, *workers, gov); err != nil {
+	gov := govFlags{timeout: *timeout, maxRows: *maxRows, maxBytes: *maxBytes, slowQuery: *slowQuery}
+	if err := realMain(loads, *query, *queryFile, *explain, *run, *stats, *k, *color, *noopt, *workers, gov, *analyze, *metrics); err != nil {
 		fmt.Fprintln(os.Stderr, "db2rdf:", err)
 		os.Exit(1)
 	}
@@ -56,12 +59,13 @@ func main() {
 
 // govFlags carries the query-governance flags into realMain.
 type govFlags struct {
-	timeout  time.Duration
-	maxRows  int64
-	maxBytes int64
+	timeout   time.Duration
+	maxRows   int64
+	maxBytes  int64
+	slowQuery time.Duration
 }
 
-func realMain(loads []string, query, queryFile string, explain, run, stats bool, k int, color, noopt bool, workers int, gov govFlags) error {
+func realMain(loads []string, query, queryFile string, explain, run, stats bool, k int, color, noopt bool, workers int, gov govFlags, analyze, metrics bool) error {
 	var triples []rdf.Triple
 	for _, path := range loads {
 		f, err := os.Open(path)
@@ -82,6 +86,12 @@ func realMain(loads []string, query, queryFile string, explain, run, stats bool,
 		QueryTimeout:           gov.timeout,
 		MaxResultRows:          gov.maxRows,
 		MaxMemoryBytes:         gov.maxBytes,
+	}
+	if gov.slowQuery > 0 {
+		opts.SlowQueryThreshold = gov.slowQuery
+		opts.SlowQueryLog = func(sq db2rdf.SlowQuery) {
+			fmt.Fprintln(os.Stderr, sq.String())
+		}
 	}
 	if color {
 		direct, reverse := db2rdf.ColorTriples(triples, k, k)
@@ -126,7 +136,7 @@ func realMain(loads []string, query, queryFile string, explain, run, stats bool,
 		query = string(b)
 	}
 	if query == "" {
-		return nil
+		return printMetrics(store, metrics)
 	}
 
 	if explain {
@@ -151,18 +161,36 @@ func realMain(loads []string, query, queryFile string, explain, run, stats bool,
 		fmt.Printf("  max result rows: %s\n", limitStr(ex.MaxResultRows))
 		fmt.Printf("  max memory bytes: %s\n", limitStr(ex.MaxMemoryBytes))
 	}
-	if !run {
+	if !run && !analyze {
 		return nil
+	}
+	if analyze {
+		an, err := store.Analyze(query)
+		if an != nil {
+			fmt.Println("-- analyze:")
+			fmt.Println(an.String())
+		}
+		if err != nil {
+			return err
+		}
+		if run && an.Results != nil {
+			printResults(an.Results, an.Duration)
+		}
+		return printMetrics(store, metrics)
 	}
 	start = time.Now()
 	res, err := store.Query(query)
 	if err != nil {
 		return err
 	}
-	dur := time.Since(start)
+	printResults(res, time.Since(start))
+	return printMetrics(store, metrics)
+}
+
+func printResults(res *db2rdf.Results, dur time.Duration) {
 	if res.IsAsk {
 		fmt.Printf("ASK -> %v (%s)\n", res.Ask, dur.Round(time.Microsecond))
-		return nil
+		return
 	}
 	fmt.Println(strings.Join(res.Vars, "\t"))
 	for _, row := range res.Rows {
@@ -173,7 +201,14 @@ func realMain(loads []string, query, queryFile string, explain, run, stats bool,
 		fmt.Println(strings.Join(cells, "\t"))
 	}
 	fmt.Printf("%d solutions in %s\n", len(res.Rows), dur.Round(time.Microsecond))
-	return nil
+}
+
+func printMetrics(store *db2rdf.Store, enabled bool) error {
+	if !enabled {
+		return nil
+	}
+	fmt.Println("-- metrics:")
+	return store.Metrics().WritePrometheus(os.Stdout)
 }
 
 func limitStr(n int64) string {

@@ -67,13 +67,29 @@ type Options struct {
 	// allocation per query (0 = unlimited). A trip surfaces as a
 	// *BudgetError matching ErrBudgetExceeded.
 	MaxMemoryBytes int64
+
+	// SlowQueryThreshold enables the slow-query log: any query whose
+	// end-to-end serving time reaches the threshold is counted in the
+	// metrics and reported to SlowQueryLog (0 = disabled). When both
+	// the threshold and SlowQueryLog are set, every query executes with
+	// operator instrumentation on — a few percent of overhead — so the
+	// log can include the analyzed operator tree of the offender;
+	// with a threshold but no callback only the counter is maintained
+	// and execution stays uninstrumented.
+	SlowQueryThreshold time.Duration
+	// SlowQueryLog receives one SlowQuery record per offending query.
+	// It is called after the store's read lock is released, so the
+	// callback may itself query the store; it must be safe for
+	// concurrent calls.
+	SlowQueryLog func(SlowQuery)
 }
 
 // Store is a DB2RDF store: the public API of this library.
 type Store struct {
-	inner *store.Store
-	opts  Options
-	plans *planCache
+	inner   *store.Store
+	opts    Options
+	plans   *planCache
+	metrics *Metrics
 }
 
 // Open creates an empty store.
@@ -87,7 +103,8 @@ func Open(opts Options) (*Store, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Store{inner: s, opts: opts, plans: newPlanCache(defaultPlanCacheSize)}, nil
+	plans := newPlanCache(defaultPlanCacheSize)
+	return &Store{inner: s, opts: opts, plans: plans, metrics: &Metrics{plans: plans}}, nil
 }
 
 // ColorTriples analyzes a sample of triples and returns coloring-based
@@ -100,13 +117,36 @@ func ColorTriples(triples []rdf.Triple, k, kRev int) (coloring.Mapping, coloring
 
 // Insert adds one triple. Writers and readers may run concurrently:
 // loads take the store's write lock, queries its read lock.
-func (s *Store) Insert(t rdf.Triple) error { return s.inner.Insert(t) }
+func (s *Store) Insert(t rdf.Triple) error {
+	start := time.Now()
+	err := s.inner.Insert(t)
+	n := 1
+	if err != nil {
+		n = 0
+	}
+	s.metrics.observeLoad(time.Since(start), n)
+	return err
+}
 
 // LoadReader bulk-loads N-Triples from r, returning the triple count.
-func (s *Store) LoadReader(r io.Reader) (int, error) { return s.inner.Load(r) }
+func (s *Store) LoadReader(r io.Reader) (int, error) {
+	start := time.Now()
+	n, err := s.inner.Load(r)
+	s.metrics.observeLoad(time.Since(start), n)
+	return n, err
+}
 
 // LoadTriples bulk-loads a slice of triples.
-func (s *Store) LoadTriples(ts []rdf.Triple) error { return s.inner.LoadTriples(ts) }
+func (s *Store) LoadTriples(ts []rdf.Triple) error {
+	start := time.Now()
+	err := s.inner.LoadTriples(ts)
+	n := len(ts)
+	if err != nil {
+		n = 0
+	}
+	s.metrics.observeLoad(time.Since(start), n)
+	return err
+}
 
 // LoadParallel bulk-loads N-Triples from r using the parallel pipeline:
 // parsing and dictionary encoding fan out over worker goroutines, the
@@ -115,12 +155,22 @@ func (s *Store) LoadTriples(ts []rdf.Triple) error { return s.inner.LoadTriples(
 // concurrently with batched appends. workers <= 0 means GOMAXPROCS.
 // The final store state matches a sequential Load of the same data.
 func (s *Store) LoadParallel(r io.Reader, workers int) (int, error) {
-	return s.inner.LoadParallel(r, workers)
+	start := time.Now()
+	n, err := s.inner.LoadParallel(r, workers)
+	s.metrics.observeLoad(time.Since(start), n)
+	return n, err
 }
 
 // LoadTriplesParallel is LoadParallel over an in-memory triple slice.
 func (s *Store) LoadTriplesParallel(ts []rdf.Triple, workers int) error {
-	return s.inner.LoadTriplesParallel(ts, workers)
+	start := time.Now()
+	err := s.inner.LoadTriplesParallel(ts, workers)
+	n := len(ts)
+	if err != nil {
+		n = 0
+	}
+	s.metrics.observeLoad(time.Since(start), n)
+	return err
 }
 
 // Len returns the number of distinct subjects stored.
@@ -193,14 +243,44 @@ func (s *Store) Query(q string) (*Results, error) {
 // stays fully usable (read lock released, path temporaries dropped,
 // plan cache intact).
 func (s *Store) QueryContext(ctx context.Context, q string) (res *Results, err error) {
+	start := time.Now()
+	var stats *ExecStats
+	// Deferred observation runs after the read lock is released and
+	// after guard has normalized panics into the final err, so the
+	// metrics see every outcome and the slow-query callback may itself
+	// use the store.
+	defer func() { s.observeQuery(q, time.Since(start), res, stats, err) }()
 	defer guard(q, &res, &err)
 	ctx, cancel := s.governCtx(ctx)
 	defer cancel()
 	s.inner.RLock()
 	defer s.inner.RUnlock()
-	res, err = s.queryLocked(ctx, q)
+	res, stats, _, err = s.queryLockedFull(ctx, q, s.profileQueries())
 	err = attachQuery(q, err)
 	return res, err
+}
+
+// profileQueries reports whether public queries should run with
+// operator instrumentation on: only when a slow-query log wants the
+// analyzed operator tree of offenders.
+func (s *Store) profileQueries() bool {
+	return s.opts.SlowQueryThreshold > 0 && s.opts.SlowQueryLog != nil
+}
+
+// observeQuery feeds one served query into the metrics registry and
+// the slow-query log. Called with the store lock released.
+func (s *Store) observeQuery(q string, dur time.Duration, res *Results, stats *ExecStats, err error) {
+	rows := 0
+	if res != nil {
+		rows = len(res.Rows)
+	}
+	s.metrics.observeQuery(dur, rows, err)
+	if t := s.opts.SlowQueryThreshold; t > 0 && dur >= t {
+		s.metrics.slowQueries.Add(1)
+		if cb := s.opts.SlowQueryLog; cb != nil {
+			cb(SlowQuery{Query: q, Duration: dur, Rows: rows, Err: err, Stats: stats})
+		}
+	}
 }
 
 // governCtx applies the store's default query timeout to ctx. An
@@ -257,13 +337,23 @@ func attachQuery(q string, err error) error {
 // for. Queries that materialize property-path closures are compiled
 // afresh each time (their SQL references per-query temp tables).
 func (s *Store) queryLocked(ctx context.Context, q string) (*Results, error) {
+	res, _, _, err := s.queryLockedFull(ctx, q, false)
+	return res, err
+}
+
+// queryLockedFull is queryLocked returning the execution profile (nil
+// unless profile is set) and the compiled plan (nil when compilation
+// itself failed) alongside the results, for EXPLAIN ANALYZE and the
+// slow-query log.
+func (s *Store) queryLockedFull(ctx context.Context, q string, profile bool) (*Results, *ExecStats, *compiledPlan, error) {
 	epoch := s.inner.Epoch()
 	if cp, ok := s.plans.get(q, epoch); ok {
-		return s.executeCompiled(ctx, cp)
+		res, stats, err := s.executeCompiledStats(ctx, cp, profile)
+		return res, stats, cp, err
 	}
 	parsed, err := sparql.Parse(q)
 	if err != nil {
-		return nil, err
+		return nil, nil, nil, err
 	}
 	if s.opts.Inference {
 		inferenceRewrite(parsed)
@@ -271,23 +361,24 @@ func (s *Store) queryLocked(ctx context.Context, q string) (*Results, error) {
 	sparql.UnifyEqualityFilters(parsed)
 	virtual, cleanup, err := s.materializeClosures(ctx, parsed)
 	if err != nil {
-		return nil, err
+		return nil, nil, nil, err
 	}
 	defer cleanup()
 	tr, err := s.translate(parsed, virtual)
 	if err != nil {
-		return nil, err
+		return nil, nil, nil, err
 	}
 	cp := &compiledPlan{key: q, epoch: epoch, parsed: parsed, tr: tr}
 	if tr.SQL != "" {
 		if cp.rq, err = rel.ParseQuery(tr.SQL); err != nil {
-			return nil, fmt.Errorf("db2rdf: parsing generated SQL: %w", err)
+			return nil, nil, nil, fmt.Errorf("db2rdf: parsing generated SQL: %w", err)
 		}
 	}
 	if len(parsed.Closures) == 0 {
 		s.plans.put(cp)
 	}
-	return s.executeCompiled(ctx, cp)
+	res, stats, err := s.executeCompiledStats(ctx, cp, profile)
+	return res, stats, cp, err
 }
 
 // Explanation reports how a query would run.
@@ -329,6 +420,12 @@ func (s *Store) ExplainContext(ctx context.Context, q string) (expl *Explanation
 	defer cancel()
 	s.inner.RLock()
 	defer s.inner.RUnlock()
+	return s.explainLocked(ctx, q)
+}
+
+// explainLocked is ExplainContext under an already-held store read
+// lock (EXPLAIN ANALYZE reuses it before executing).
+func (s *Store) explainLocked(ctx context.Context, q string) (expl *Explanation, err error) {
 	parsed, err := sparql.Parse(q)
 	if err != nil {
 		return nil, err
@@ -415,6 +512,15 @@ func (s *Store) execute(ctx context.Context, parsed *sparql.Query, tr *translato
 // readers may execute the same cached plan; an aborted execution
 // leaves the cached plan valid.
 func (s *Store) executeCompiled(ctx context.Context, cp *compiledPlan) (*Results, error) {
+	res, _, err := s.executeCompiledStats(ctx, cp, false)
+	return res, err
+}
+
+// executeCompiledStats is executeCompiled with optional operator
+// instrumentation; when profile is set the execution profile is
+// returned (present even on failure, so aborted queries can be
+// diagnosed).
+func (s *Store) executeCompiledStats(ctx context.Context, cp *compiledPlan, profile bool) (*Results, *ExecStats, error) {
 	tr := cp.tr
 	out := &Results{IsAsk: tr.Ask}
 	if cp.rq == nil {
@@ -423,25 +529,32 @@ func (s *Store) executeCompiled(ctx context.Context, cp *compiledPlan) (*Results
 		// projected variable unbound.
 		if tr.Ask {
 			out.Ask = true
-			return out, nil
+			return out, nil, nil
 		}
 		out.Vars = cp.parsed.ProjectedVars()
 		out.Rows = append(out.Rows, make([]Binding, len(out.Vars)))
-		return out, nil
+		return out, nil, nil
 	}
-	rs, err := s.inner.DB.ExecContext(ctx, cp.rq, s.limits())
+	var rs *rel.ResultSet
+	var stats *ExecStats
+	var err error
+	if profile {
+		rs, stats, err = s.inner.DB.AnalyzeContext(ctx, cp.rq, s.limits())
+	} else {
+		rs, err = s.inner.DB.ExecContext(ctx, cp.rq, s.limits())
+	}
 	if err != nil {
 		if isGovernanceErr(err) {
 			// Keep governance errors unwrapped beyond errors.Is/As needs:
 			// callers match them directly and the SQL is an internal
 			// artifact that would only obscure the typed error.
-			return nil, err
+			return nil, stats, err
 		}
-		return nil, fmt.Errorf("db2rdf: executing generated SQL: %w", err)
+		return nil, stats, fmt.Errorf("db2rdf: executing generated SQL: %w", err)
 	}
 	if tr.Ask {
 		out.Ask = len(rs.Rows) > 0
-		return out, nil
+		return out, stats, nil
 	}
 	keep := len(tr.Columns) - tr.Hidden
 	out.Vars = tr.Columns[:keep]
@@ -454,13 +567,13 @@ func (s *Store) executeCompiled(ctx context.Context, cp *compiledPlan) (*Results
 			}
 			t, err := s.inner.Dict.Decode(v.I)
 			if err != nil {
-				return nil, fmt.Errorf("db2rdf: decoding result id %d: %w", v.I, err)
+				return nil, stats, fmt.Errorf("db2rdf: decoding result id %d: %w", v.I, err)
 			}
 			decoded[i] = Binding{Bound: true, Term: t}
 		}
 		out.Rows = append(out.Rows, decoded)
 	}
-	return out, nil
+	return out, stats, nil
 }
 
 // MustQuery is Query for tests and examples; it panics on error.

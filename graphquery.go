@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"io"
 	"sort"
+	"time"
 
 	"db2rdf/internal/rdf"
 	"db2rdf/internal/rel"
@@ -23,6 +24,19 @@ func (s *Store) QueryGraph(q string) ([]rdf.Triple, error) {
 // store's deadline and budgets applied (to every constituent query —
 // a DESCRIBE fans out into one query per resource), panics contained.
 func (s *Store) QueryGraphContext(ctx context.Context, q string) (out []rdf.Triple, err error) {
+	start := time.Now()
+	// One metrics observation for the whole graph query (the secondary
+	// queries it runs internally are not counted separately); rows
+	// emitted counts the returned triples.
+	defer func() {
+		s.metrics.observeQuery(time.Since(start), len(out), err)
+		if t := s.opts.SlowQueryThreshold; t > 0 && time.Since(start) >= t {
+			s.metrics.slowQueries.Add(1)
+			if cb := s.opts.SlowQueryLog; cb != nil {
+				cb(SlowQuery{Query: q, Duration: time.Since(start), Rows: len(out), Err: err})
+			}
+		}
+	}()
 	defer func() {
 		if p := recover(); p != nil {
 			out, err = nil, attachQuery(q, rel.NewPanicError(p))

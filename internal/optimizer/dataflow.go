@@ -106,6 +106,12 @@ func (f *Flow) MethodFor(t *sparql.TriplePattern) Method {
 	return f.Order[f.rank[t]].Method
 }
 
+// CostFor returns the TMC estimate the flow assigned to t — the edge
+// weight that won t its place in the tree.
+func (f *Flow) CostFor(t *sparql.TriplePattern) float64 {
+	return f.Order[f.rank[t]].Cost
+}
+
 // String renders the flow as "(t4,aco) (t2,aco) ...".
 func (f *Flow) String() string {
 	var b strings.Builder

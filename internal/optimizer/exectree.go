@@ -29,6 +29,7 @@ type ExecNode struct {
 	Kind     ExecKind
 	Triple   *sparql.TriplePattern // ExecLeaf only
 	Method   Method                // ExecLeaf only
+	Cost     float64               // ExecLeaf only: the flow's TMC estimate for Triple
 	Children []*ExecNode
 	// Filters are evaluated once every child of this node is joined.
 	Filters []sparql.Expr
@@ -160,7 +161,7 @@ func conjunctiveUnits(f *Flow, p *sparql.Pattern) ([]*ExecNode, []sparql.Expr) {
 	var units []*ExecNode
 	filters := append([]sparql.Expr(nil), p.Filters...)
 	for _, t := range p.Triples {
-		units = append(units, &ExecNode{Kind: ExecLeaf, Triple: t, Method: f.MethodFor(t)})
+		units = append(units, &ExecNode{Kind: ExecLeaf, Triple: t, Method: f.MethodFor(t), Cost: f.CostFor(t)})
 	}
 	switch p.Kind {
 	case sparql.Simple:

@@ -26,10 +26,14 @@ import (
 // Values whose kind does not match the declared column type (a Bool
 // anywhere, a Float in a TInt column — possible because Insert is
 // dynamically typed) are stored out of line in the chunk's exception
-// map and counted on the vector. A column with exceptions is never
-// vectorized or zone-pruned; the RDF store itself only writes
-// dictionary ids into TInt columns, so production workloads carry
-// zero exceptions.
+// map and counted on the vector. Exception handling is chunk-granular:
+// a chunk with exceptions is never zone-pruned (its int min/max say
+// nothing about the out-of-line values, which may still satisfy the
+// predicate — e.g. Float 5.0 matches `col = 5`), and the vectorized
+// comparators consult the exception map per row. Chunks without
+// exceptions keep the fast packed-only path; the RDF store itself only
+// writes dictionary ids into TInt columns, so production workloads
+// carry zero exceptions.
 //
 // Concurrency: colVec methods take no locks. The owning Table
 // serializes writers with its mutex, and readers (the executor) run
@@ -68,7 +72,7 @@ type colChunk struct {
 type colVec struct {
 	typ      ColumnType
 	chunks   []*colChunk // nil entry = all-NULL chunk
-	excCount int         // total exception values; >0 disables vectorization
+	excCount int         // total exception values across all chunks
 }
 
 // has reports whether the row at in-chunk offset off is present.

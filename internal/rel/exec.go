@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+	"time"
 )
 
 // ResultSet is the outcome of a query.
@@ -29,10 +30,14 @@ func (db *DB) Exec(q *Query) (*ResultSet, error) {
 
 // exec is one statement execution: the database plus the query's
 // governance state (cancellation signal and budget counters), threaded
-// through every operator so long-running loops can checkpoint.
+// through every operator so long-running loops can checkpoint. prof is
+// nil unless the execution is profiled (AnalyzeContext); every
+// instrumentation hook is behind a nil check so the unprofiled path
+// does no profiling work at all.
 type exec struct {
-	db  *DB
-	gov *govern
+	db   *DB
+	gov  *govern
+	prof *profiler
 }
 
 // ExecContext executes a parsed query under ctx and lim (see govern.go
@@ -42,24 +47,46 @@ type exec struct {
 // raised during execution — in an operator, a compiled-expression
 // closure, or a morsel worker — is recovered and returned as a
 // *PanicError, leaving the DB fully usable.
-func (db *DB) ExecContext(ctx context.Context, q *Query, lim Limits) (rs *ResultSet, err error) {
+func (db *DB) ExecContext(ctx context.Context, q *Query, lim Limits) (*ResultSet, error) {
+	return db.execContext(ctx, q, lim, nil)
+}
+
+// execContext is the shared body of ExecContext (prof == nil) and
+// AnalyzeContext (prof records per-operator and per-CTE actuals).
+func (db *DB) execContext(ctx context.Context, q *Query, lim Limits, prof *profiler) (rs *ResultSet, err error) {
 	defer func() {
 		if p := recover(); p != nil {
 			rs, err = nil, recoveredError(p)
 		}
 	}()
-	ex := &exec{db: db, gov: newGovern(ctx, lim)}
+	ex := &exec{db: db, gov: newGovern(ctx, lim), prof: prof}
+	if prof != nil {
+		defer func() {
+			prof.stats.BudgetRowsCharged = ex.gov.rows.Load()
+			prof.stats.BudgetBytesCharged = ex.gov.bytes.Load()
+		}()
+	}
 	env := make(map[string]*relation)
 	live := cteLiveColumns(q)
 	for i, cte := range q.CTEs {
 		if err := ex.gov.check(CkCore); err != nil {
 			return nil, err
 		}
+		name := strings.ToLower(cte.Name)
+		if prof != nil {
+			prof.scope = name
+		}
 		rs, err := ex.evalSelectLive(cte.Select, env, live[i])
 		if err != nil {
 			return nil, fmt.Errorf("in CTE %s: %w", cte.Name, err)
 		}
-		env[strings.ToLower(cte.Name)] = resultToRelation(rs)
+		if prof != nil {
+			prof.stats.CTERows[name] = int64(len(rs.Rows))
+		}
+		env[name] = resultToRelation(rs)
+	}
+	if prof != nil {
+		prof.scope = ""
 	}
 	return ex.evalSelect(q.Body, env)
 }
@@ -129,7 +156,7 @@ func (ex *exec) evalSelectLive(s *Select, env map[string]*relation, live map[str
 		}
 		out.Rows = append(out.Rows, rs.Rows...)
 		if !s.UnionAll[i-1] {
-			if out.Rows, err = dedupRows(out.Rows, ex.gov); err != nil {
+			if out.Rows, err = ex.dedup(out.Rows); err != nil {
 				return nil, err
 			}
 		}
@@ -139,20 +166,38 @@ func (ex *exec) evalSelectLive(s *Select, env map[string]*relation, live map[str
 			return nil, err
 		}
 	}
-	if s.Offset > 0 {
-		if s.Offset >= int64(len(out.Rows)) {
-			out.Rows = nil
-		} else {
-			out.Rows = out.Rows[s.Offset:]
+	if s.Offset > 0 || s.Limit >= 0 {
+		before := len(out.Rows)
+		if s.Offset > 0 {
+			if s.Offset >= int64(len(out.Rows)) {
+				out.Rows = nil
+			} else {
+				out.Rows = out.Rows[s.Offset:]
+			}
 		}
-	}
-	if s.Limit >= 0 && int64(len(out.Rows)) > s.Limit {
-		out.Rows = out.Rows[:s.Limit]
+		if s.Limit >= 0 && int64(len(out.Rows)) > s.Limit {
+			out.Rows = out.Rows[:s.Limit]
+		}
+		if ex.prof != nil {
+			ex.opEnd(time.Now(), OpStat{Kind: "limit", RowsIn: int64(before), RowsOut: int64(len(out.Rows)), Workers: 1})
+		}
 	}
 	return out, nil
 }
 
+// dedup is dedupRows recorded as a "dedup" operator when profiling.
+func (ex *exec) dedup(rows []Row) ([]Row, error) {
+	t0 := ex.opStart()
+	out, err := dedupRows(rows, ex.gov)
+	if err != nil {
+		return nil, err
+	}
+	ex.opEnd(t0, OpStat{Kind: "dedup", RowsIn: int64(len(rows)), RowsOut: int64(len(out)), Workers: 1})
+	return out, nil
+}
+
 func (ex *exec) applyOrderBy(rs *ResultSet, items []OrderItem) error {
+	t0 := ex.opStart()
 	rel := resultToRelation(rs)
 	type keyed struct {
 		row  Row
@@ -213,6 +258,7 @@ func (ex *exec) applyOrderBy(rs *ResultSet, items []OrderItem) error {
 	for i := range ks {
 		rs.Rows[i] = ks[i].row
 	}
+	ex.opEnd(t0, OpStat{Kind: "order-by", RowsIn: int64(len(rs.Rows)), RowsOut: int64(len(rs.Rows)), Workers: 1})
 	return nil
 }
 
@@ -302,6 +348,9 @@ func (ex *exec) evalCore(core *SelectCore, env map[string]*relation, rowCap int6
 	}
 
 	if rowCap >= 0 && int64(len(cur.rows)) > rowCap {
+		if ex.prof != nil {
+			ex.opEnd(time.Now(), OpStat{Kind: "limit", Label: "pushdown", RowsIn: int64(len(cur.rows)), RowsOut: rowCap, Workers: 1})
+		}
 		trimmed := *cur
 		trimmed.rows = cur.rows[:rowCap]
 		cur = &trimmed
@@ -426,6 +475,7 @@ func (ex *exec) scanWithFilters(t *Table, shape *relation, alias string, conjs [
 	out := newRelation(shape.cols)
 	out.aliases[alias] = true
 	if indexConj >= 0 {
+		t0 := ex.opStart()
 		pred := ex.db.compilePred(rest, out)
 		ids, _ := t.lookup(indexCol, indexVal)
 		rd := t.reader()
@@ -457,6 +507,7 @@ func (ex *exec) scanWithFilters(t *Table, shape *relation, alias string, conjs [
 		if err := tk.flush(); err != nil {
 			return nil, err
 		}
+		ex.opEnd(t0, OpStat{Kind: "index-scan", Label: t.Name + "." + indexCol, RowsIn: int64(len(ids)), RowsOut: int64(len(out.rows)), Workers: 1})
 	} else {
 		// Defer the filters: a later index nested-loop join can apply
 		// them per probed row, avoiding a filtered copy of the table —
@@ -565,6 +616,7 @@ func (ex *exec) filterRelation(r *relation, conds []Expr) (*relation, error) {
 		s.pending = append(append([]Expr(nil), r.pending...), conds...)
 		return ex.vecScan(&s)
 	}
+	t0 := ex.opStart()
 	out := newRelation(r.cols)
 	for a := range r.aliases {
 		out.aliases[a] = true
@@ -602,6 +654,7 @@ func (ex *exec) filterRelation(r *relation, conds []Expr) (*relation, error) {
 	for _, p := range parts {
 		out.rows = append(out.rows, p...)
 	}
+	ex.opEnd(t0, OpStat{Kind: "filter", RowsIn: int64(len(r.rows)), RowsOut: int64(len(out.rows)), Workers: w})
 	return out, nil
 }
 
@@ -768,6 +821,7 @@ func (ex *exec) joinPair(cur, next *relation, conjs []Expr, applied []bool) (*re
 		if next, err = ex.materialize(next); err != nil {
 			return nil, err
 		}
+		t0 := ex.opStart()
 		tk := ticker{g: ex.gov, site: CkCross}
 		if err := tk.flush(); err != nil {
 			return nil, err
@@ -784,6 +838,7 @@ func (ex *exec) joinPair(cur, next *relation, conjs []Expr, applied []bool) (*re
 		if err := tk.flush(); err != nil {
 			return nil, err
 		}
+		ex.opEnd(t0, OpStat{Kind: "cross-join", RowsIn: int64(len(cur.rows)), BuildRows: int64(len(next.rows)), RowsOut: int64(len(out.rows)), Workers: 1})
 		return out, nil
 	}
 	for _, lk := range links {
@@ -846,6 +901,7 @@ func (ex *exec) joinPair(cur, next *relation, conjs []Expr, applied []bool) (*re
 // per-worker outputs are concatenated in input order, so the result
 // is deterministic and identical to the sequential loop.
 func (ex *exec) indexProbe(out *relation, probe, indexed *relation, links []eqLink, li int, col string, indexedIsRight bool) error {
+	t0 := ex.opStart()
 	idx := indexed.base.indexFor(col)
 	if idx == nil {
 		return fmt.Errorf("sql: internal: index on %q vanished", col)
@@ -916,6 +972,7 @@ func (ex *exec) indexProbe(out *relation, probe, indexed *relation, links []eqLi
 	for _, p := range parts {
 		out.rows = append(out.rows, p...)
 	}
+	ex.opEnd(t0, OpStat{Kind: "index-join", Label: indexed.base.Name + "." + col, RowsIn: int64(len(probe.rows)), RowsOut: int64(len(out.rows)), Workers: w})
 	return nil
 }
 
@@ -935,10 +992,12 @@ func (ex *exec) hashJoinInto(out *relation, cur, next *relation, links []eqLink)
 			return nil
 		}
 	}
+	t0 := ex.opStart()
 	bt := ticker{g: ex.gov, site: CkHashBuild}
 	if err := bt.flush(); err != nil {
 		return err
 	}
+	var built int64
 	build := make(map[uint64][]Row, len(next.rows))
 	for _, rr := range next.rows {
 		if err := bt.step(); err != nil {
@@ -949,6 +1008,7 @@ func (ex *exec) hashJoinInto(out *relation, cur, next *relation, links []eqLink)
 			continue
 		}
 		build[h] = append(build[h], rr)
+		built++
 		bt.addBytes(hashEntryBytes)
 	}
 	if err := bt.flush(); err != nil {
@@ -989,6 +1049,7 @@ func (ex *exec) hashJoinInto(out *relation, cur, next *relation, links []eqLink)
 	for _, p := range parts {
 		out.rows = append(out.rows, p...)
 	}
+	ex.opEnd(t0, OpStat{Kind: "hash-join", Label: "generic", RowsIn: int64(len(cur.rows)), BuildRows: built, RowsOut: int64(len(out.rows)), Workers: w})
 	return nil
 }
 
@@ -999,10 +1060,12 @@ func (ex *exec) hashJoinInto(out *relation, cur, next *relation, links []eqLink)
 // class (the caller then falls back to the hashed kernel); probe
 // values of other classes can never equal an int key and are skipped.
 func (ex *exec) intHashJoin(out *relation, cur, next *relation, link eqLink) (bool, error) {
+	t0 := ex.opStart()
 	bt := ticker{g: ex.gov, site: CkHashBuild}
 	if err := bt.flush(); err != nil {
 		return false, err
 	}
+	var built int64
 	build := make(map[int64][]Row, len(next.rows))
 	for _, rr := range next.rows {
 		if err := bt.step(); err != nil {
@@ -1016,6 +1079,7 @@ func (ex *exec) intHashJoin(out *relation, cur, next *relation, link eqLink) (bo
 			continue // NULLs never join
 		}
 		build[k] = append(build[k], rr)
+		built++
 		bt.addBytes(hashEntryBytes)
 	}
 	if err := bt.flush(); err != nil {
@@ -1054,6 +1118,7 @@ func (ex *exec) intHashJoin(out *relation, cur, next *relation, link eqLink) (bo
 	for _, p := range parts {
 		out.rows = append(out.rows, p...)
 	}
+	ex.opEnd(t0, OpStat{Kind: "hash-join", Label: "int", RowsIn: int64(len(cur.rows)), BuildRows: built, RowsOut: int64(len(out.rows)), Workers: w})
 	return true, nil
 }
 
@@ -1148,6 +1213,7 @@ func (ex *exec) joinOn(left, right *relation, on Expr, outer bool) (*relation, e
 	if left, err = ex.materialize(left); err != nil {
 		return nil, err
 	}
+	t0 := ex.opStart()
 	out := combineShape(left, right)
 	onConjs := conjuncts(on, nil)
 	// Equality links usable for hashing.
@@ -1227,6 +1293,7 @@ func (ex *exec) joinOn(left, right *relation, on Expr, outer bool) (*relation, e
 		if err := tk.flush(); err != nil {
 			return nil, err
 		}
+		ex.opEnd(t0, OpStat{Kind: "join-on", Label: "index " + right.base.Name + "." + col, RowsIn: int64(len(left.rows)), RowsOut: int64(len(out.rows)), Workers: 1})
 		return out, nil
 	}
 	if right, err = ex.materialize(right); err != nil {
@@ -1237,6 +1304,7 @@ func (ex *exec) joinOn(left, right *relation, on Expr, outer bool) (*relation, e
 		if err := bt.flush(); err != nil {
 			return nil, err
 		}
+		var built int64
 		build := make(map[uint64][]Row, len(right.rows))
 		for _, rr := range right.rows {
 			if err := bt.step(); err != nil {
@@ -1247,6 +1315,7 @@ func (ex *exec) joinOn(left, right *relation, on Expr, outer bool) (*relation, e
 				continue
 			}
 			build[h] = append(build[h], rr)
+			built++
 			bt.addBytes(hashEntryBytes)
 		}
 		if err := bt.flush(); err != nil {
@@ -1301,6 +1370,7 @@ func (ex *exec) joinOn(left, right *relation, on Expr, outer bool) (*relation, e
 		for _, p := range parts {
 			out.rows = append(out.rows, p...)
 		}
+		ex.opEnd(t0, OpStat{Kind: "join-on", Label: "hash", RowsIn: int64(len(left.rows)), BuildRows: built, RowsOut: int64(len(out.rows)), Workers: w})
 		return out, nil
 	}
 	// Nested loop.
@@ -1338,6 +1408,7 @@ func (ex *exec) joinOn(left, right *relation, on Expr, outer bool) (*relation, e
 	if err := tk.flush(); err != nil {
 		return nil, err
 	}
+	ex.opEnd(t0, OpStat{Kind: "join-on", Label: "nested", RowsIn: int64(len(left.rows)), BuildRows: int64(len(right.rows)), RowsOut: int64(len(out.rows)), Workers: 1})
 	return out, nil
 }
 
@@ -1407,6 +1478,7 @@ func (ex *exec) project(core *SelectCore, r *relation, live map[string]bool) (*R
 		}
 	}
 	rs := &ResultSet{Columns: names}
+	t0 := ex.opStart()
 	if n := len(r.rows); n > 0 {
 		// Compile the non-trivial projection expressions once; direct
 		// column copies stay nil.
@@ -1429,6 +1501,7 @@ func (ex *exec) project(core *SelectCore, r *relation, live map[string]bool) (*R
 				return nil, err
 			}
 			rs.Rows = append([]Row(nil), r.rows...)
+			ex.opEnd(t0, OpStat{Kind: "project", Label: "identity", RowsIn: int64(n), RowsOut: int64(len(rs.Rows)), Workers: 1})
 		} else {
 			// One output row per input row, written in place by index, so
 			// the parallel fan-out is deterministic by construction.
@@ -1468,11 +1541,12 @@ func (ex *exec) project(core *SelectCore, r *relation, live map[string]bool) (*R
 				return nil, err
 			}
 			rs.Rows = rows
+			ex.opEnd(t0, OpStat{Kind: "project", RowsIn: int64(n), RowsOut: int64(len(rs.Rows)), Workers: w})
 		}
 	}
 	if core.Distinct {
 		var err error
-		if rs.Rows, err = dedupRows(rs.Rows, ex.gov); err != nil {
+		if rs.Rows, err = ex.dedup(rs.Rows); err != nil {
 			return nil, err
 		}
 	}

@@ -1,0 +1,303 @@
+package rel
+
+import (
+	"context"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+// Tests for EXPLAIN ANALYZE at the executor level (profile.go), the
+// zone-map exception-pruning regression, and LIMIT/OFFSET equivalence
+// between the pushdown and non-pushdown paths.
+
+// TestAnalyzeContextProfile: a profiled execution must return the same
+// rows as ExecContext plus a populated profile — per-CTE actuals, a
+// scan operator with chunk-skip counts, totals matching the result.
+func TestAnalyzeContextProfile(t *testing.T) {
+	defer SetDefaultStorage(StorageColumnar)
+	db := zoneDB(t, StorageColumnar)
+	sql := "WITH C1 AS (SELECT z.v FROM z AS z WHERE z.v < 100) SELECT c.v FROM C1 AS c WHERE c.v > 10"
+	q, err := ParseQuery(sql)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plain, err := db.ExecContext(context.Background(), q, Limits{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rs, stats, err := db.AnalyzeContext(context.Background(), q, Limits{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(rs.Rows, plain.Rows) {
+		t.Fatalf("profiled execution changed results: %d vs %d rows", len(rs.Rows), len(plain.Rows))
+	}
+	if stats == nil || len(stats.Ops) == 0 {
+		t.Fatal("no operators recorded")
+	}
+	if got := stats.CTERows["c1"]; got != 100 {
+		t.Fatalf("CTE actual cardinality: want 100, got %d (map %v)", got, stats.CTERows)
+	}
+	if stats.Rows != int64(len(rs.Rows)) || stats.Rows != 89 {
+		t.Fatalf("stats.Rows = %d, result rows = %d (want 89)", stats.Rows, len(rs.Rows))
+	}
+	if stats.ElapsedNs <= 0 {
+		t.Fatal("total elapsed time not recorded")
+	}
+	var scan *OpStat
+	for i := range stats.Ops {
+		if stats.Ops[i].Kind == "scan" {
+			scan = &stats.Ops[i]
+		}
+	}
+	if scan == nil {
+		t.Fatalf("no scan operator in profile: %v", stats.Ops)
+	}
+	// 8192 rows = 8 chunks; v < 100 keeps only chunk 0.
+	if scan.Chunks != 8 || scan.ChunksSkipped != 7 {
+		t.Fatalf("scan chunks=%d skipped=%d, want 8/7", scan.Chunks, scan.ChunksSkipped)
+	}
+	if scan.RowsIn != 8192 || scan.RowsOut != 100 {
+		t.Fatalf("scan rows in=%d out=%d, want 8192/100", scan.RowsIn, scan.RowsOut)
+	}
+	if scan.Scope != "c1" {
+		t.Fatalf("scan scope = %q, want c1", scan.Scope)
+	}
+	if !strings.Contains(stats.String(), "scan z") {
+		t.Fatalf("stats rendering lacks the scan line:\n%s", stats.String())
+	}
+}
+
+// TestAnalyzeCapturesBudgets: the profile must report the totals
+// charged against row/memory budgets, and must be returned (partial)
+// even when the budget aborts the query.
+func TestAnalyzeCapturesBudgets(t *testing.T) {
+	defer SetDefaultStorage(StorageColumnar)
+	db := zoneDB(t, StorageColumnar)
+	q, err := ParseQuery("SELECT z.v FROM z AS z WHERE z.v < 100")
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, stats, err := db.AnalyzeContext(context.Background(), q, Limits{MaxRows: 1 << 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.BudgetRowsCharged <= 0 {
+		t.Fatalf("BudgetRowsCharged = %d, want > 0 under a row budget", stats.BudgetRowsCharged)
+	}
+	_, stats, err = db.AnalyzeContext(context.Background(), q, Limits{MaxRows: 10})
+	if err == nil {
+		t.Fatal("10-row budget must trip on a 100-row scan")
+	}
+	if stats == nil || stats.BudgetRowsCharged <= 10 {
+		t.Fatalf("aborted query must still report charged budget, got %+v", stats)
+	}
+}
+
+// TestExecContextRecordsNothing: the unprofiled path must not
+// accumulate operator stats (the instrumentation contract).
+func TestExecContextRecordsNothing(t *testing.T) {
+	db := peopleDB(t)
+	q, err := ParseQuery("SELECT p.name FROM people AS p WHERE p.age > 26")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Twice, to catch accidental global state.
+	for i := 0; i < 2; i++ {
+		if _, err := db.ExecContext(context.Background(), q, Limits{}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	_, stats, err := db.AnalyzeContext(context.Background(), q, Limits{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, op := range stats.Ops {
+		if op.ElapsedNs < 0 {
+			t.Fatalf("negative elapsed in %+v", op)
+		}
+	}
+}
+
+// excDB builds the same table under both layouts: one chunk of int
+// literals 0..n-1 in column v, plus exception cells (kind-mismatched
+// values stored out of line) interleaved in the same chunk.
+func excDB(t *testing.T, storage Storage) *DB {
+	t.Helper()
+	SetDefaultStorage(storage)
+	db := NewDB()
+	tbl, err := db.CreateTable("e", Schema{{Name: "id", Type: TInt}, {Name: "v", Type: TInt}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows := make([]Row, 0, 200)
+	for i := 0; i < 200; i++ {
+		var v Value
+		switch {
+		case i == 50:
+			v = Float(500) // numerically matches v = 500, far above the int zone max
+		case i == 60:
+			v = Float(79.5) // inside the int range, matches v > 79
+		case i == 70:
+			v = Str("tag") // string: matched only by kind-aware predicates
+		case i == 80:
+			v = Bool(true)
+		case i%11 == 3:
+			v = Null
+		default:
+			v = Int(int64(i)) // zone map: min 0, max 199
+		}
+		rows = append(rows, Row{Int(int64(i)), v})
+	}
+	if _, err := tbl.AppendRows(rows); err != nil {
+		t.Fatal(err)
+	}
+	return db
+}
+
+// TestZoneMapExceptionPruning (regression): a chunk whose exception
+// map holds kind-mismatched values must not be zone-skipped when the
+// predicate could match an exception — Float(500) satisfies v = 500
+// even though the chunk's int zone map tops out at 199.
+func TestZoneMapExceptionPruning(t *testing.T) {
+	defer SetDefaultStorage(StorageColumnar)
+	colDB := excDB(t, StorageColumnar)
+	rowDB := excDB(t, StorageRows)
+	queries := []string{
+		"SELECT e.id FROM e AS e WHERE e.v = 500",  // only the Float exception; zone map alone would skip the chunk
+		"SELECT e.id FROM e AS e WHERE e.v > 300",  // ditto, range form
+		"SELECT e.id FROM e AS e WHERE e.v >= 500", // boundary
+		"SELECT e.id FROM e AS e WHERE e.v > 79 AND e.v < 81",  // Float 79.5 between int neighbors
+		"SELECT e.id FROM e AS e WHERE e.v = 50",   // int literal at an index whose row was replaced
+		"SELECT e.id FROM e AS e WHERE e.v != 0",   // inequality across exceptions
+		"SELECT e.id FROM e AS e WHERE e.v < 10",   // exceptions all fail the predicate
+		"SELECT e.id FROM e AS e WHERE e.v IS NULL",
+		"SELECT e.id FROM e AS e WHERE e.v IS NOT NULL",
+	}
+	for _, q := range queries {
+		a, err := colDB.Query(q)
+		if err != nil {
+			t.Fatalf("columnar %q: %v", q, err)
+		}
+		b, err := rowDB.Query(q)
+		if err != nil {
+			t.Fatalf("rows %q: %v", q, err)
+		}
+		if !reflect.DeepEqual(a.Rows, b.Rows) {
+			t.Fatalf("%q: columnar %v vs row-layout %v", q, a.Rows, b.Rows)
+		}
+	}
+	// The Float(500) row specifically must be found.
+	rs, err := colDB.Query("SELECT e.id FROM e AS e WHERE e.v = 500")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rs.Rows) != 1 || rs.Rows[0][0].I != 50 {
+		t.Fatalf("v = 500 must match the Float(500) exception at id 50, got %v", rs.Rows)
+	}
+}
+
+// TestZoneMapStillPrunesCleanChunks: exception awareness must not cost
+// pruning on chunks without exceptions.
+func TestZoneMapStillPrunesCleanChunks(t *testing.T) {
+	defer SetDefaultStorage(StorageColumnar)
+	db := zoneDB(t, StorageColumnar) // no exceptions anywhere
+	q, err := ParseQuery("SELECT z.v FROM z AS z WHERE z.v = 100000")
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, stats, err := db.AnalyzeContext(context.Background(), q, Limits{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, op := range stats.Ops {
+		if op.Kind == "scan" && op.ChunksSkipped != op.Chunks {
+			t.Fatalf("out-of-range predicate must skip all %d chunks, skipped %d", op.Chunks, op.ChunksSkipped)
+		}
+	}
+}
+
+// TestLimitOffsetPathEquivalence (regression): LIMIT 0, OFFSET past
+// the result set, and OFFSET without LIMIT must agree between the
+// pushdown path (plain SELECT, trimmed inside evalCore) and the
+// non-pushdown paths (DISTINCT and ORDER BY force full
+// materialization), and both must equal the manually trimmed full
+// result.
+func TestLimitOffsetPathEquivalence(t *testing.T) {
+	defer SetDefaultStorage(StorageColumnar)
+	db := zoneDB(t, StorageColumnar)
+	base := "SELECT z.v FROM z AS z WHERE z.v < 100"
+	full := queryRows(t, db, base) // 100 rows in storage (= ascending) order
+	cases := []struct{ limit, offset int }{
+		{0, 0},    // LIMIT 0
+		{0, 50},   // LIMIT 0 with OFFSET
+		{10, 0},   // plain LIMIT
+		{10, 95},  // LIMIT straddling the end
+		{10, 100}, // OFFSET exactly past the result set
+		{10, 500}, // OFFSET far past
+		{-1, 40},  // OFFSET without LIMIT
+		{-1, 100}, // OFFSET without LIMIT, past the end
+		{200, 0},  // LIMIT beyond the result set
+	}
+	for _, c := range cases {
+		suffix := ""
+		if c.limit >= 0 {
+			suffix += " LIMIT " + itoa(c.limit)
+		}
+		if c.offset > 0 {
+			suffix += " OFFSET " + itoa(c.offset)
+		}
+		want := trim(full.Rows, c.limit, c.offset)
+		pushdown := queryRows(t, db, base+suffix)
+		distinct := queryRows(t, db, "SELECT DISTINCT z.v FROM z AS z WHERE z.v < 100"+suffix)
+		ordered := queryRows(t, db, base+" ORDER BY v"+suffix)
+		if !sameRows(pushdown.Rows, want) {
+			t.Fatalf("limit=%d offset=%d: pushdown %v != manual trim %v", c.limit, c.offset, pushdown.Rows, want)
+		}
+		if !sameRows(distinct.Rows, want) {
+			t.Fatalf("limit=%d offset=%d: DISTINCT path %v != pushdown/manual %v", c.limit, c.offset, distinct.Rows, want)
+		}
+		if !sameRows(ordered.Rows, want) {
+			t.Fatalf("limit=%d offset=%d: ORDER BY path %v != pushdown/manual %v", c.limit, c.offset, ordered.Rows, want)
+		}
+	}
+}
+
+// trim applies LIMIT/OFFSET semantics (limit < 0 = none) to rows.
+func trim(rows []Row, limit, offset int) []Row {
+	if offset >= len(rows) {
+		return []Row{}
+	}
+	rows = rows[offset:]
+	if limit >= 0 && limit < len(rows) {
+		rows = rows[:limit]
+	}
+	return rows
+}
+
+func sameRows(a, b []Row) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if !reflect.DeepEqual(a[i], b[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+func itoa(n int) string {
+	if n == 0 {
+		return "0"
+	}
+	var b [8]byte
+	i := len(b)
+	for n > 0 {
+		i--
+		b[i] = byte('0' + n%10)
+		n /= 10
+	}
+	return string(b[i:])
+}

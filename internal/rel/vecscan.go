@@ -53,9 +53,13 @@ var cmpFwd = map[string]vecOp{"=": vecEq, "!=": vecNe, "<": vecLt, "<=": vecLe, 
 
 // compileVecFilters splits conds into vectorizable filters and the
 // residual row-at-a-time predicates. r must be a scan relation over t
-// (column positions == schema positions). Columns carrying exception
-// values (kind-mismatched cells; see column.go) are never vectorized —
-// their packed vectors and zone maps do not describe the cell values.
+// (column positions == schema positions). Exception values
+// (kind-mismatched cells; see column.go) are handled per chunk: a
+// chunk carrying exceptions is never zone-pruned by a comparison
+// (the zone map only bounds the conforming ints) and its exception
+// cells are evaluated with full cross-kind Compare semantics, so the
+// vectorized result is row-for-row identical to the compiled
+// row-predicate fallback.
 func compileVecFilters(t *Table, r *relation, conds []Expr) (vfs []vecFilter, residual []Expr) {
 	for _, c := range conds {
 		switch x := c.(type) {
@@ -84,7 +88,7 @@ func compileVecFilters(t *Table, r *relation, conds []Expr) (vfs []vecFilter, re
 }
 
 // vecCompare recognizes `col <cmp> intLit` with the column on either
-// side of a TInt column free of exception values.
+// side of a TInt column.
 func vecCompare(t *Table, r *relation, l, rhs Expr, fwd, flip vecOp) (vecFilter, bool) {
 	if cr, ok := l.(*ColRef); ok {
 		if lit, ok2 := rhs.(*Lit); ok2 && lit.V.K == KindInt {
@@ -105,10 +109,37 @@ func vecCompare(t *Table, r *relation, l, rhs Expr, fwd, flip vecOp) (vecFilter,
 
 func vecIntCol(t *Table, r *relation, cr *ColRef) int {
 	pos := r.colIndex(cr.Alias, cr.Column)
-	if pos < 0 || t.Schema[pos].Type != TInt || t.cols[pos].excCount > 0 {
+	if pos < 0 || t.Schema[pos].Type != TInt {
 		return -1
 	}
 	return pos
+}
+
+// matchExc evaluates the comparison against an exception value (a cell
+// whose kind mismatches the column type) with the executor's
+// cross-kind Compare semantics — numerics compare numerically, other
+// kinds order by kind rank — exactly what the compiled row-predicate
+// fallback computes for the same cell. A Float exception can therefore
+// satisfy `col = intLit`, and a String exception `col > intLit`.
+func (f vecFilter) matchExc(v Value) bool {
+	c, ok := Compare(v, Int(f.val))
+	if !ok {
+		return false
+	}
+	switch f.op {
+	case vecEq:
+		return c == 0
+	case vecNe:
+		return c != 0
+	case vecLt:
+		return c < 0
+	case vecLe:
+		return c <= 0
+	case vecGt:
+		return c > 0
+	default: // vecGe
+		return c >= 0
+	}
 }
 
 func cmpInt(op vecOp, v, lit int64) bool {
@@ -138,8 +169,19 @@ func (f vecFilter) skipChunk(ck *colChunk, n int) bool {
 	case vecNotNull:
 		return ck == nil || ck.n == 0
 	default:
-		if ck == nil || ck.n == 0 || !ck.zoneInit {
+		if ck == nil || ck.n == 0 {
 			return true // comparisons never match NULL
+		}
+		if len(ck.exc) > 0 {
+			// Exception values live outside the zone map (widen only
+			// covers conforming ints) and can match under cross-kind
+			// Compare semantics — e.g. a Float 5.0 satisfies `col = 5`,
+			// any String satisfies `col > 5`. The chunk cannot be proved
+			// empty, so it must be scanned.
+			return false
+		}
+		if !ck.zoneInit {
+			return true
 		}
 		switch f.op {
 		case vecEq:
@@ -193,6 +235,9 @@ func (f vecFilter) firstPass(ck *colChunk, n int, sel []int32) []int32 {
 		if ck == nil {
 			return sel
 		}
+		if len(ck.exc) > 0 {
+			return f.firstPassExc(ck, sel)
+		}
 		k := 0
 		for w := 0; w < chunkWords; w++ {
 			word := ck.bits[w]
@@ -207,6 +252,31 @@ func (f vecFilter) firstPass(ck *colChunk, n int, sel []int32) []int32 {
 		}
 		return sel
 	}
+}
+
+// firstPassExc is the comparison first pass for a chunk carrying
+// exception values: the packed slice holds a zero placeholder at an
+// exception's rank, so each set bit is checked against the exception
+// map before the int compare. The exception-free fast path above never
+// pays for this lookup.
+func (f vecFilter) firstPassExc(ck *colChunk, sel []int32) []int32 {
+	k := 0
+	for w := 0; w < chunkWords; w++ {
+		word := ck.bits[w]
+		for word != 0 {
+			off := w<<6 + bits.TrailingZeros64(word)
+			word &= word - 1
+			if ev, ok := ck.exc[uint16(off)]; ok {
+				if f.matchExc(ev) {
+					sel = append(sel, int32(off))
+				}
+			} else if cmpInt(f.op, ck.ints[k], f.val) {
+				sel = append(sel, int32(off))
+			}
+			k++
+		}
+	}
+	return sel
 }
 
 // refine keeps only the rows of sel that also satisfy the filter,
@@ -225,7 +295,18 @@ func (f vecFilter) refine(ck *colChunk, sel []int32) []int32 {
 				kept = append(kept, off)
 			}
 		default:
-			if present && cmpInt(f.op, ck.ints[ck.rank(int(off))], f.val) {
+			if !present {
+				break
+			}
+			if ck.exc != nil {
+				if ev, ok := ck.exc[uint16(off)]; ok {
+					if f.matchExc(ev) {
+						kept = append(kept, off)
+					}
+					break
+				}
+			}
+			if cmpInt(f.op, ck.ints[ck.rank(int(off))], f.val) {
 				kept = append(kept, off)
 			}
 		}
@@ -239,6 +320,7 @@ func (f vecFilter) refine(ck *colChunk, sel []int32) []int32 {
 // per-worker outputs concatenated in chunk order, so the result is
 // row-for-row identical to the sequential row-layout scan.
 func (ex *exec) vecScan(r *relation) (*relation, error) {
+	t0 := ex.opStart()
 	t := r.base
 	out := newRelation(r.cols)
 	for a := range r.aliases {
@@ -260,6 +342,12 @@ func (ex *exec) vecScan(r *relation) (*relation, error) {
 	}
 	width := len(cols)
 	parts := make([][]Row, w)
+	// Per-worker zone-skip counters, allocated only when profiling so
+	// the disabled path stays allocation-free.
+	var skips []int64
+	if ex.prof != nil {
+		skips = make([]int64, w)
+	}
 	err := parallelChunks(nchunks, w, func(chunk, clo, chi int) error {
 		tk := ticker{g: ex.gov, site: CkFilter}
 		if err := tk.flush(); err != nil {
@@ -280,6 +368,9 @@ func (ex *exec) vecScan(r *relation) (*relation, error) {
 				if f.skipChunk(cols[f.col].chunkOf(ci), n) {
 					// The whole chunk is pruned: one unit of work, no
 					// budget charge — the query produced nothing here.
+					if skips != nil {
+						skips[chunk]++
+					}
 					if err := tk.step(); err != nil {
 						return err
 					}
@@ -355,6 +446,14 @@ func (ex *exec) vecScan(r *relation) (*relation, error) {
 	}
 	for _, p := range parts {
 		out.rows = append(out.rows, p...)
+	}
+	if ex.prof != nil {
+		var skipped int64
+		for _, s := range skips {
+			skipped += s
+		}
+		ex.opEnd(t0, OpStat{Kind: "scan", Label: t.Name, RowsIn: int64(nrows), RowsOut: int64(len(out.rows)),
+			Chunks: int64(nchunks), ChunksSkipped: skipped, Workers: w})
 	}
 	return out, nil
 }

@@ -62,6 +62,10 @@ const (
 type PlanItem struct {
 	Triple   *sparql.TriplePattern
 	Optional bool
+	// Est is the optimizer's TMC estimate for this triple, carried
+	// through planning so EXPLAIN ANALYZE can show it next to the
+	// actual cardinality.
+	Est float64
 }
 
 // PlanNode is a node of the storage-specific query plan (Figure 11).
@@ -201,7 +205,7 @@ func (p *Planner) BuildPlan(exec *optimizer.ExecNode) *PlanNode {
 	case optimizer.ExecLeaf:
 		return &PlanNode{
 			Kind:    PlanAccess,
-			Items:   []PlanItem{{Triple: exec.Triple}},
+			Items:   []PlanItem{{Triple: exec.Triple, Est: exec.Cost}},
 			Method:  exec.Method,
 			Filters: exec.Filters,
 		}
@@ -277,7 +281,7 @@ func (p *Planner) mergeInto(siblings []*PlanNode, child *PlanNode) *PlanNode {
 			if !p.mergeSafe(s.Method, all...) {
 				continue
 			}
-			s.Items = append(s.Items, PlanItem{Triple: t})
+			s.Items = append(s.Items, PlanItem{Triple: t, Est: child.Items[0].Est})
 			if s.Merge == NoMerge {
 				s.Merge = AndMerge
 			}
@@ -325,7 +329,7 @@ func (p *Planner) mergeInto(siblings []*PlanNode, child *PlanNode) *PlanNode {
 			if !p.mergeSafe(s.Method, all...) {
 				continue
 			}
-			s.Items = append(s.Items, PlanItem{Triple: t, Optional: true})
+			s.Items = append(s.Items, PlanItem{Triple: t, Optional: true, Est: inner.Items[0].Est})
 			s.Merge = OptMerge
 			return nil
 		}
@@ -357,7 +361,7 @@ func (p *Planner) tryOrMerge(or *PlanNode) *PlanNode {
 				return nil
 			}
 		}
-		items = append(items, PlanItem{Triple: t})
+		items = append(items, PlanItem{Triple: t, Est: c.Items[0].Est})
 		triples = append(triples, t)
 	}
 	if len(items) < 2 || !p.mergeSafe(method, triples...) {

@@ -47,6 +47,28 @@ type Result struct {
 	Ask bool
 	// Plan is the query plan the SQL was generated from.
 	Plan *PlanNode
+	// Traces records, per access node, the CTE it emitted and the
+	// optimizer's TMC estimates for the triples it answers. EXPLAIN
+	// ANALYZE joins Cte against executed per-CTE row counts to put
+	// estimates next to actual cardinalities.
+	Traces []AccessTrace
+}
+
+// AccessTrace links one translated access node to its generated CTE.
+type AccessTrace struct {
+	// Cte is the name of the CTE the access emitted (before any FILTER
+	// wrapping), as produced by Gen.Emit (e.g. "QT3").
+	Cte    string
+	Method MethodT
+	Merge  MergeKind
+	// TripleIDs and Ests are aligned: the pattern IDs answered by this
+	// access and the optimizer's TMC estimate for each.
+	TripleIDs []int
+	Ests      []float64
+	// Est is the node-level estimate: the max member estimate for
+	// star-merged (AND/OPT) accesses — the merged row set is keyed by
+	// the shared entity — and the sum for OR merges.
+	Est float64
 }
 
 // Translate generates SQL for a query plan over the given backend.
@@ -80,6 +102,7 @@ func Translate(q *sparql.Query, plan *PlanNode, backend Backend) (*Result, error
 	}
 	b.WriteString(final)
 	res.SQL = b.String()
+	res.Traces = g.traces
 	return res, nil
 }
 
@@ -109,6 +132,7 @@ type Gen struct {
 	cteN     int
 	varCol   map[string]string
 	colTaken map[string]bool
+	traces   []AccessTrace
 }
 
 // ColFor returns the stable column name of a SPARQL variable.
@@ -186,6 +210,19 @@ func (g *Gen) Node(n *PlanNode, in Ctx) (Ctx, error) {
 		out, err := g.backend.Access(g, n, in)
 		if err != nil {
 			return Ctx{}, err
+		}
+		if out.Cte != "" {
+			tr := AccessTrace{Cte: out.Cte, Method: n.Method, Merge: n.Merge}
+			for _, it := range n.Items {
+				tr.TripleIDs = append(tr.TripleIDs, it.Triple.ID)
+				tr.Ests = append(tr.Ests, it.Est)
+				if n.Merge == OrMerge {
+					tr.Est += it.Est
+				} else if it.Est > tr.Est {
+					tr.Est = it.Est
+				}
+			}
+			g.traces = append(g.traces, tr)
 		}
 		return g.ApplyFilters(n.Filters, out)
 	}

@@ -1,0 +1,234 @@
+package db2rdf
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"sync/atomic"
+	"time"
+)
+
+// Store-level runtime metrics. Every counter is an atomic touched on
+// the serving paths with single fetch-and-add instructions, so the
+// registry costs a few nanoseconds per query and is always on — there
+// is no enable switch to forget. Metrics cover the public query entry
+// points (Query, QueryContext, AnalyzeContext, and QueryGraph count
+// their top-level call once; the secondary queries they run internally
+// are not double-counted) and the load paths (Insert and the Load
+// family feed triple count and wall time).
+//
+// Export: Metrics implements expvar.Var (String returns the Snapshot
+// as JSON), so `expvar.Publish("db2rdf", store.Metrics())` works
+// as-is; WritePrometheus emits the same numbers in Prometheus text
+// exposition format.
+
+// latencyBuckets are the upper bounds (inclusive) of the query-duration
+// histogram, in nanoseconds; the final implicit bucket is +Inf.
+var latencyBuckets = []int64{
+	100_000,        // 100µs
+	1_000_000,      // 1ms
+	10_000_000,     // 10ms
+	100_000_000,    // 100ms
+	1_000_000_000,  // 1s
+	10_000_000_000, // 10s
+}
+
+// Metrics is the store's metrics registry. All methods are safe for
+// concurrent use; the zero value is ready (a Store wires its plan
+// cache in at Open).
+type Metrics struct {
+	queries     atomic.Uint64 // queries served (success or failure)
+	queryErrors atomic.Uint64 // queries that returned any error
+	rowsEmitted atomic.Uint64 // decoded result rows returned to callers
+	queryNanos  atomic.Int64  // total wall time across queries
+	slowQueries atomic.Uint64 // queries at or over SlowQueryThreshold
+
+	// Governance aborts by type.
+	abortCanceled  atomic.Uint64
+	abortDeadline  atomic.Uint64
+	abortRowBudget atomic.Uint64
+	abortMemBudget atomic.Uint64
+	abortPanic     atomic.Uint64
+
+	latency [7]atomic.Uint64 // len(latencyBuckets)+1, last = +Inf
+
+	triplesLoaded atomic.Uint64 // triples ingested by Insert/Load*
+	loadNanos     atomic.Int64  // total wall time across loads
+
+	plans *planCache // hit/miss/eviction counters re-exported
+}
+
+// Snapshot is a point-in-time copy of the registry, suitable for JSON
+// encoding. Histogram buckets are cumulative counts (Prometheus
+// convention: each bucket includes all smaller ones; the last is the
+// total).
+type Snapshot struct {
+	QueriesServed uint64 `json:"queries_served"`
+	QueryErrors   uint64 `json:"query_errors"`
+	RowsEmitted   uint64 `json:"rows_emitted"`
+	QuerySeconds  float64 `json:"query_seconds_total"`
+	SlowQueries   uint64 `json:"slow_queries"`
+
+	AbortsCanceled     uint64 `json:"aborts_canceled"`
+	AbortsDeadline     uint64 `json:"aborts_deadline"`
+	AbortsRowBudget    uint64 `json:"aborts_row_budget"`
+	AbortsMemoryBudget uint64 `json:"aborts_memory_budget"`
+	AbortsPanic        uint64 `json:"aborts_panic"`
+
+	// LatencyBucketsNs are the histogram bounds; LatencyCounts[i] is
+	// the cumulative count of queries with duration <= bound i, with
+	// one extra trailing +Inf bucket equal to QueriesServed.
+	LatencyBucketsNs []int64  `json:"latency_buckets_ns"`
+	LatencyCounts    []uint64 `json:"latency_counts"`
+
+	TriplesLoaded     uint64  `json:"triples_loaded"`
+	LoadSeconds       float64 `json:"load_seconds_total"`
+	LoadTriplesPerSec float64 `json:"load_triples_per_sec"`
+
+	PlanCacheHits           uint64 `json:"plan_cache_hits"`
+	PlanCacheMisses         uint64 `json:"plan_cache_misses"`
+	PlanCacheSize           int    `json:"plan_cache_size"`
+	PlanCacheInserts        uint64 `json:"plan_cache_inserts"`
+	PlanCacheCapEvictions   uint64 `json:"plan_cache_cap_evictions"`
+	PlanCacheStaleEvictions uint64 `json:"plan_cache_stale_evictions"`
+}
+
+// Metrics returns the store's metrics registry.
+func (s *Store) Metrics() *Metrics { return s.metrics }
+
+// observeQueryMetrics records one served query. Rows is the decoded
+// result row count (0 on failure).
+func (m *Metrics) observeQuery(dur time.Duration, rows int, err error) {
+	m.queries.Add(1)
+	m.queryNanos.Add(int64(dur))
+	m.rowsEmitted.Add(uint64(rows))
+	d := int64(dur)
+	i := 0
+	for i < len(latencyBuckets) && d > latencyBuckets[i] {
+		i++
+	}
+	m.latency[i].Add(1)
+	if err == nil {
+		return
+	}
+	m.queryErrors.Add(1)
+	var be *BudgetError
+	var pe *PanicError
+	switch {
+	case errors.As(err, &be):
+		if be.Budget == "memory" {
+			m.abortMemBudget.Add(1)
+		} else {
+			m.abortRowBudget.Add(1)
+		}
+	case errors.Is(err, ErrDeadlineExceeded):
+		m.abortDeadline.Add(1)
+	case errors.Is(err, ErrCanceled):
+		m.abortCanceled.Add(1)
+	case errors.As(err, &pe):
+		m.abortPanic.Add(1)
+	}
+}
+
+// observeLoad records one load call.
+func (m *Metrics) observeLoad(dur time.Duration, triples int) {
+	if triples > 0 {
+		m.triplesLoaded.Add(uint64(triples))
+	}
+	m.loadNanos.Add(int64(dur))
+}
+
+// Snapshot returns a point-in-time copy of every metric. Counters are
+// read individually (not under one lock), so numbers racing with live
+// traffic may be off by the in-flight queries — each counter is itself
+// exact.
+func (m *Metrics) Snapshot() Snapshot {
+	s := Snapshot{
+		QueriesServed: m.queries.Load(),
+		QueryErrors:   m.queryErrors.Load(),
+		RowsEmitted:   m.rowsEmitted.Load(),
+		QuerySeconds:  time.Duration(m.queryNanos.Load()).Seconds(),
+		SlowQueries:   m.slowQueries.Load(),
+
+		AbortsCanceled:     m.abortCanceled.Load(),
+		AbortsDeadline:     m.abortDeadline.Load(),
+		AbortsRowBudget:    m.abortRowBudget.Load(),
+		AbortsMemoryBudget: m.abortMemBudget.Load(),
+		AbortsPanic:        m.abortPanic.Load(),
+
+		TriplesLoaded: m.triplesLoaded.Load(),
+		LoadSeconds:   time.Duration(m.loadNanos.Load()).Seconds(),
+	}
+	if s.LoadSeconds > 0 {
+		s.LoadTriplesPerSec = float64(s.TriplesLoaded) / s.LoadSeconds
+	}
+	s.LatencyBucketsNs = append([]int64(nil), latencyBuckets...)
+	s.LatencyCounts = make([]uint64, len(m.latency))
+	var cum uint64
+	for i := range m.latency {
+		cum += m.latency[i].Load()
+		s.LatencyCounts[i] = cum
+	}
+	if m.plans != nil {
+		ps := m.plans.statsFull()
+		s.PlanCacheHits = ps.Hits
+		s.PlanCacheMisses = ps.Misses
+		s.PlanCacheSize = ps.Size
+		s.PlanCacheInserts = ps.Inserts
+		s.PlanCacheCapEvictions = ps.CapEvictions
+		s.PlanCacheStaleEvictions = ps.StaleEvictions
+	}
+	return s
+}
+
+// String renders the snapshot as JSON, making *Metrics an expvar.Var.
+func (m *Metrics) String() string {
+	b, err := json.Marshal(m.Snapshot())
+	if err != nil {
+		return "{}"
+	}
+	return string(b)
+}
+
+// WritePrometheus writes the metrics in Prometheus text exposition
+// format (counters, gauges, and the query-duration histogram).
+func (m *Metrics) WritePrometheus(w io.Writer) error {
+	s := m.Snapshot()
+	var err error
+	p := func(format string, args ...any) {
+		if err == nil {
+			_, err = fmt.Fprintf(w, format, args...)
+		}
+	}
+	counter := func(name, help string, v uint64) {
+		p("# HELP %s %s\n# TYPE %s counter\n%s %d\n", name, help, name, name, v)
+	}
+	counter("db2rdf_queries_served_total", "Queries served (success or failure).", s.QueriesServed)
+	counter("db2rdf_query_errors_total", "Queries that returned an error.", s.QueryErrors)
+	counter("db2rdf_rows_emitted_total", "Decoded result rows returned to callers.", s.RowsEmitted)
+	counter("db2rdf_slow_queries_total", "Queries at or over Options.SlowQueryThreshold.", s.SlowQueries)
+	p("# HELP db2rdf_query_seconds_total Total query wall time.\n# TYPE db2rdf_query_seconds_total counter\ndb2rdf_query_seconds_total %g\n", s.QuerySeconds)
+	p("# HELP db2rdf_query_aborts_total Governance aborts by type.\n# TYPE db2rdf_query_aborts_total counter\n")
+	p("db2rdf_query_aborts_total{type=\"canceled\"} %d\n", s.AbortsCanceled)
+	p("db2rdf_query_aborts_total{type=\"deadline\"} %d\n", s.AbortsDeadline)
+	p("db2rdf_query_aborts_total{type=\"row_budget\"} %d\n", s.AbortsRowBudget)
+	p("db2rdf_query_aborts_total{type=\"memory_budget\"} %d\n", s.AbortsMemoryBudget)
+	p("db2rdf_query_aborts_total{type=\"panic\"} %d\n", s.AbortsPanic)
+	p("# HELP db2rdf_query_duration_seconds Query duration histogram.\n# TYPE db2rdf_query_duration_seconds histogram\n")
+	for i, b := range s.LatencyBucketsNs {
+		p("db2rdf_query_duration_seconds_bucket{le=\"%g\"} %d\n", time.Duration(b).Seconds(), s.LatencyCounts[i])
+	}
+	p("db2rdf_query_duration_seconds_bucket{le=\"+Inf\"} %d\n", s.LatencyCounts[len(s.LatencyCounts)-1])
+	p("db2rdf_query_duration_seconds_sum %g\n", s.QuerySeconds)
+	p("db2rdf_query_duration_seconds_count %d\n", s.QueriesServed)
+	counter("db2rdf_triples_loaded_total", "Triples ingested by Insert and the Load entry points.", s.TriplesLoaded)
+	p("# HELP db2rdf_load_seconds_total Total load wall time.\n# TYPE db2rdf_load_seconds_total counter\ndb2rdf_load_seconds_total %g\n", s.LoadSeconds)
+	counter("db2rdf_plan_cache_hits_total", "Compiled-plan cache hits.", s.PlanCacheHits)
+	counter("db2rdf_plan_cache_misses_total", "Compiled-plan cache misses.", s.PlanCacheMisses)
+	counter("db2rdf_plan_cache_inserts_total", "Compiled-plan cache inserts.", s.PlanCacheInserts)
+	counter("db2rdf_plan_cache_cap_evictions_total", "Plan-cache LRU capacity evictions.", s.PlanCacheCapEvictions)
+	counter("db2rdf_plan_cache_stale_evictions_total", "Plan-cache stale-epoch evictions.", s.PlanCacheStaleEvictions)
+	p("# HELP db2rdf_plan_cache_size Cached compiled plans.\n# TYPE db2rdf_plan_cache_size gauge\ndb2rdf_plan_cache_size %d\n", s.PlanCacheSize)
+	return err
+}

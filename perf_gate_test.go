@@ -1,0 +1,79 @@
+package db2rdf_test
+
+// TestPerfGate is the ci.sh hot-path regression gate: with the
+// observability instrumentation compiled in but disabled (no slow-query
+// log, no AnalyzeContext — the production default), the concurrent
+// query workload of BenchmarkConcurrentQuery must stay within a
+// generous factor of the recorded warm-plan baseline (BENCH_PR4.json,
+// committed before the instrumentation landed). A real hot-path
+// regression — an allocation or branch that survives the
+// ex.prof == nil gate — shows up as a multiple, not a percentage, so
+// the factor tolerates machine noise while catching the failure mode
+// this gate exists for.
+//
+// Gated behind DB2RDF_PERF_GATE=1 (set by ci.sh) so plain `go test`
+// stays fast; skipped when the baseline file is absent.
+
+import (
+	"encoding/json"
+	"os"
+	"testing"
+
+	"db2rdf"
+)
+
+const perfGateFactor = 6.0
+
+func TestPerfGate(t *testing.T) {
+	if os.Getenv("DB2RDF_PERF_GATE") == "" {
+		t.Skip("set DB2RDF_PERF_GATE=1 to run the hot-path regression gate")
+	}
+	raw, err := os.ReadFile("BENCH_PR4.json")
+	if err != nil {
+		t.Skipf("no recorded baseline: %v", err)
+	}
+	var points []benchPoint
+	if err := json.Unmarshal(raw, &points); err != nil {
+		t.Fatalf("parsing baseline: %v", err)
+	}
+	var baseline float64
+	for _, p := range points {
+		if p.Name == "query_warm_plan" {
+			baseline = p.NsOp
+		}
+	}
+	if baseline <= 0 {
+		t.Fatal("baseline lacks query_warm_plan")
+	}
+
+	ds := lubmData()
+	s, err := db2rdf.Open(db2rdf.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.LoadTriples(ds.Triples); err != nil {
+		t.Fatal(err)
+	}
+	// The BenchmarkConcurrentQuery shape (RunParallel over the store),
+	// restricted to the same query the baseline's query_warm_plan point
+	// measures, so the comparison is like for like.
+	q := ds.Queries[0].SPARQL
+	if _, err := s.Query(q); err != nil {
+		t.Fatal(err)
+	}
+	res := testing.Benchmark(func(b *testing.B) {
+		b.RunParallel(func(pb *testing.PB) {
+			for pb.Next() {
+				if _, err := s.Query(q); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	})
+	got := float64(res.NsPerOp())
+	t.Logf("concurrent warm query: %.0f ns/op (baseline warm %.0f ns/op, limit %.1fx)", got, baseline, perfGateFactor)
+	if got > baseline*perfGateFactor {
+		t.Fatalf("hot-path regression: %.0f ns/op > %.1f x %.0f ns/op baseline — instrumentation is leaking into the disabled path",
+			got, perfGateFactor, baseline)
+	}
+}

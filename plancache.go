@@ -3,7 +3,6 @@ package db2rdf
 import (
 	"container/list"
 	"sync"
-	"sync/atomic"
 
 	"db2rdf/internal/rel"
 	"db2rdf/internal/sparql"
@@ -43,14 +42,43 @@ type compiledPlan struct {
 // planCache is a mutex-guarded LRU map from query text to compiled
 // plan. It is a leaf lock: nothing is acquired while holding it, and
 // it is taken by readers holding the store read lock.
+//
+// Accounting: every counter is mutated under mu, in the same critical
+// section as the map/list change it describes, so a snapshot taken
+// under mu is exactly consistent — the metrics registry re-exports
+// these numbers and tests assert the conservation law
+//
+//	inserts == len(entries) + capEvictions + staleEvictions + resetDrops
+//
+// at any quiescent point. Every get is either a hit or a miss
+// (hits + misses == gets); a stale entry found by get counts one miss
+// and one staleEviction (the entry is dropped and will be recompiled),
+// never a hit.
 type planCache struct {
 	mu      sync.Mutex
 	cap     int
 	order   *list.List               // front = most recently used
 	entries map[string]*list.Element // element value: *compiledPlan
 
-	hits   atomic.Uint64
-	misses atomic.Uint64
+	hits           uint64
+	misses         uint64
+	inserts        uint64 // new keys added by put (replacements excluded)
+	replacements   uint64 // put over an existing key
+	capEvictions   uint64 // LRU drops beyond capacity
+	staleEvictions uint64 // stale-epoch drops in get
+	resetDrops     uint64 // entries dropped by reset
+}
+
+// planCacheStats is a consistent snapshot of the cache counters plus
+// the current size.
+type planCacheStats struct {
+	Hits, Misses   uint64
+	Inserts        uint64
+	Replacements   uint64
+	CapEvictions   uint64
+	StaleEvictions uint64
+	ResetDrops     uint64
+	Size           int
 }
 
 func newPlanCache(capacity int) *planCache {
@@ -70,13 +98,14 @@ func (c *planCache) get(q string, epoch uint64) (*compiledPlan, bool) {
 		cp := el.Value.(*compiledPlan)
 		if cp.epoch == epoch {
 			c.order.MoveToFront(el)
-			c.hits.Add(1)
+			c.hits++
 			return cp, true
 		}
 		c.order.Remove(el)
 		delete(c.entries, q)
+		c.staleEvictions++
 	}
-	c.misses.Add(1)
+	c.misses++
 	return nil, false
 }
 
@@ -88,13 +117,16 @@ func (c *planCache) put(cp *compiledPlan) {
 	if el, ok := c.entries[cp.key]; ok {
 		el.Value = cp
 		c.order.MoveToFront(el)
+		c.replacements++
 		return
 	}
 	c.entries[cp.key] = c.order.PushFront(cp)
+	c.inserts++
 	for c.order.Len() > c.cap {
 		back := c.order.Back()
 		c.order.Remove(back)
 		delete(c.entries, back.Value.(*compiledPlan).key)
+		c.capEvictions++
 	}
 }
 
@@ -107,15 +139,33 @@ func (c *planCache) contains(q string, epoch uint64) bool {
 	return ok && el.Value.(*compiledPlan).epoch == epoch
 }
 
-// reset drops every entry (counters are kept).
+// reset drops every entry (counters are kept; the drops are recorded
+// so the conservation law keeps holding).
 func (c *planCache) reset() {
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	c.resetDrops += uint64(c.order.Len())
 	c.order.Init()
 	c.entries = make(map[string]*list.Element)
 }
 
 // stats returns the lifetime hit and miss counts.
 func (c *planCache) stats() (hits, misses uint64) {
-	return c.hits.Load(), c.misses.Load()
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.hits, c.misses
+}
+
+// statsFull returns a consistent snapshot of all counters plus the
+// current size, taken under the same lock the counters mutate under.
+func (c *planCache) statsFull() planCacheStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return planCacheStats{
+		Hits: c.hits, Misses: c.misses,
+		Inserts: c.inserts, Replacements: c.replacements,
+		CapEvictions: c.capEvictions, StaleEvictions: c.staleEvictions,
+		ResetDrops: c.resetDrops,
+		Size:       len(c.entries),
+	}
 }

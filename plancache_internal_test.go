@@ -1,0 +1,86 @@
+package db2rdf
+
+// Accounting test for the compiled-plan cache: hit/miss/eviction
+// counters must be exact under concurrent get/put with stale-epoch
+// eviction (run under -race by ci.sh). The conservation law asserted:
+//
+//	inserts == size + capEvictions + staleEvictions + resetDrops
+//	gets    == hits + misses
+//	misses  >= staleEvictions (every stale hit is a miss + an eviction)
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+func TestPlanCacheAccountingConcurrent(t *testing.T) {
+	c := newPlanCache(16) // small capacity to force LRU evictions
+	const workers = 8
+	const opsPerWorker = 2000
+	var gets, puts atomic.Uint64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(seed int) {
+			defer wg.Done()
+			for i := 0; i < opsPerWorker; i++ {
+				key := fmt.Sprintf("q%d", (seed*31+i*7)%40) // 40 keys over 16 slots
+				epoch := uint64(i % 3)                      // rotating epochs force stale evictions
+				if cp, ok := c.get(key, epoch); ok && cp.epoch != epoch {
+					t.Errorf("get returned a stale plan: key %s epoch %d vs %d", key, cp.epoch, epoch)
+				}
+				gets.Add(1)
+				if i%2 == 0 {
+					c.put(&compiledPlan{key: key, epoch: epoch})
+					puts.Add(1)
+				}
+				if i%500 == 250 {
+					c.reset()
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	st := c.statsFull()
+	if st.Hits+st.Misses != gets.Load() {
+		t.Fatalf("hits(%d) + misses(%d) != gets(%d)", st.Hits, st.Misses, gets.Load())
+	}
+	if st.Inserts+st.Replacements != puts.Load() {
+		t.Fatalf("inserts(%d) + replacements(%d) != puts(%d)", st.Inserts, st.Replacements, puts.Load())
+	}
+	if got := st.Inserts; got != uint64(st.Size)+st.CapEvictions+st.StaleEvictions+st.ResetDrops {
+		t.Fatalf("conservation violated: inserts=%d size=%d cap=%d stale=%d reset=%d",
+			st.Inserts, st.Size, st.CapEvictions, st.StaleEvictions, st.ResetDrops)
+	}
+	if st.Misses < st.StaleEvictions {
+		t.Fatalf("every stale eviction must also count a miss: misses=%d stale=%d", st.Misses, st.StaleEvictions)
+	}
+	if st.CapEvictions == 0 || st.StaleEvictions == 0 {
+		t.Fatalf("workload must exercise both eviction kinds: %+v", st)
+	}
+	if st.Size > 16 {
+		t.Fatalf("cache over capacity: %d", st.Size)
+	}
+}
+
+// TestPlanCacheStaleGetAccounting pins the exact single-threaded
+// semantics: a stale entry found by get counts one miss and one stale
+// eviction, never a hit.
+func TestPlanCacheStaleGetAccounting(t *testing.T) {
+	c := newPlanCache(4)
+	c.put(&compiledPlan{key: "q", epoch: 1})
+	if _, ok := c.get("q", 1); !ok {
+		t.Fatal("fresh entry must hit")
+	}
+	if _, ok := c.get("q", 2); ok {
+		t.Fatal("stale entry must miss")
+	}
+	st := c.statsFull()
+	want := planCacheStats{Hits: 1, Misses: 1, Inserts: 1, StaleEvictions: 1, Size: 0}
+	if st != want {
+		t.Fatalf("got %+v, want %+v", st, want)
+	}
+}
