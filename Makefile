@@ -14,14 +14,14 @@ test:
 race:
 	$(GO) test -race ./...
 
-# bench records the PR 5 baseline numbers (load, cold-plan query,
+# bench records the PR 6 baseline numbers (load, cold-plan query,
 # warm-plan query with instrumentation disabled and enabled plus their
-# ratio, resident table bytes under the columnar and row layouts, and
-# per-pattern estimate-vs-actual q-errors over the LUBM corpus) to
-# BENCH_PR5.json; bench-all runs the full paper figure/table benchmark
-# sweep.
+# ratio, resident table bytes under the columnar and row layouts,
+# per-pattern estimate-vs-actual q-errors over the LUBM corpus, and the
+# new delete + post-delete-scan points) to BENCH_PR6.json; bench-all
+# runs the full paper figure/table benchmark sweep.
 bench:
-	DB2RDF_BENCH_OUT=BENCH_PR5.json $(GO) test -run '^TestBenchBaseline$$' -count=1 -v .
+	DB2RDF_BENCH_OUT=BENCH_PR6.json $(GO) test -run '^TestBenchBaseline$$' -count=1 -v .
 
 bench-all:
 	$(GO) test -run '^$$' -bench . -benchtime 1x ./...

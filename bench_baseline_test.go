@@ -20,6 +20,7 @@ import (
 	"time"
 
 	"db2rdf"
+	"db2rdf/internal/rdf"
 	"db2rdf/internal/rel"
 )
 
@@ -130,11 +131,74 @@ func TestBenchBaseline(t *testing.T) {
 	}
 	rowBytes := rowStore.StorageBytes()
 
+	// Delete throughput and post-delete scan latency: each iteration
+	// deletes a batch of triples via SPARQL update from a pre-loaded
+	// store (reloading outside the timer), then the scan point reruns
+	// the warm query against a store that carries tombstones.
+	const delBatch = 200
+	var victims []rdf.Triple
+	seen := map[rdf.Triple]bool{}
+	for _, tr := range ds.Triples {
+		if len(victims) == delBatch {
+			break
+		}
+		if !seen[tr] {
+			seen[tr] = true
+			victims = append(victims, tr)
+		}
+	}
+	deleted := testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			b.StopTimer()
+			ds2, err := db2rdf.Open(db2rdf.Options{})
+			if err != nil {
+				b.Fatal(err)
+			}
+			if err := ds2.LoadTriples(ds.Triples); err != nil {
+				b.Fatal(err)
+			}
+			b.StartTimer()
+			res, err := ds2.DeleteTriples(victims)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if res != len(victims) {
+				b.Fatalf("deleted %d, want %d", res, len(victims))
+			}
+		}
+	})
+	tombStore, err := db2rdf.Open(db2rdf.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tombStore.LoadTriples(ds.Triples); err != nil {
+		t.Fatal(err)
+	}
+	if n := len(ds.Triples) / 10; n > 0 {
+		if _, err := tombStore.DeleteTriples(ds.Triples[:n]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := tombStore.Query(q); err != nil {
+		t.Fatal(err)
+	}
+	scanAfterDelete := testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := tombStore.Query(q); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+
 	points := []benchPoint{
 		latencyPoint("load_lubm", load),
 		latencyPoint("query_cold_plan", cold),
 		latencyPoint("query_warm_plan", warm),
 		latencyPoint("query_warm_plan_instrumented", warmInstr),
+		latencyPoint("delete_batch_200", deleted),
+		latencyPoint("query_warm_plan_after_delete", scanAfterDelete),
 		{Name: "table_resident_bytes", NsOp: float64(colBytes), N: 1},
 		{Name: "table_resident_bytes_rowlayout", NsOp: float64(rowBytes), N: 1},
 	}

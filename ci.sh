@@ -21,9 +21,13 @@ echo "== observability: plan-cache accounting, metrics, analyze harness =="
 go test -race -count=1 \
     -run 'TestPlanCacheAccountingConcurrent|TestPlanCacheStaleGetAccounting|TestMetricsRegistry|TestSlowQueryLog|TestAnalyzeEstimateVsActual|TestZoneMapExceptionPruning|TestLimitOffsetPathEquivalence' \
     ./internal/rel/ .
+echo "== update equivalence (interleaved insert/delete, concurrent readers) =="
+go test -race -count=1 \
+    -run 'TestUpdateInterleavingEquivalence|TestUpdateConcurrentReaders|TestUpdateNoOpKeepsPlanCache' .
 echo "== hot-path perf gate (instrumentation compiled in, disabled) =="
 DB2RDF_PERF_GATE=1 go test -count=1 -run '^TestPerfGate$' -v .
 echo "== fuzz smoke (5s per target) =="
 go test -run '^$' -fuzz '^FuzzLoadReader$' -fuzztime 5s .
 go test -run '^$' -fuzz '^FuzzParseQuery$' -fuzztime 5s .
+go test -run '^$' -fuzz '^FuzzParseUpdate$' -fuzztime 5s .
 echo "ok"

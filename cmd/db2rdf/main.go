@@ -5,6 +5,7 @@
 //
 //	db2rdf -load data.nt -query 'SELECT ?s WHERE { ?s <p> ?o }'
 //	db2rdf -load data.nt -queryfile q.rq -explain
+//	db2rdf -load data.nt -update 'DELETE WHERE { <s> ?p ?o }' -query ...
 //	db2rdf -load data.nt -stats
 //	db2rdf -load data.nt -color -k 40 -query ...   # coloring-based layout
 //
@@ -35,6 +36,7 @@ func main() {
 	flag.Var(&loads, "load", "N-Triples file to load (repeatable)")
 	query := flag.String("query", "", "SPARQL query to run")
 	queryFile := flag.String("queryfile", "", "file containing the SPARQL query")
+	update := flag.String("update", "", "SPARQL update to run after loading, before the query")
 	explain := flag.Bool("explain", false, "print optimizer flow, plan and SQL")
 	run := flag.Bool("run", true, "execute the query (use -run=false with -explain)")
 	stats := flag.Bool("stats", false, "print dataset statistics after loading")
@@ -51,7 +53,7 @@ func main() {
 	flag.Parse()
 
 	gov := govFlags{timeout: *timeout, maxRows: *maxRows, maxBytes: *maxBytes, slowQuery: *slowQuery}
-	if err := realMain(loads, *query, *queryFile, *explain, *run, *stats, *k, *color, *noopt, *workers, gov, *analyze, *metrics); err != nil {
+	if err := realMain(loads, *query, *queryFile, *update, *explain, *run, *stats, *k, *color, *noopt, *workers, gov, *analyze, *metrics); err != nil {
 		fmt.Fprintln(os.Stderr, "db2rdf:", err)
 		os.Exit(1)
 	}
@@ -65,7 +67,7 @@ type govFlags struct {
 	slowQuery time.Duration
 }
 
-func realMain(loads []string, query, queryFile string, explain, run, stats bool, k int, color, noopt bool, workers int, gov govFlags, analyze, metrics bool) error {
+func realMain(loads []string, query, queryFile, update string, explain, run, stats bool, k int, color, noopt bool, workers int, gov govFlags, analyze, metrics bool) error {
 	var triples []rdf.Triple
 	for _, path := range loads {
 		f, err := os.Open(path)
@@ -126,6 +128,16 @@ func realMain(loads []string, query, queryFile string, explain, run, stats bool,
 			fmt.Println("  " + line)
 		}
 		inner.RUnlock()
+	}
+
+	if update != "" {
+		start := time.Now()
+		ur, err := store.Update(update)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("update: %d inserted, %d deleted in %s\n",
+			ur.Inserted, ur.Deleted, time.Since(start).Round(time.Microsecond))
 	}
 
 	if queryFile != "" {

@@ -53,6 +53,45 @@ func FuzzLoadReader(f *testing.F) {
 	})
 }
 
+func FuzzParseUpdate(f *testing.F) {
+	store, err := db2rdf.Open(db2rdf.Options{
+		QueryTimeout:  2 * time.Second,
+		MaxResultRows: 1 << 20,
+	})
+	if err != nil {
+		f.Fatal(err)
+	}
+	if _, err := store.LoadReader(strings.NewReader(fuzzTriple)); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(`INSERT DATA { <http://ex/a> <http://ex/b> "c" }`)
+	f.Add(`DELETE DATA { <http://ex/a> <http://ex/b> "c" . <http://ex/x> <http://ex/y> <http://ex/z> }`)
+	f.Add(`DELETE { ?s ?p ?o } INSERT { ?s <http://ex/q> ?o } WHERE { ?s ?p ?o FILTER(?s != ?o) }`)
+	f.Add(`DELETE WHERE { ?s <http://ex/gone> ?o }`)
+	f.Add(`PREFIX ex: <http://ex/> INSERT DATA { ex:s ex:p ex:o } ; CLEAR DEFAULT ; INSERT DATA { ex:s ex:p ex:o }`)
+	f.Add(`INSERT { _:b <http://ex/p> ?o } WHERE { ?s ?p ?o }`)
+	f.Add(`CLEAR NAMED`)
+	f.Add(`INSERT DATA { ?var <p> "not ground" }`)
+	f.Add(`DELETE DATA { <a> <b>`)
+	f.Add("INSERT \x00 DATA")
+	f.Fuzz(func(t *testing.T, u string) {
+		_, _ = store.Update(u) // may fail; must not panic
+		// Store-usable-after-error: whatever the fuzzed update did (it
+		// may legitimately have deleted or cleared data), a fresh insert
+		// and a query must still work.
+		if _, err := store.Update(`INSERT DATA { <http://ex/s> <http://ex/p> <http://ex/o> }`); err != nil {
+			t.Fatalf("store unusable after fuzzed update %q: %v", u, err)
+		}
+		res, err := store.Query(`SELECT ?o WHERE { <http://ex/s> <http://ex/p> ?o }`)
+		if err != nil {
+			t.Fatalf("query after fuzzed update %q: %v", u, err)
+		}
+		if len(res.Rows) == 0 {
+			t.Fatalf("known triple missing after fuzzed update %q", u)
+		}
+	})
+}
+
 func FuzzParseQuery(f *testing.F) {
 	store, err := db2rdf.Open(db2rdf.Options{
 		// Bound every fuzzed query so a pathological-but-valid input

@@ -37,6 +37,9 @@ const (
 	XSDBoolean = "http://www.w3.org/2001/XMLSchema#boolean"
 	XSDDate    = "http://www.w3.org/2001/XMLSchema#date"
 	RDFType    = "http://www.w3.org/1999/02/22-rdf-syntax-ns#type"
+	// RDFLangString is the datatype of language-tagged literals
+	// (RDF 1.1); datatype("x"@en) must return it, not xsd:string.
+	RDFLangString = "http://www.w3.org/1999/02/22-rdf-syntax-ns#langString"
 )
 
 // Term is one RDF term. The zero Term is invalid; construct terms with

@@ -35,7 +35,7 @@ type relation struct {
 // deferred scans), len(rows) otherwise.
 func (r *relation) rowCount() int {
 	if r.scan {
-		return r.base.Len()
+		return r.base.LiveLen()
 	}
 	return len(r.rows)
 }

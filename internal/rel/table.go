@@ -99,6 +99,8 @@ type Table struct {
 	nrows   int
 	cols    []*colVec // columnar layout
 	rows    []Row     // row layout
+	tomb    []*tombChunk // per-chunk tombstone bitmaps; nil entry = no deletes (see tombstone.go)
+	dead    int          // total tombstoned rows
 	indexes map[string]*hashIndex // by lower-cased column name
 	colIdx  map[string]int        // lower-cased column name → position
 }
@@ -284,17 +286,37 @@ func (t *Table) RowAt(i int) Row {
 	return r
 }
 
-// Rows returns every row. Under the row layout this is the backing
-// slice and must be treated as read-only; under the columnar layout it
+// Rows returns every live row. Under the row layout with no deletes
+// this is the backing slice and must be treated as read-only; with
+// deletes it is a filtered copy. Under the columnar layout it
 // materializes the whole table (the executor's scan paths read the
 // vectors directly instead — see vecscan.go).
 func (t *Table) Rows() []Row {
 	t.mu.RLock()
 	defer t.mu.RUnlock()
 	if t.storage == StorageRows {
-		return t.rows
+		if t.dead == 0 {
+			return t.rows
+		}
+		out := make([]Row, 0, t.nrows-t.dead)
+		for i, r := range t.rows {
+			if !t.deadLocked(i) {
+				out = append(out, r)
+			}
+		}
+		return out
 	}
-	return t.materializeAllLocked()
+	rows := t.materializeAllLocked()
+	if t.dead == 0 {
+		return rows
+	}
+	kept := rows[:0]
+	for i, r := range rows {
+		if !t.deadLocked(i) {
+			kept = append(kept, r)
+		}
+	}
+	return kept
 }
 
 func (t *Table) materializeAllLocked() []Row {
@@ -398,10 +420,16 @@ func (t *Table) CreateIndex(col string) error {
 	if t.storage == StorageColumnar {
 		v := t.cols[ci]
 		for i := 0; i < t.nrows; i++ {
+			if t.deadLocked(i) {
+				continue
+			}
 			idx.add(v.get(i), int32(i))
 		}
 	} else {
 		for i, r := range t.rows {
+			if t.deadLocked(i) {
+				continue
+			}
 			idx.add(r[ci], int32(i))
 		}
 	}

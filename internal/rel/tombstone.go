@@ -1,0 +1,242 @@
+package rel
+
+import (
+	"fmt"
+	"math/bits"
+)
+
+// Row deletion via per-chunk tombstone bitmaps. A deleted row keeps its
+// physical index (so every row id handed out by AppendRow stays stable)
+// but is marked dead in the owning chunk's tombstone bitmap and removed
+// from every hash index immediately. Scans — the vectorized chunk
+// pipeline (vecscan.go), Rows(), materializeAllLocked and CreateIndex —
+// filter dead rows out; index probes need no check at all, because a
+// dead row's ids are gone from the posting lists before the delete
+// returns.
+//
+// The bitmap is table-level rather than per colVec chunk: the DPH/RPH
+// relations carry 2k+2 columns (66 on the K=32 default), and a row is
+// dead in all of them or none, so duplicating the [16]uint64 bitmap per
+// column would multiply its cost 66× for no information. The table
+// bitmap is indexed by the same chunk coordinates (row>>chunkShift,
+// row&chunkMask) the column chunks use, so the scan consults it in the
+// same loop that walks the column chunks.
+//
+// Zone maps stay untouched by deletes: they are widen-only, so after a
+// delete they still bound every live value (possibly loosely — the
+// deleted min/max witness makes the range wider than the live data,
+// never narrower). That keeps skipChunk sound without rescanning: a
+// chunk whose only zone witnesses are tombstoned cannot prune live
+// matches, because pruning only ever uses the bounds to prove absence.
+// Compaction is the one place zone maps are recomputed, and only after
+// the dead cells are physically cleared.
+//
+// Compaction: once a chunk accumulates tombCompactDead dead-but-dirty
+// rows (dirty = cells still sitting in the packed vectors), the chunk
+// is rewritten — every dead cell is cleared through colVec.set (packed
+// delete + presence-bit clear), and the chunk's zone map is rebuilt
+// over the surviving packed ints. Tombstone bits persist after
+// compaction so cleared cells do not leak into IS NULL results; only
+// the dirty counter resets.
+
+// tombCompactDead is the per-chunk dead-row threshold that triggers
+// compaction (a quarter of a chunk).
+const tombCompactDead = chunkRows / 4
+
+// tombChunk tracks the dead rows of one 1024-row chunk.
+type tombChunk struct {
+	bits  [chunkWords]uint64 // set bit = dead row
+	dead  int                // dead rows in this chunk
+	dirty int                // dead rows whose cells are still in the column chunks
+}
+
+// has reports whether the row at in-chunk offset off is dead.
+func (tc *tombChunk) has(off int) bool {
+	return tc.bits[off>>6]>>(uint(off)&63)&1 == 1
+}
+
+// deadLocked reports whether row i is tombstoned; the caller holds the
+// table lock (either mode).
+func (t *Table) deadLocked(i int) bool {
+	ci := i >> chunkShift
+	if ci >= len(t.tomb) || t.tomb[ci] == nil {
+		return false
+	}
+	return t.tomb[ci].has(i & chunkMask)
+}
+
+// LiveLen returns the number of live (non-deleted) rows.
+func (t *Table) LiveLen() int {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return t.nrows - t.dead
+}
+
+// DeadRows returns the number of tombstoned rows (for tests and
+// diagnostics).
+func (t *Table) DeadRows() int {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return t.dead
+}
+
+// DeleteRow tombstones row i. The row id stays allocated (physical
+// indices never shift), but the row is removed from every hash index
+// immediately and excluded from all scans. Deleting an already-dead row
+// is a no-op. On a columnar table, a chunk that crosses the
+// dead-density threshold is compacted in place.
+func (t *Table) DeleteRow(i int) error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if i < 0 || i >= t.nrows {
+		return fmt.Errorf("rel: table %s: row %d out of range", t.Name, i)
+	}
+	ci, off := i>>chunkShift, i&chunkMask
+	for len(t.tomb) <= ci {
+		t.tomb = append(t.tomb, nil)
+	}
+	tc := t.tomb[ci]
+	if tc == nil {
+		tc = &tombChunk{}
+		t.tomb[ci] = tc
+	}
+	if tc.has(off) {
+		return nil
+	}
+	// Unindex before the bit is set (the cell values are still intact).
+	for _, idx := range t.indexes {
+		var v Value
+		if t.storage == StorageColumnar {
+			v = t.cols[idx.col].get(i)
+		} else {
+			v = t.rows[i][idx.col]
+		}
+		idx.remove(v, int32(i))
+	}
+	tc.bits[off>>6] |= 1 << (uint(off) & 63)
+	tc.dead++
+	tc.dirty++
+	t.dead++
+	if t.storage == StorageColumnar && tc.dirty >= tombCompactDead {
+		t.compactChunkLocked(ci, tc)
+	}
+	return nil
+}
+
+// compactChunkLocked clears every dirty dead cell of chunk ci out of
+// the packed column vectors and rebuilds the columns' zone maps over
+// the surviving values. The tombstone bits stay set (a cleared cell
+// must not surface as a live NULL); only dirty resets.
+func (t *Table) compactChunkLocked(ci int, tc *tombChunk) {
+	base := ci << chunkShift
+	for w := 0; w < chunkWords; w++ {
+		word := tc.bits[w]
+		for word != 0 {
+			off := w<<6 + bits.TrailingZeros64(word)
+			word &= word - 1
+			for _, col := range t.cols {
+				col.set(base+off, Null)
+			}
+		}
+	}
+	tc.dirty = 0
+	for _, col := range t.cols {
+		if col.typ != TInt {
+			continue
+		}
+		ck := col.chunkOf(ci)
+		if ck == nil {
+			continue
+		}
+		// Re-widen from scratch: the old bounds may be witnessed only by
+		// cells just cleared. Exception placeholders (zeros) may widen
+		// the range past the live data, which is loose but sound.
+		ck.zoneInit = false
+		for _, x := range ck.ints {
+			ck.widen(x)
+		}
+	}
+}
+
+// Clear removes every row, resetting the table to empty while keeping
+// its schema and index definitions (the indexes are emptied in place).
+func (t *Table) Clear() {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.nrows, t.dead = 0, 0
+	t.rows, t.tomb = nil, nil
+	if t.storage == StorageColumnar {
+		t.cols = make([]*colVec, len(t.Schema))
+		for i, c := range t.Schema {
+			t.cols[i] = &colVec{typ: c.Type}
+		}
+	}
+	for _, idx := range t.indexes {
+		idx.reset()
+	}
+}
+
+// IndexLookup returns the row ids matching col = v through the
+// column's hash index, and whether the column is indexed. Returned ids
+// are live: deleted rows are unindexed eagerly. The caller must exclude
+// writers (the store-level lock does).
+func (t *Table) IndexLookup(col string, v Value) ([]int32, bool) {
+	return t.lookup(col, v)
+}
+
+// remove drops row id from the posting list of v, classing the value
+// exactly as add did. Caller holds the table write lock.
+func (x *hashIndex) remove(v Value, id int32) {
+	switch {
+	case x.ints != nil:
+		switch v.K {
+		case KindInt:
+			removeID(x.ints, v.I, id)
+		case KindFloat:
+			if v.F == float64(int64(v.F)) {
+				removeID(x.ints, int64(v.F), id)
+			} else if x.floats != nil {
+				removeID(x.floats, floatBitsKey(v.F), id)
+			}
+		}
+	case x.strs != nil:
+		if v.K == KindString {
+			removeID(x.strs, v.S, id)
+		}
+	}
+}
+
+// removeID drops id from the posting list under key, deleting the key
+// outright when the list empties.
+func removeID[K comparable](m map[K][]int32, key K, id int32) {
+	ids := dropID(m[key], id)
+	if len(ids) == 0 {
+		delete(m, key)
+	} else {
+		m[key] = ids
+	}
+}
+
+// dropID removes the first occurrence of id, preserving order (probe
+// result determinism depends on posting-list order).
+func dropID(ids []int32, id int32) []int32 {
+	for k, v := range ids {
+		if v == id {
+			return append(ids[:k], ids[k+1:]...)
+		}
+	}
+	return ids
+}
+
+// reset empties the index in place, keeping its column binding.
+func (x *hashIndex) reset() {
+	if x.ints != nil {
+		x.ints = make(map[int64][]int32)
+	}
+	if x.floats != nil {
+		x.floats = make(map[uint64][]int32)
+	}
+	if x.strs != nil {
+		x.strs = make(map[string][]int32)
+	}
+}

@@ -329,6 +329,7 @@ func (ex *exec) vecScan(r *relation) (*relation, error) {
 	t.mu.RLock()
 	cols := t.cols
 	nrows := t.nrows
+	tomb := t.tomb
 	t.mu.RUnlock()
 	vfs, residual := compileVecFilters(t, r, r.pending)
 	var rowPred func(Row) (bool, error)
@@ -364,6 +365,21 @@ func (ex *exec) vecScan(r *relation) (*relation, error) {
 			if n > chunkRows {
 				n = chunkRows
 			}
+			var tc *tombChunk
+			if ci < len(tomb) {
+				tc = tomb[ci]
+			}
+			if tc != nil && tc.dead >= n {
+				// Fully tombstoned chunk: skip it exactly like a
+				// zone-pruned one — a single unit of work, no charge.
+				if skips != nil {
+					skips[chunk]++
+				}
+				if err := tk.step(); err != nil {
+					return err
+				}
+				continue
+			}
 			for _, f := range vfs {
 				if f.skipChunk(cols[f.col].chunkOf(ci), n) {
 					// The whole chunk is pruned: one unit of work, no
@@ -379,8 +395,11 @@ func (ex *exec) vecScan(r *relation) (*relation, error) {
 			}
 			sel = sel[:0]
 			if len(vfs) == 0 {
-				if rowPred == nil {
-					// Unfiltered scan: gather the chunk column-wise.
+				if rowPred == nil && (tc == nil || tc.dead == 0) {
+					// Unfiltered scan over a fully live chunk: gather it
+					// column-wise. (A chunk with dead rows falls through
+					// to the selection-vector path so the tombstone
+					// filter below applies.)
 					rows := arena.allocRows(n, width)
 					for j, col := range cols {
 						col.gatherChunk(ci, rows, j)
@@ -402,6 +421,18 @@ func (ex *exec) vecScan(r *relation) (*relation, error) {
 					}
 					sel = f.refine(cols[f.col].chunkOf(ci), sel)
 				}
+			}
+			if tc != nil && tc.dead > 0 && len(sel) > 0 {
+				// Drop tombstoned rows before any residual predicate
+				// work: dead rows must neither match nor cost per-row
+				// evaluation.
+				kept := sel[:0]
+				for _, off := range sel {
+					if !tc.has(int(off)) {
+						kept = append(kept, off)
+					}
+				}
+				sel = kept
 			}
 			if rowPred != nil && len(sel) > 0 {
 				if scratch == nil {

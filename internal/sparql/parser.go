@@ -87,12 +87,14 @@ func (p *parser) expectPunct(s string) error {
 	return nil
 }
 
-func (p *parser) query() (*Query, error) {
-	q := &Query{Prefixes: p.prefixes, Limit: -1}
+// prologue consumes leading PREFIX declarations into p.prefixes. It is
+// shared by the query and update grammars (an update may interleave
+// prologues between operations).
+func (p *parser) prologue() error {
 	for p.acceptKeyword("PREFIX") {
 		t := p.peek()
 		if t.kind != tokPName || !strings.HasSuffix(t.text, ":") && !strings.Contains(t.text, ":") {
-			return nil, p.errf("expected prefixed name declaration, got %q", t.text)
+			return p.errf("expected prefixed name declaration, got %q", t.text)
 		}
 		p.pos++
 		name := strings.TrimSuffix(t.text, ":")
@@ -101,10 +103,18 @@ func (p *parser) query() (*Query, error) {
 		}
 		iriTok := p.peek()
 		if iriTok.kind != tokIRI {
-			return nil, p.errf("expected IRI after PREFIX %s:", name)
+			return p.errf("expected IRI after PREFIX %s:", name)
 		}
 		p.pos++
 		p.prefixes[name] = iriTok.text
+	}
+	return nil
+}
+
+func (p *parser) query() (*Query, error) {
+	q := &Query{Prefixes: p.prefixes, Limit: -1}
+	if err := p.prologue(); err != nil {
+		return nil, err
 	}
 	switch {
 	case p.acceptKeyword("SELECT"):
@@ -191,6 +201,13 @@ func (p *parser) query() (*Query, error) {
 // constructTemplate parses the CONSTRUCT template: a braced triples
 // block (property paths are not allowed in templates).
 func (p *parser) constructTemplate() ([]*TriplePattern, error) {
+	return p.tripleTemplate("CONSTRUCT templates")
+}
+
+// tripleTemplate parses a braced triples block with no property paths;
+// ctx names the construct for error messages ("CONSTRUCT templates",
+// "update templates", ...).
+func (p *parser) tripleTemplate(ctx string) ([]*TriplePattern, error) {
 	if err := p.expectPunct("{"); err != nil {
 		return nil, err
 	}
@@ -208,7 +225,7 @@ func (p *parser) constructTemplate() ([]*TriplePattern, error) {
 			return nil, err
 		}
 		if len(pats) > 0 || len(p.closures) != beforeClosures || p.freshN != beforeFresh {
-			return nil, p.errf("property paths are not allowed in CONSTRUCT templates")
+			return nil, p.errf("property paths are not allowed in %s", ctx)
 		}
 		out = append(out, ts...)
 	}

@@ -106,9 +106,15 @@ func RegisterValueFuncs(db *rel.DB, d *dict.Dict) {
 		if !ok {
 			return rel.Null, nil
 		}
+		// SPARQL 1.1 §17.4.2.7: a plain literal's datatype is
+		// xsd:string; a language-tagged literal's is rdf:langString.
 		dt := t.Datatype
-		if t.Kind == rdf.Literal && dt == "" && t.Lang == "" {
-			dt = rdf.XSDString
+		if t.Kind == rdf.Literal && dt == "" {
+			if t.Lang != "" {
+				dt = rdf.RDFLangString
+			} else {
+				dt = rdf.XSDString
+			}
 		}
 		return rel.Str(dt), nil
 	})

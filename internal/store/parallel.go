@@ -71,12 +71,15 @@ func (s *Store) LoadParallel(r io.Reader, workers int) (int, error) {
 	workers = normWorkers(workers)
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	s.epoch.Add(1)
 	enc, err := s.encodeStream(r, workers)
 	if err != nil {
 		return 0, err
 	}
-	return len(enc), s.bulkLoadLocked(enc, workers)
+	fresh, err := s.bulkLoadLocked(enc, workers)
+	if fresh > 0 {
+		s.epoch.Add(1)
+	}
+	return len(enc), err
 }
 
 // LoadTriplesParallel bulk-loads a slice of triples with the given
@@ -85,9 +88,12 @@ func (s *Store) LoadTriplesParallel(ts []rdf.Triple, workers int) error {
 	workers = normWorkers(workers)
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	s.epoch.Add(1)
 	enc := s.encodeSlice(ts, workers)
-	return s.bulkLoadLocked(enc, workers)
+	fresh, err := s.bulkLoadLocked(enc, workers)
+	if fresh > 0 {
+		s.epoch.Add(1)
+	}
+	return err
 }
 
 // lineChunk is one dispatch unit of the encode pipeline: a run of
@@ -247,10 +253,14 @@ func (s *Store) encodeTriple(t rdf.Triple) encTriple {
 }
 
 // bulkLoadLocked partitions encoded triples by entity and inserts the
-// buckets concurrently. The caller holds the store write lock.
-func (s *Store) bulkLoadLocked(enc []encTriple, workers int) error {
+// buckets concurrently, returning the number of fresh (non-duplicate)
+// triples so the caller can decide whether to bump the epoch. The
+// caller holds the store write lock. The count may overstate what
+// landed when a bucket errors mid-append — a spurious epoch bump is
+// harmless, a missed one is not.
+func (s *Store) bulkLoadLocked(enc []encTriple, workers int) (int, error) {
 	if len(enc) == 0 {
-		return nil
+		return 0, nil
 	}
 	// Partition by state shard, then assign shards to workers: two
 	// entities in the same shard always land in the same bucket, so a
@@ -271,6 +281,7 @@ func (s *Store) bulkLoadLocked(enc []encTriple, workers int) error {
 	// load never leaves partially merged statistics behind (the first
 	// error, in deterministic bucket order, is returned).
 	statsParts := make([]*Stats, workers)
+	freshParts := make([]int, workers)
 	errs := make([]error, 2*workers)
 	var abort atomic.Bool
 	var wg sync.WaitGroup
@@ -280,23 +291,27 @@ func (s *Store) bulkLoadLocked(enc []encTriple, workers int) error {
 			defer wg.Done()
 			st := newStats(s.Opts.TopK)
 			statsParts[w] = st
-			errs[w] = s.direct.bulkInsert(s, directBuckets[w], st, false, &abort)
+			freshParts[w], errs[w] = s.direct.bulkInsert(s, directBuckets[w], st, false, &abort)
 		}(w)
 		go func(w int) {
 			defer wg.Done()
-			errs[workers+w] = s.reverse.bulkInsert(s, reverseBuckets[w], nil, true, &abort)
+			_, errs[workers+w] = s.reverse.bulkInsert(s, reverseBuckets[w], nil, true, &abort)
 		}(w)
 	}
 	wg.Wait()
+	fresh := 0
+	for _, f := range freshParts {
+		fresh += f
+	}
 	for _, err := range errs {
 		if err != nil {
-			return err
+			return fresh, err
 		}
 	}
 	for _, st := range statsParts {
 		s.stats.merge(st)
 	}
-	return nil
+	return fresh, nil
 }
 
 // bulkAgg accumulates a bucket's predicate-keyed side effects so the
@@ -314,15 +329,16 @@ type entityRange struct {
 	start, end int // indices into pending primary rows
 }
 
-// bulkInsert loads one bucket into the side. Triples of entities the
+// bulkInsert loads one bucket into the side, returning the number of
+// fresh (non-duplicate) triples it placed. Triples of entities the
 // store has never seen (the common bulk case) are built as rows in
 // local memory and batch-appended; entities with existing rows fall
 // back to the incremental insert path. abort is the load-wide failure
 // flag: set on the first error, polled at entity-group boundaries so
 // sibling buckets stop early instead of completing a doomed load.
-func (d *side) bulkInsert(s *Store, bucket []encTriple, stats *Stats, reverse bool, abort *atomic.Bool) error {
+func (d *side) bulkInsert(s *Store, bucket []encTriple, stats *Stats, reverse bool, abort *atomic.Bool) (int, error) {
 	if len(bucket) == 0 {
-		return nil
+		return 0, nil
 	}
 	colCache := make(map[string][]int)
 	colsFor := func(pred string) []int {
@@ -352,10 +368,11 @@ func (d *side) bulkInsert(s *Store, bucket []encTriple, stats *Stats, reverse bo
 	var pendingSecondary []rel.Row
 	var ranges []entityRange
 	agg := &bulkAgg{spillPreds: make(map[int64]bool), multiPreds: make(map[int64]bool)}
+	freshTotal := 0
 
 	for gi, ent := range order {
 		if gi&63 == 0 && abort.Load() {
-			return nil // a sibling bucket failed; its error is reported
+			return freshTotal, nil // a sibling bucket failed; its error is reported
 		}
 		encs := byEntity[ent]
 		sh := d.shard(ent)
@@ -369,10 +386,13 @@ func (d *side) bulkInsert(s *Store, bucket []encTriple, stats *Stats, reverse bo
 				fresh, err := d.insert(s, entity, e.p, member, e.pred)
 				if err != nil {
 					abort.Store(true)
-					return err
+					return freshTotal, err
 				}
-				if fresh && stats != nil {
-					stats.record(e.s, e.p, e.o)
+				if fresh {
+					freshTotal++
+					if stats != nil {
+						stats.record(e.s, e.p, e.o)
+					}
 				}
 			}
 			continue
@@ -385,8 +405,11 @@ func (d *side) bulkInsert(s *Store, bucket []encTriple, stats *Stats, reverse bo
 			}
 			fresh, rows := d.insertLocal(s, pendingPrimary, start, sh, agg, &pendingSecondary, entity, e.p, member, colsFor(e.pred))
 			pendingPrimary = rows
-			if fresh && stats != nil {
-				stats.record(e.s, e.p, e.o)
+			if fresh {
+				freshTotal++
+				if stats != nil {
+					stats.record(e.s, e.p, e.o)
+				}
 			}
 		}
 		ranges = append(ranges, entityRange{entity: ent, start: start, end: len(pendingPrimary)})
@@ -397,7 +420,7 @@ func (d *side) bulkInsert(s *Store, bucket []encTriple, stats *Stats, reverse bo
 		base, err := d.primary.AppendRows(pendingPrimary)
 		if err != nil {
 			abort.Store(true)
-			return err
+			return freshTotal, err
 		}
 		for _, r := range ranges {
 			sh := d.shard(r.entity)
@@ -411,7 +434,7 @@ func (d *side) bulkInsert(s *Store, bucket []encTriple, stats *Stats, reverse bo
 	if len(pendingSecondary) > 0 {
 		if _, err := d.secondary.AppendRows(pendingSecondary); err != nil {
 			abort.Store(true)
-			return err
+			return freshTotal, err
 		}
 	}
 
@@ -427,7 +450,7 @@ func (d *side) bulkInsert(s *Store, bucket []encTriple, stats *Stats, reverse bo
 		d.spillCount += agg.spillCount
 		d.predMu.Unlock()
 	}
-	return nil
+	return freshTotal, nil
 }
 
 // insertLocal is the bulk twin of side.insert: it places

@@ -221,33 +221,38 @@ func newSide(primary, secondary *rel.Table, m coloring.Mapping, k int) *side {
 // ("DPH", "DS", "RPH", "RS").
 func (s *Store) TableName(base string) string { return s.Opts.TablePrefix + base }
 
-// Insert adds one triple (idempotent under RDF set semantics).
+// Insert adds one triple (idempotent under RDF set semantics). The
+// epoch advances only when the triple was new: a duplicate insert is a
+// no-op and must not invalidate cached query plans.
 func (s *Store) Insert(t rdf.Triple) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	s.epoch.Add(1)
-	return s.insertLocked(t)
+	fresh, err := s.insertLocked(t)
+	if fresh {
+		s.epoch.Add(1)
+	}
+	return err
 }
 
-// insertLocked adds one triple; the caller holds the store write lock.
-// Statistics are recorded once per distinct triple: the direct side
-// detects duplicates, so a re-load of the same data leaves every count
-// unchanged.
-func (s *Store) insertLocked(t rdf.Triple) error {
+// insertLocked adds one triple, reporting whether it was new; the
+// caller holds the store write lock. Statistics are recorded once per
+// distinct triple: the direct side detects duplicates, so a re-load of
+// the same data leaves every count unchanged.
+func (s *Store) insertLocked(t rdf.Triple) (bool, error) {
 	sid := s.Dict.Encode(t.S)
 	pid := s.Dict.Encode(t.P)
 	oid := s.Dict.Encode(t.O)
 	fresh, err := s.direct.insert(s, sid, pid, oid, t.P.Value)
 	if err != nil {
-		return err
+		return fresh, err
 	}
 	if _, err := s.reverse.insert(s, oid, pid, sid, t.P.Value); err != nil {
-		return err
+		return fresh, err
 	}
 	if fresh {
 		s.stats.record(sid, pid, oid)
 	}
-	return nil
+	return fresh, nil
 }
 
 // insert places (entity, pred) -> member on one side, reporting whether
@@ -375,7 +380,14 @@ func (d *side) setSpillPred(pid int64) {
 func (s *Store) Load(r io.Reader) (int, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	s.epoch.Add(1)
+	freshTotal := 0
+	// Bump once if any triple landed, even when a later line errors:
+	// the partial load is visible, so cached plans must refresh.
+	defer func() {
+		if freshTotal > 0 {
+			s.epoch.Add(1)
+		}
+	}()
 	rd := rdf.NewReader(r)
 	n := 0
 	for {
@@ -386,20 +398,34 @@ func (s *Store) Load(r io.Reader) (int, error) {
 		if err != nil {
 			return n, err
 		}
-		if err := s.insertLocked(t); err != nil {
+		fresh, err := s.insertLocked(t)
+		if fresh {
+			freshTotal++
+		}
+		if err != nil {
 			return n, err
 		}
 		n++
 	}
 }
 
-// LoadTriples inserts a slice of triples under one write lock.
+// LoadTriples inserts a slice of triples under one write lock. The
+// epoch advances once iff any triple was new.
 func (s *Store) LoadTriples(ts []rdf.Triple) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	s.epoch.Add(1)
+	freshTotal := 0
+	defer func() {
+		if freshTotal > 0 {
+			s.epoch.Add(1)
+		}
+	}()
 	for _, t := range ts {
-		if err := s.insertLocked(t); err != nil {
+		fresh, err := s.insertLocked(t)
+		if fresh {
+			freshTotal++
+		}
+		if err != nil {
 			return err
 		}
 	}

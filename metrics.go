@@ -56,6 +56,10 @@ type Metrics struct {
 	triplesLoaded atomic.Uint64 // triples ingested by Insert/Load*
 	loadNanos     atomic.Int64  // total wall time across loads
 
+	updates        atomic.Uint64 // update requests served (success or failure)
+	updateErrors   atomic.Uint64 // update requests that returned any error
+	deletedTriples atomic.Uint64 // triples removed by updates and Delete calls
+
 	plans *planCache // hit/miss/eviction counters re-exported
 }
 
@@ -85,6 +89,10 @@ type Snapshot struct {
 	TriplesLoaded     uint64  `json:"triples_loaded"`
 	LoadSeconds       float64 `json:"load_seconds_total"`
 	LoadTriplesPerSec float64 `json:"load_triples_per_sec"`
+
+	UpdatesServed  uint64 `json:"updates_served"`
+	UpdateErrors   uint64 `json:"update_errors"`
+	DeletedTriples uint64 `json:"deleted_triples"`
 
 	PlanCacheHits           uint64 `json:"plan_cache_hits"`
 	PlanCacheMisses         uint64 `json:"plan_cache_misses"`
@@ -131,6 +139,18 @@ func (m *Metrics) observeQuery(dur time.Duration, rows int, err error) {
 	}
 }
 
+// observeUpdate records one SPARQL update request.
+func (m *Metrics) observeUpdate(dur time.Duration, deleted int, err error) {
+	m.updates.Add(1)
+	m.queryNanos.Add(int64(dur))
+	if deleted > 0 {
+		m.deletedTriples.Add(uint64(deleted))
+	}
+	if err != nil {
+		m.updateErrors.Add(1)
+	}
+}
+
 // observeLoad records one load call.
 func (m *Metrics) observeLoad(dur time.Duration, triples int) {
 	if triples > 0 {
@@ -159,6 +179,10 @@ func (m *Metrics) Snapshot() Snapshot {
 
 		TriplesLoaded: m.triplesLoaded.Load(),
 		LoadSeconds:   time.Duration(m.loadNanos.Load()).Seconds(),
+
+		UpdatesServed:  m.updates.Load(),
+		UpdateErrors:   m.updateErrors.Load(),
+		DeletedTriples: m.deletedTriples.Load(),
 	}
 	if s.LoadSeconds > 0 {
 		s.LoadTriplesPerSec = float64(s.TriplesLoaded) / s.LoadSeconds
@@ -222,6 +246,9 @@ func (m *Metrics) WritePrometheus(w io.Writer) error {
 	p("db2rdf_query_duration_seconds_bucket{le=\"+Inf\"} %d\n", s.LatencyCounts[len(s.LatencyCounts)-1])
 	p("db2rdf_query_duration_seconds_sum %g\n", s.QuerySeconds)
 	p("db2rdf_query_duration_seconds_count %d\n", s.QueriesServed)
+	counter("db2rdf_updates_total", "SPARQL update requests served (success or failure).", s.UpdatesServed)
+	counter("db2rdf_update_errors_total", "SPARQL update requests that returned an error.", s.UpdateErrors)
+	counter("db2rdf_deleted_triples_total", "Triples removed by SPARQL updates.", s.DeletedTriples)
 	counter("db2rdf_triples_loaded_total", "Triples ingested by Insert and the Load entry points.", s.TriplesLoaded)
 	p("# HELP db2rdf_load_seconds_total Total load wall time.\n# TYPE db2rdf_load_seconds_total counter\ndb2rdf_load_seconds_total %g\n", s.LoadSeconds)
 	counter("db2rdf_plan_cache_hits_total", "Compiled-plan cache hits.", s.PlanCacheHits)
