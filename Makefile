@@ -14,14 +14,16 @@ test:
 race:
 	$(GO) test -race ./...
 
-# bench records the PR 6 baseline numbers (load, cold-plan query,
+# bench records the PR 7 baseline numbers (load, cold-plan query,
 # warm-plan query with instrumentation disabled and enabled plus their
-# ratio, resident table bytes under the columnar and row layouts,
-# per-pattern estimate-vs-actual q-errors over the LUBM corpus, and the
-# new delete + post-delete-scan points) to BENCH_PR6.json; bench-all
-# runs the full paper figure/table benchmark sweep.
+# ratio, resident table bytes under the columnar and row layouts and
+# after write churn, per-pattern estimate-vs-actual q-errors over the
+# LUBM corpus, delete + post-delete-scan points, and the new lock-free
+# read points: reader p50/p99 during a concurrent bulk load and the
+# snapshot publish cost) to BENCH_PR7.json; bench-all runs the full
+# paper figure/table benchmark sweep.
 bench:
-	DB2RDF_BENCH_OUT=BENCH_PR6.json $(GO) test -run '^TestBenchBaseline$$' -count=1 -v .
+	DB2RDF_BENCH_OUT=BENCH_PR7.json $(GO) test -run '^TestBenchBaseline$$' -count=1 -v .
 
 bench-all:
 	$(GO) test -run '^$$' -bench . -benchtime 1x ./...

@@ -128,13 +128,14 @@ func (s *Store) AnalyzeContext(ctx context.Context, q string) (an *Analysis, err
 	defer guard(q, nil, &err)
 	ctx, cancel := s.governCtx(ctx)
 	defer cancel()
-	s.inner.RLock()
-	defer s.inner.RUnlock()
-	expl, err := s.explainLocked(ctx, q)
+	// Explanation and execution run on the same snapshot, so the
+	// reported plan is exactly the one that ran.
+	snap := s.inner.Snapshot()
+	expl, err := s.explainOn(ctx, snap, q)
 	if err != nil {
 		return nil, attachQuery(q, err)
 	}
-	res, stats, cp, err := s.queryLockedFull(ctx, q, true)
+	res, stats, cp, err := s.queryFull(ctx, snap, q, true)
 	an = &Analysis{Explanation: expl, Results: res, Stats: stats}
 	if cp != nil && cp.tr != nil && stats != nil {
 		an.Patterns = patternStats(cp, stats)

@@ -3,19 +3,25 @@ package db2rdf_test
 // TestBenchBaseline is the `make bench` entry point: it measures bulk
 // load, cold-plan query and warm-plan (cache-hit) query latencies with
 // testing.Benchmark and writes them as JSON to the file named by the
-// DB2RDF_BENCH_OUT environment variable (BENCH_PR4.json from the
+// DB2RDF_BENCH_OUT environment variable (BENCH_PR7.json from the
 // Makefile). Without the variable it is skipped, so plain `go test`
 // stays fast.
 //
-// Besides ns/op each point carries bytes/op and allocs/op, and two
+// Besides ns/op each point carries bytes/op and allocs/op, and
 // non-latency points record the resident size of a loaded LUBM store
-// under the columnar (default) and legacy row layouts, so the memory
-// claim of the columnar storage is tracked across PRs.
+// under the columnar (default) and legacy row layouts — plus after
+// snapshot-publishing write churn — so the memory claims of the
+// columnar storage and the COW snapshot layer are tracked across PRs.
+// The query_during_load_p50/p99 points record reader latency while a
+// concurrent bulk load keeps publishing snapshots (the headline of the
+// lock-free read path), and snapshot_publish the writer-side cost of
+// one insert + publish.
 
 import (
 	"encoding/json"
 	"fmt"
 	"os"
+	"sync"
 	"testing"
 	"time"
 
@@ -192,6 +198,49 @@ func TestBenchBaseline(t *testing.T) {
 		}
 	})
 
+	// Reader latency while a concurrent bulk load publishes snapshots,
+	// plus the writer-side publish cost and the resident footprint after
+	// the write churn (tracks COW memory overhead across PRs).
+	churnStore, err := db2rdf.Open(db2rdf.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := churnStore.LoadTriples(ds.Triples); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := churnStore.Query(q); err != nil {
+		t.Fatal(err)
+	}
+	stop := make(chan struct{})
+	var churnWg sync.WaitGroup
+	churnWg.Add(1)
+	go func() {
+		defer churnWg.Done()
+		defer close(stop)
+		loadChurn(t, churnStore, 20, 1000)
+	}()
+	loadP50, loadP99 := readLatencies(t, churnStore, q, stop)
+	churnWg.Wait()
+	churnBytes := churnStore.StorageBytes()
+
+	publish := testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		inner := churnStore.Internal()
+		inner.Lock()
+		defer inner.Unlock()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := inner.InsertLocked(rdf.NewTriple(
+				rdf.NewIRI(fmt.Sprintf("http://pub/s%d", i)),
+				rdf.NewIRI("http://pub/p"),
+				rdf.NewLiteral(fmt.Sprintf("v%d", i)),
+			)); err != nil {
+				b.Fatal(err)
+			}
+			inner.PublishLocked()
+		}
+	})
+
 	points := []benchPoint{
 		latencyPoint("load_lubm", load),
 		latencyPoint("query_cold_plan", cold),
@@ -199,8 +248,12 @@ func TestBenchBaseline(t *testing.T) {
 		latencyPoint("query_warm_plan_instrumented", warmInstr),
 		latencyPoint("delete_batch_200", deleted),
 		latencyPoint("query_warm_plan_after_delete", scanAfterDelete),
+		latencyPoint("snapshot_publish", publish),
+		{Name: "query_during_load_p50", NsOp: float64(loadP50), N: 1},
+		{Name: "query_during_load_p99", NsOp: float64(loadP99), N: 1},
 		{Name: "table_resident_bytes", NsOp: float64(colBytes), N: 1},
 		{Name: "table_resident_bytes_rowlayout", NsOp: float64(rowBytes), N: 1},
+		{Name: "table_resident_bytes_after_write_churn", NsOp: float64(churnBytes), N: 1},
 	}
 	if warm.NsPerOp() > 0 {
 		points = append(points, benchPoint{

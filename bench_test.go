@@ -486,6 +486,89 @@ func BenchmarkConcurrentQuery(b *testing.B) {
 	}
 }
 
+// BenchmarkReadDuringLoad measures warm-query latency while a bulk
+// loader continuously inserts fresh batches and publishes snapshots.
+// Readers never take the store lock, so this should track the idle
+// warm-query latency (BenchmarkPlanCache/warm) rather than the load
+// duration.
+func BenchmarkReadDuringLoad(b *testing.B) {
+	ds := lubmData()
+	s, err := db2rdf.Open(db2rdf.Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := s.LoadTriples(ds.Triples); err != nil {
+		b.Fatal(err)
+	}
+	q := ds.Queries[0].SPARQL
+	if _, err := s.Query(q); err != nil {
+		b.Fatal(err)
+	}
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for batch := 0; ; batch++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			tris := make([]rdf.Triple, 0, 500)
+			for i := 0; i < 500; i++ {
+				tris = append(tris, rdf.NewTriple(
+					rdf.NewIRI(fmt.Sprintf("http://bench-churn/s%d-%d", batch, i)),
+					rdf.NewIRI(fmt.Sprintf("http://bench-churn/p%d", i%7)),
+					rdf.NewLiteral(fmt.Sprintf("v%d", i)),
+				))
+			}
+			if err := s.LoadTriples(tris); err != nil {
+				b.Error(err)
+				return
+			}
+		}
+	}()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := s.Query(q); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	close(stop)
+	wg.Wait()
+}
+
+// BenchmarkSnapshotPublish measures the writer-side cost of one
+// insert plus snapshot publication (COW chunk sealing, index freeze,
+// atomic pointer swap) against a loaded LUBM store — the price every
+// mutation pays so readers never wait.
+func BenchmarkSnapshotPublish(b *testing.B) {
+	ds := lubmData()
+	s, err := db2rdf.Open(db2rdf.Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := s.LoadTriples(ds.Triples); err != nil {
+		b.Fatal(err)
+	}
+	inner := s.Internal()
+	inner.Lock()
+	defer inner.Unlock()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := inner.InsertLocked(rdf.NewTriple(
+			rdf.NewIRI(fmt.Sprintf("http://pub/s%d", i)),
+			rdf.NewIRI("http://pub/p"),
+			rdf.NewLiteral(fmt.Sprintf("v%d", i)),
+		)); err != nil {
+			b.Fatal(err)
+		}
+		inner.PublishLocked()
+	}
+}
+
 // BenchmarkPlanCache isolates the compiled-plan cache: "warm" repeats
 // one query so every iteration is a cache hit (parse, optimize,
 // SQL-gen and SQL-parse all skipped), "cold" drops the cache each

@@ -24,8 +24,11 @@ go test -race -count=1 \
 echo "== update equivalence (interleaved insert/delete, concurrent readers) =="
 go test -race -count=1 \
     -run 'TestUpdateInterleavingEquivalence|TestUpdateConcurrentReaders|TestUpdateNoOpKeepsPlanCache' .
-echo "== hot-path perf gate (instrumentation compiled in, disabled) =="
-DB2RDF_PERF_GATE=1 go test -count=1 -run '^TestPerfGate$' -v .
+echo "== snapshot isolation (mixed read/write, torn-read + goroutine-leak checks) =="
+go test -race -count=1 \
+    -run 'TestSnapshotIsolationReaders|TestConcurrentInsertQueryExport|TestLoadParallelConcurrentReaders' .
+echo "== hot-path perf gates (instrumentation disabled; reads during load) =="
+DB2RDF_PERF_GATE=1 go test -count=1 -run '^TestPerfGate' -v .
 echo "== fuzz smoke (5s per target) =="
 go test -run '^$' -fuzz '^FuzzLoadReader$' -fuzztime 5s .
 go test -run '^$' -fuzz '^FuzzParseQuery$' -fuzztime 5s .

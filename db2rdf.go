@@ -104,7 +104,7 @@ func Open(opts Options) (*Store, error) {
 		return nil, err
 	}
 	plans := newPlanCache(defaultPlanCacheSize)
-	return &Store{inner: s, opts: opts, plans: plans, metrics: &Metrics{plans: plans}}, nil
+	return &Store{inner: s, opts: opts, plans: plans, metrics: &Metrics{plans: plans, inner: s}}, nil
 }
 
 // ColorTriples analyzes a sample of triples and returns coloring-based
@@ -173,11 +173,10 @@ func (s *Store) LoadTriplesParallel(ts []rdf.Triple, workers int) error {
 	return err
 }
 
-// Len returns the number of distinct subjects stored.
+// Len returns the number of distinct subjects stored (as of the
+// latest published snapshot; never blocks on a running load).
 func (s *Store) Len() int {
-	s.inner.RLock()
-	defer s.inner.RUnlock()
-	return s.inner.EntityCount(false)
+	return s.inner.Snapshot().EntityCount(false)
 }
 
 // StorageBytes returns the resident in-memory size of the four DB2RDF
@@ -187,9 +186,7 @@ func (s *Store) Len() int {
 // predicate columns cost one presence bit per absent value instead of
 // a full value slot.
 func (s *Store) StorageBytes() int64 {
-	s.inner.RLock()
-	defer s.inner.RUnlock()
-	return s.inner.StorageBytes()
+	return s.inner.Snapshot().StorageBytes()
 }
 
 // Internal exposes the underlying store for the benchmark harness and
@@ -225,9 +222,11 @@ type Results struct {
 
 // Query parses, optimizes, translates and executes a SPARQL query.
 // Property-path closures (p+, p*, p?) are materialized into temporary
-// relations for the duration of the query. Queries hold the store's
-// read lock, so any number may run concurrently with each other (and
-// are serialized against loads). The store's governance options
+// relations for the duration of the query. Queries run lock-free
+// against the store's atomically published snapshot: any number may
+// run concurrently with each other AND with writers — a bulk load on
+// another goroutine never blocks a query, which simply sees the last
+// published state. The store's governance options
 // (Options.QueryTimeout, MaxResultRows, MaxMemoryBytes) apply.
 func (s *Store) Query(q string) (*Results, error) {
 	return s.QueryContext(context.Background(), q)
@@ -240,22 +239,22 @@ func (s *Store) Query(q string) (*Results, error) {
 // ErrBudgetExceeded. Any panic during execution — parser, optimizer,
 // translator, or a worker goroutine in the executor — is recovered and
 // returned as a *PanicError with the query text attached; the store
-// stays fully usable (read lock released, path temporaries dropped,
-// plan cache intact).
+// stays fully usable (path temporaries dropped, plan cache intact).
 func (s *Store) QueryContext(ctx context.Context, q string) (res *Results, err error) {
 	start := time.Now()
 	var stats *ExecStats
-	// Deferred observation runs after the read lock is released and
-	// after guard has normalized panics into the final err, so the
-	// metrics see every outcome and the slow-query callback may itself
-	// use the store.
+	// Deferred observation runs after guard has normalized panics into
+	// the final err, so the metrics see every outcome and the
+	// slow-query callback may itself use the store.
 	defer func() { s.observeQuery(q, time.Since(start), res, stats, err) }()
 	defer guard(q, &res, &err)
 	ctx, cancel := s.governCtx(ctx)
 	defer cancel()
-	s.inner.RLock()
-	defer s.inner.RUnlock()
-	res, stats, _, err = s.queryLockedFull(ctx, q, s.profileQueries())
+	// One snapshot load pins the whole query — data, spill/multi state,
+	// and the epoch the plan cache keys on — to a single published
+	// version; writers publishing meanwhile are invisible.
+	snap := s.inner.Snapshot()
+	res, stats, _, err = s.queryFull(ctx, snap, q, s.profileQueries())
 	err = attachQuery(q, err)
 	return res, err
 }
@@ -325,31 +324,39 @@ func attachQuery(q string, err error) error {
 	return err
 }
 
-// queryLocked is Query under an already-held store read lock. Internal
-// callers that run secondary queries while servicing a public call
-// (closure materialization, CONSTRUCT, Export) use it to avoid
-// re-entrant read locking, which can deadlock against a queued writer.
+// queryOn is Query against a specific snapshot. Internal callers that
+// run secondary queries while servicing a public call (closure
+// materialization, CONSTRUCT, Export) use it so every constituent
+// query reads the same published version; the Update path passes a
+// live snapshot while holding the write lock.
 //
 // Repeated query texts skip the whole compile pipeline (SPARQL parse,
 // flow optimization, plan building, SQL generation, SQL parse) via the
-// store's compiled-plan cache; the epoch check guarantees a cached
-// plan is only reused against the exact store state it was compiled
-// for. Queries that materialize property-path closures are compiled
-// afresh each time (their SQL references per-query temp tables).
-func (s *Store) queryLocked(ctx context.Context, q string) (*Results, error) {
-	res, _, _, err := s.queryLockedFull(ctx, q, false)
+// store's compiled-plan cache; keying the cache on the snapshot's
+// epoch guarantees a cached plan is only reused against the exact
+// store state it was compiled for. Queries that materialize
+// property-path closures are compiled afresh each time (their SQL
+// references per-query temp tables).
+func (s *Store) queryOn(ctx context.Context, snap *store.Snapshot, q string) (*Results, error) {
+	res, _, _, err := s.queryFull(ctx, snap, q, false)
 	return res, err
 }
 
-// queryLockedFull is queryLocked returning the execution profile (nil
-// unless profile is set) and the compiled plan (nil when compilation
-// itself failed) alongside the results, for EXPLAIN ANALYZE and the
+// queryFull is queryOn returning the execution profile (nil unless
+// profile is set) and the compiled plan (nil when compilation itself
+// failed) alongside the results, for EXPLAIN ANALYZE and the
 // slow-query log.
-func (s *Store) queryLockedFull(ctx context.Context, q string, profile bool) (*Results, *ExecStats, *compiledPlan, error) {
-	epoch := s.inner.Epoch()
-	if cp, ok := s.plans.get(q, epoch); ok {
-		res, stats, err := s.executeCompiledStats(ctx, cp, profile)
-		return res, stats, cp, err
+func (s *Store) queryFull(ctx context.Context, snap *store.Snapshot, q string, profile bool) (*Results, *ExecStats, *compiledPlan, error) {
+	// A live (write-lock) snapshot sees mid-update content that is
+	// newer than the published state of the same epoch, so it must
+	// bypass the plan cache in both directions.
+	cacheable := !snap.Live()
+	epoch := snap.Epoch()
+	if cacheable {
+		if cp, ok := s.plans.get(q, epoch); ok {
+			res, stats, err := s.executeCompiledStats(ctx, snap, cp, profile)
+			return res, stats, cp, err
+		}
 	}
 	parsed, err := sparql.Parse(q)
 	if err != nil {
@@ -359,12 +366,12 @@ func (s *Store) queryLockedFull(ctx context.Context, q string, profile bool) (*R
 		inferenceRewrite(parsed)
 	}
 	sparql.UnifyEqualityFilters(parsed)
-	virtual, cleanup, err := s.materializeClosures(ctx, parsed)
+	virtual, cleanup, err := s.materializeClosures(ctx, snap, parsed)
 	if err != nil {
 		return nil, nil, nil, err
 	}
 	defer cleanup()
-	tr, err := s.translate(parsed, virtual)
+	tr, err := s.translate(snap, parsed, virtual)
 	if err != nil {
 		return nil, nil, nil, err
 	}
@@ -374,10 +381,10 @@ func (s *Store) queryLockedFull(ctx context.Context, q string, profile bool) (*R
 			return nil, nil, nil, fmt.Errorf("db2rdf: parsing generated SQL: %w", err)
 		}
 	}
-	if len(parsed.Closures) == 0 {
+	if cacheable && len(parsed.Closures) == 0 {
 		s.plans.put(cp)
 	}
-	res, stats, err := s.executeCompiledStats(ctx, cp, profile)
+	res, stats, err := s.executeCompiledStats(ctx, snap, cp, profile)
 	return res, stats, cp, err
 }
 
@@ -407,7 +414,8 @@ type Explanation struct {
 }
 
 // Explain returns the optimizer and translator artifacts for a query
-// without executing it. Like Query, it holds the store read lock.
+// without executing it. Like Query, it runs against the latest
+// published snapshot.
 func (s *Store) Explain(q string) (*Explanation, error) {
 	return s.ExplainContext(context.Background(), q)
 }
@@ -418,14 +426,12 @@ func (s *Store) ExplainContext(ctx context.Context, q string) (expl *Explanation
 	defer guard(q, nil, &err)
 	ctx, cancel := s.governCtx(ctx)
 	defer cancel()
-	s.inner.RLock()
-	defer s.inner.RUnlock()
-	return s.explainLocked(ctx, q)
+	return s.explainOn(ctx, s.inner.Snapshot(), q)
 }
 
-// explainLocked is ExplainContext under an already-held store read
-// lock (EXPLAIN ANALYZE reuses it before executing).
-func (s *Store) explainLocked(ctx context.Context, q string) (expl *Explanation, err error) {
+// explainOn is ExplainContext against a specific snapshot (EXPLAIN
+// ANALYZE reuses it before executing on the same snapshot).
+func (s *Store) explainOn(ctx context.Context, snap *store.Snapshot, q string) (expl *Explanation, err error) {
 	parsed, err := sparql.Parse(q)
 	if err != nil {
 		return nil, err
@@ -434,7 +440,7 @@ func (s *Store) explainLocked(ctx context.Context, q string) (expl *Explanation,
 		inferenceRewrite(parsed)
 	}
 	sparql.UnifyEqualityFilters(parsed)
-	virtual, cleanup, err := s.materializeClosures(ctx, parsed)
+	virtual, cleanup, err := s.materializeClosures(ctx, snap, parsed)
 	if err != nil {
 		return nil, attachQuery(q, err)
 	}
@@ -443,7 +449,7 @@ func (s *Store) explainLocked(ctx context.Context, q string) (expl *Explanation,
 	if err != nil {
 		return nil, err
 	}
-	backend := translator.NewDB2RDF(s.inner)
+	backend := translator.NewDB2RDF(snap)
 	backend.Virtual = virtual
 	planner := translator.NewPlanner(backend)
 	planner.SetMerging(!s.opts.DisableMerging)
@@ -453,7 +459,7 @@ func (s *Store) explainLocked(ctx context.Context, q string) (expl *Explanation,
 		return nil, err
 	}
 	expl = &Explanation{Flow: flow.String(), Tree: exec.String(), Plan: plan.String(), SQL: tr.SQL}
-	expl.PlanCached = s.plans.contains(q, s.inner.Epoch())
+	expl.PlanCached = s.plans.contains(q, snap.Epoch())
 	expl.PlanCacheHits, expl.PlanCacheMisses = s.plans.stats()
 	if d, ok := ctx.Deadline(); ok {
 		expl.Deadline = d
@@ -480,12 +486,12 @@ func (s *Store) optimize(parsed *sparql.Query) (*optimizer.ExecNode, *optimizer.
 	return optimizer.Optimize(parsed, s.inner.StatsView())
 }
 
-func (s *Store) translate(parsed *sparql.Query, virtual map[string]string) (*translator.Result, error) {
+func (s *Store) translate(snap *store.Snapshot, parsed *sparql.Query, virtual map[string]string) (*translator.Result, error) {
 	exec, _, err := s.optimize(parsed)
 	if err != nil {
 		return nil, err
 	}
-	backend := translator.NewDB2RDF(s.inner)
+	backend := translator.NewDB2RDF(snap)
 	backend.Virtual = virtual
 	planner := translator.NewPlanner(backend)
 	planner.SetMerging(!s.opts.DisableMerging)
@@ -493,10 +499,10 @@ func (s *Store) translate(parsed *sparql.Query, virtual map[string]string) (*tra
 	return translator.Translate(parsed, plan, backend)
 }
 
-// execute compiles tr.SQL (when non-empty) and runs it. Internal
-// callers that build query ASTs directly (CONSTRUCT, DESCRIBE) use it;
-// these one-off plans bypass the cache.
-func (s *Store) execute(ctx context.Context, parsed *sparql.Query, tr *translator.Result) (*Results, error) {
+// execute compiles tr.SQL (when non-empty) and runs it against the
+// snapshot. Internal callers that build query ASTs directly
+// (CONSTRUCT, DESCRIBE) use it; these one-off plans bypass the cache.
+func (s *Store) execute(ctx context.Context, snap *store.Snapshot, parsed *sparql.Query, tr *translator.Result) (*Results, error) {
 	cp := &compiledPlan{parsed: parsed, tr: tr}
 	if tr.SQL != "" {
 		var err error
@@ -504,23 +510,18 @@ func (s *Store) execute(ctx context.Context, parsed *sparql.Query, tr *translato
 			return nil, fmt.Errorf("db2rdf: parsing generated SQL: %w", err)
 		}
 	}
-	return s.executeCompiled(ctx, cp)
-}
-
-// executeCompiled runs a compiled plan under ctx and the store's
-// resource budgets. The plan's fields are read-only, so concurrent
-// readers may execute the same cached plan; an aborted execution
-// leaves the cached plan valid.
-func (s *Store) executeCompiled(ctx context.Context, cp *compiledPlan) (*Results, error) {
-	res, _, err := s.executeCompiledStats(ctx, cp, false)
+	res, _, err := s.executeCompiledStats(ctx, snap, cp, false)
 	return res, err
 }
 
-// executeCompiledStats is executeCompiled with optional operator
-// instrumentation; when profile is set the execution profile is
-// returned (present even on failure, so aborted queries can be
-// diagnosed).
-func (s *Store) executeCompiledStats(ctx context.Context, cp *compiledPlan, profile bool) (*Results, *ExecStats, error) {
+// executeCompiledStats runs a compiled plan against the snapshot's
+// database under ctx and the store's resource budgets, with optional
+// operator instrumentation; when profile is set the execution profile
+// is returned (present even on failure, so aborted queries can be
+// diagnosed). The plan's fields are read-only, so concurrent readers
+// may execute the same cached plan; an aborted execution leaves the
+// cached plan valid.
+func (s *Store) executeCompiledStats(ctx context.Context, snap *store.Snapshot, cp *compiledPlan, profile bool) (*Results, *ExecStats, error) {
 	tr := cp.tr
 	out := &Results{IsAsk: tr.Ask}
 	if cp.rq == nil {
@@ -539,9 +540,9 @@ func (s *Store) executeCompiledStats(ctx context.Context, cp *compiledPlan, prof
 	var stats *ExecStats
 	var err error
 	if profile {
-		rs, stats, err = s.inner.DB.AnalyzeContext(ctx, cp.rq, s.limits())
+		rs, stats, err = snap.DB().AnalyzeContext(ctx, cp.rq, s.limits())
 	} else {
-		rs, err = s.inner.DB.ExecContext(ctx, cp.rq, s.limits())
+		rs, err = snap.DB().ExecContext(ctx, cp.rq, s.limits())
 	}
 	if err != nil {
 		if isGovernanceErr(err) {

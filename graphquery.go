@@ -10,11 +10,13 @@ import (
 	"db2rdf/internal/rdf"
 	"db2rdf/internal/rel"
 	"db2rdf/internal/sparql"
+	"db2rdf/internal/store"
 )
 
 // QueryGraph executes a CONSTRUCT or DESCRIBE query, returning the
 // resulting triples (deduplicated, in deterministic first-seen order).
-// It holds the store read lock for the whole operation.
+// The whole operation — including the fan-out queries a DESCRIBE runs
+// per resource — reads one published snapshot.
 func (s *Store) QueryGraph(q string) ([]rdf.Triple, error) {
 	return s.QueryGraphContext(context.Background(), q)
 }
@@ -48,13 +50,12 @@ func (s *Store) QueryGraphContext(ctx context.Context, q string) (out []rdf.Trip
 	if err != nil {
 		return nil, err
 	}
-	s.inner.RLock()
-	defer s.inner.RUnlock()
+	snap := s.inner.Snapshot()
 	switch {
 	case parsed.Construct != nil:
-		out, err = s.construct(ctx, parsed, q)
+		out, err = s.construct(ctx, snap, parsed, q)
 	case len(parsed.Describe) > 0:
-		out, err = s.describe(ctx, parsed)
+		out, err = s.describe(ctx, snap, parsed)
 	default:
 		return nil, fmt.Errorf("db2rdf: QueryGraph wants a CONSTRUCT or DESCRIBE query; use Query for SELECT/ASK")
 	}
@@ -64,9 +65,8 @@ func (s *Store) QueryGraphContext(ctx context.Context, q string) (out []rdf.Trip
 // construct runs the WHERE clause and instantiates the template once
 // per solution. Instantiations with unbound variables, literal
 // subjects or non-IRI predicates are skipped, per the SPARQL spec.
-// The caller holds the store read lock.
-func (s *Store) construct(ctx context.Context, parsed *sparql.Query, original string) ([]rdf.Triple, error) {
-	res, err := s.queryLocked(ctx, original) // reparsed internally; keeps one code path
+func (s *Store) construct(ctx context.Context, snap *store.Snapshot, parsed *sparql.Query, original string) ([]rdf.Triple, error) {
+	res, err := s.queryOn(ctx, snap, original) // reparsed internally; keeps one code path
 	if err != nil {
 		return nil, err
 	}
@@ -115,24 +115,23 @@ func (s *Store) construct(ctx context.Context, parsed *sparql.Query, original st
 // AST (rather than rendering terms into a query string and reparsing)
 // keeps terms exact — escaped literals and blank nodes do not survive a
 // round trip through the SPARQL grammar — and skips a full parse per
-// lookup. The caller holds the store read lock.
-func (s *Store) queryPattern(ctx context.Context, sub, pred, obj sparql.TermOrVar, vars []string) (*Results, error) {
+// lookup.
+func (s *Store) queryPattern(ctx context.Context, snap *store.Snapshot, sub, pred, obj sparql.TermOrVar, vars []string) (*Results, error) {
 	where := &sparql.Pattern{Kind: sparql.Simple}
 	tp := &sparql.TriplePattern{ID: 1, S: sub, P: pred, O: obj, Parent: where}
 	where.Triples = []*sparql.TriplePattern{tp}
 	q := &sparql.Query{Vars: vars, Where: where, Limit: -1}
-	tr, err := s.translate(q, nil)
+	tr, err := s.translate(snap, q, nil)
 	if err != nil {
 		return nil, err
 	}
-	return s.execute(ctx, q, tr)
+	return s.execute(ctx, snap, q, tr)
 }
 
 // describe returns every triple in which each described resource
 // appears as subject or object. Variable resources are resolved
-// through the WHERE clause first. The caller holds the store read
-// lock.
-func (s *Store) describe(ctx context.Context, parsed *sparql.Query) ([]rdf.Triple, error) {
+// through the WHERE clause first.
+func (s *Store) describe(ctx context.Context, snap *store.Snapshot, parsed *sparql.Query) ([]rdf.Triple, error) {
 	var resources []rdf.Term
 	needWhere := false
 	for _, tv := range parsed.Describe {
@@ -148,11 +147,11 @@ func (s *Store) describe(ctx context.Context, parsed *sparql.Query) ([]rdf.Tripl
 		}
 		// Re-render is avoidable: run the pattern via the normal
 		// pipeline using the parsed query (Star projection).
-		tr, err := s.translate(parsed, nil)
+		tr, err := s.translate(snap, parsed, nil)
 		if err != nil {
 			return nil, err
 		}
-		res, err := s.execute(ctx, parsed, tr)
+		res, err := s.execute(ctx, snap, parsed, tr)
 		if err != nil {
 			return nil, err
 		}
@@ -191,7 +190,7 @@ func (s *Store) describe(ctx context.Context, parsed *sparql.Query) ([]rdf.Tripl
 		}
 		// Outgoing and incoming edges, via directly built ASTs so blank
 		// nodes and exotic literals are handled exactly.
-		res, err := s.queryPattern(ctx, sparql.Constant(r), sparql.Variable("p"), sparql.Variable("o"), []string{"p", "o"})
+		res, err := s.queryPattern(ctx, snap, sparql.Constant(r), sparql.Variable("p"), sparql.Variable("o"), []string{"p", "o"})
 		if err != nil {
 			return nil, err
 		}
@@ -200,7 +199,7 @@ func (s *Store) describe(ctx context.Context, parsed *sparql.Query) ([]rdf.Tripl
 				add(rdf.NewTriple(r, row[0].Term, row[1].Term))
 			}
 		}
-		res, err = s.queryPattern(ctx, sparql.Variable("s"), sparql.Variable("p"), sparql.Constant(r), []string{"s", "p"})
+		res, err = s.queryPattern(ctx, snap, sparql.Variable("s"), sparql.Variable("p"), sparql.Constant(r), []string{"s", "p"})
 		if err != nil {
 			return nil, err
 		}
@@ -224,9 +223,9 @@ func (s *Store) Export(w io.Writer) (int, error) {
 	// store's triple count will (correctly) trip the budget.
 	ctx, cancel := s.governCtx(context.Background())
 	defer cancel()
-	s.inner.RLock()
-	defer s.inner.RUnlock()
-	res, err := s.queryLocked(ctx, `SELECT ?s ?p ?o WHERE { ?s ?p ?o }`)
+	// One snapshot load: the export is the exact content of a single
+	// published epoch, even while writers keep publishing.
+	res, err := s.queryOn(ctx, s.inner.Snapshot(), `SELECT ?s ?p ?o WHERE { ?s ?p ?o }`)
 	if err != nil {
 		return 0, err
 	}

@@ -9,6 +9,7 @@ package dict
 import (
 	"fmt"
 	"sync"
+	"sync/atomic"
 
 	"db2rdf/internal/rdf"
 )
@@ -23,12 +24,21 @@ const LidBase int64 = 1 << 62
 func IsLid(id int64) bool { return id >= LidBase }
 
 // Dict interns RDF terms and hands out list ids. It is safe for
-// concurrent use.
+// concurrent use. The dictionary is append-only and versioned: every
+// Encode that allocates a new id republishes the id→term slice header
+// through an atomic pointer, so Decode — the hot call on every query's
+// result materialization — resolves ids entirely lock-free even while
+// a bulk load is interning thousands of new terms. A published header
+// is len-capped by value, and ids are only handed out after the term
+// lands in the slice, so a reader's header always covers every id any
+// published store snapshot can contain.
 type Dict struct {
 	mu      sync.RWMutex
 	byKey   map[string]int64
 	byID    []rdf.Term // index i holds the term with id i+1
 	nextLid int64
+
+	pub atomic.Pointer[[]rdf.Term] // published byID header for lock-free Decode
 }
 
 // New returns an empty dictionary.
@@ -53,6 +63,12 @@ func (d *Dict) Encode(t rdf.Term) int64 {
 	d.byID = append(d.byID, t)
 	id = int64(len(d.byID))
 	d.byKey[key] = id
+	// Republish the slice header. The element write above happens
+	// before the atomic store, and readers load the pointer with
+	// acquire semantics, so a reader that sees the new length also
+	// sees the new term.
+	hdr := d.byID
+	d.pub.Store(&hdr)
 	return id
 }
 
@@ -64,8 +80,18 @@ func (d *Dict) Lookup(t rdf.Term) (int64, bool) {
 	return id, ok
 }
 
-// Decode returns the term for a term id.
+// Decode returns the term for a term id. Lock-free: it reads the
+// atomically published slice header. An id allocated after the last
+// publish this reader observed cannot appear in any data the reader
+// sees (ids are interned before rows referencing them are written and
+// published), so a miss here is a genuinely unknown id — but fall back
+// to the locked slice to keep the error path exact under races.
 func (d *Dict) Decode(id int64) (rdf.Term, error) {
+	if p := d.pub.Load(); p != nil {
+		if byID := *p; id >= 1 && id <= int64(len(byID)) {
+			return byID[id-1], nil
+		}
+	}
 	d.mu.RLock()
 	defer d.mu.RUnlock()
 	if id < 1 || id > int64(len(d.byID)) {

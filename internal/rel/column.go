@@ -36,9 +36,18 @@ import (
 // carry zero exceptions.
 //
 // Concurrency: colVec methods take no locks. The owning Table
-// serializes writers with its mutex, and readers (the executor) run
-// under the store-level read lock that excludes writers for the whole
-// query, the same contract Table.Rows relied on.
+// serializes writers with its mutex; readers either hold the table
+// read lock briefly to capture the chunk directory, or read a
+// published snapshot table (Table.Publish) whose chunks are immutable.
+// Mutations are copy-on-write at chunk granularity: every chunk and
+// chunk directory carries the writer generation (Table.wgen) that
+// created it, and a writer touching a chunk from an older generation —
+// one that a published snapshot may still reference — first clones it
+// (deep-copying the packed slices and exception map, since set() does
+// in-place rank writes and memmoves into them). Chunks created in the
+// current generation are private to the writer and mutate in place; a
+// table that has never been published has wgen 0 and every mutation
+// stays in place, so temp tables pay nothing for the machinery.
 
 const (
 	chunkShift = 10
@@ -66,6 +75,11 @@ type colChunk struct {
 	// in-chunk offset. The packed slice carries a zero placeholder at
 	// the same rank so presence arithmetic stays uniform.
 	exc map[uint16]Value
+
+	// gen is the writer generation (Table.wgen) that created or cloned
+	// this chunk. A writer may only mutate chunks of the current
+	// generation; older chunks are shared with published snapshots.
+	gen uint64
 }
 
 // colVec is one column of a table.
@@ -73,6 +87,67 @@ type colVec struct {
 	typ      ColumnType
 	chunks   []*colChunk // nil entry = all-NULL chunk
 	excCount int         // total exception values across all chunks
+	sgen     uint64      // generation that owns the chunks slice (slot stores require sgen == wgen)
+}
+
+// clone deep-copies the chunk for mutation in generation wgen. The
+// packed slices and exception map must be copied, not shared: set()
+// memmoves and rank-writes into them in place, which would corrupt the
+// snapshot's view of the shared backing arrays.
+func (c *colChunk) clone(wgen uint64) *colChunk {
+	nc := &colChunk{
+		bits:     c.bits,
+		n:        c.n,
+		min:      c.min,
+		max:      c.max,
+		zoneInit: c.zoneInit,
+		gen:      wgen,
+	}
+	if c.ints != nil {
+		nc.ints = append(make([]int64, 0, len(c.ints)+1), c.ints...)
+	}
+	if c.floats != nil {
+		nc.floats = append(make([]float64, 0, len(c.floats)+1), c.floats...)
+	}
+	if c.strs != nil {
+		nc.strs = append(make([]string, 0, len(c.strs)+1), c.strs...)
+	}
+	if c.exc != nil {
+		nc.exc = make(map[uint16]Value, len(c.exc))
+		for k, v := range c.exc {
+			nc.exc[k] = v
+		}
+	}
+	return nc
+}
+
+// mutableDir makes the chunk directory writable in generation wgen.
+// Published snapshots capture the directory as a len-capped slice, so
+// appends past the captured length are invisible to them — but a slot
+// store (chunks[ci] = x) lands in the shared backing array and must be
+// preceded by this copy.
+func (v *colVec) mutableDir(wgen uint64) {
+	if v.sgen != wgen {
+		v.chunks = append([]*colChunk(nil), v.chunks...)
+		v.sgen = wgen
+	}
+}
+
+// mutableChunk returns chunk ci ready for mutation in generation wgen,
+// creating or cloning it (and COW-ing the directory slot) as needed.
+func (v *colVec) mutableChunk(wgen uint64, ci int) *colChunk {
+	ck := v.chunks[ci]
+	switch {
+	case ck == nil:
+		ck = &colChunk{gen: wgen}
+	case ck.gen != wgen:
+		ck = ck.clone(wgen)
+	default:
+		return ck
+	}
+	v.mutableDir(wgen)
+	v.chunks[ci] = ck
+	return ck
 }
 
 // has reports whether the row at in-chunk offset off is present.
@@ -128,18 +203,15 @@ func (v *colVec) grow(i int) {
 
 // appendVal writes val at row i, which must be the next unwritten row
 // (append order). Appending within a chunk always lands past every
-// set bit, so the packed insert is a plain append.
-func (v *colVec) appendVal(i int, val Value) {
+// set bit, so the packed insert is a plain append. wgen is the owning
+// table's writer generation (COW discipline; see the header comment).
+func (v *colVec) appendVal(wgen uint64, i int, val Value) {
 	v.grow(i + 1)
 	if val.IsNull() {
 		return
 	}
 	ci := i >> chunkShift
-	ck := v.chunks[ci]
-	if ck == nil {
-		ck = &colChunk{}
-		v.chunks[ci] = ck
-	}
+	ck := v.mutableChunk(wgen, ci)
 	off := i & chunkMask
 	ck.bits[off>>6] |= 1 << (uint(off) & 63)
 	ck.n++
@@ -206,19 +278,21 @@ func (v *colVec) get(i int) Value {
 
 // set replaces the value at row i, handling NULL↔value transitions
 // with a packed insert/delete at the row's rank. The memmove is
-// bounded by the chunk's packed size (≤1024 values).
-func (v *colVec) set(i int, val Value) {
+// bounded by the chunk's packed size (≤1024 values). wgen is the
+// owning table's writer generation (COW discipline).
+func (v *colVec) set(wgen uint64, i int, val Value) {
 	v.grow(i + 1)
 	ci := i >> chunkShift
-	ck := v.chunks[ci]
 	off := i & chunkMask
-	if ck == nil {
+	if ck := v.chunks[ci]; ck == nil {
 		if val.IsNull() {
 			return
 		}
-		ck = &colChunk{}
-		v.chunks[ci] = ck
+	} else if val.IsNull() && !ck.has(off) {
+		// NULL→NULL no-op: don't clone a shared chunk for nothing.
+		return
 	}
+	ck := v.mutableChunk(wgen, ci)
 	present := ck.has(off)
 	if val.IsNull() {
 		if !present {

@@ -79,17 +79,55 @@ func DefaultStorage() Storage { return Storage(defaultStorage.Load()) }
 // hashIndex is an equality index on one column. Numeric indexes key
 // ints exactly and floats under join-key semantics: an integral float
 // lands in (and probes) the int map — 1 joins 1.0 — and non-integral
-// floats are keyed by canonicalized bit pattern.
+// floats are keyed by canonicalized bit pattern. The posting maps are
+// layered copy-on-write structures (see cowmap.go) so a published
+// snapshot keeps a stable sealed view while the live index mutates.
 type hashIndex struct {
 	col    int
-	ints   map[int64][]int32
-	floats map[uint64][]int32 // non-integral floats by bit pattern
-	strs   map[string][]int32
+	ints   *postMap[int64]
+	floats *postMap[uint64] // non-integral floats by bit pattern
+	strs   *postMap[string]
+}
+
+// newHashIndex allocates an empty index on column ci of type typ.
+func newHashIndex(ci int, typ ColumnType) *hashIndex {
+	idx := &hashIndex{col: ci}
+	switch typ {
+	case TInt, TFloat:
+		idx.ints = &postMap[int64]{}
+		idx.floats = &postMap[uint64]{}
+	default:
+		idx.strs = &postMap[string]{}
+	}
+	return idx
+}
+
+// seal closes the index's dirty generation and returns the immutable
+// copy for a published snapshot. Caller holds the table write lock.
+func (x *hashIndex) seal() *hashIndex {
+	s := &hashIndex{col: x.col}
+	if x.ints != nil {
+		p := x.ints.seal()
+		s.ints = &p
+	}
+	if x.floats != nil {
+		p := x.floats.seal()
+		s.floats = &p
+	}
+	if x.strs != nil {
+		p := x.strs.seal()
+		s.strs = &p
+	}
+	return s
 }
 
 // Table is an in-memory relation with optional hash indexes.
 // Concurrent readers are safe once loading has finished; writes take an
-// exclusive lock.
+// exclusive lock. Publish freezes the current contents into an
+// immutable snapshot table that shares all chunk data; from then on
+// writers copy any shared chunk, bitmap or slice directory before
+// mutating it (generation stamps wgen/sgen/tombGen/rowsGen track
+// ownership), so snapshots never observe a mutation.
 type Table struct {
 	Name   string
 	Schema Schema
@@ -103,6 +141,11 @@ type Table struct {
 	dead    int          // total tombstoned rows
 	indexes map[string]*hashIndex // by lower-cased column name
 	colIdx  map[string]int        // lower-cased column name → position
+
+	wgen        uint64 // writer generation: bumped by Publish; 0 = never published
+	tombGen     uint64 // generation that owns the tomb slice
+	rowsGen     uint64 // generation that owns the rows slice (row layout)
+	compactions int64  // chunks compacted at publish time (metrics)
 }
 
 // NewTable creates an empty table using the current default storage
@@ -167,7 +210,7 @@ func (t *Table) AppendRow(r Row) (int, error) {
 	id := t.nrows
 	if t.storage == StorageColumnar {
 		for j, col := range t.cols {
-			col.appendVal(id, r[j])
+			col.appendVal(t.wgen, id, r[j])
 		}
 	} else {
 		t.rows = append(t.rows, r)
@@ -196,7 +239,7 @@ func (t *Table) AppendRows(rs []Row) (int, error) {
 	if t.storage == StorageColumnar {
 		for j, col := range t.cols {
 			for i, r := range rs {
-				col.appendVal(base+i, r[j])
+				col.appendVal(t.wgen, base+i, r[j])
 			}
 		}
 	} else {
@@ -225,12 +268,23 @@ func (t *Table) UpdateRow(i int, r Row) error {
 	}
 	if t.storage == StorageColumnar {
 		for j, col := range t.cols {
-			col.set(i, r[j])
+			col.set(t.wgen, i, r[j])
 		}
 		return nil
 	}
+	t.mutableRowsLocked()
 	t.rows[i] = r
 	return nil
+}
+
+// mutableRowsLocked makes the rows slice writable in the current
+// generation: published snapshots capture it len-capped, so appends
+// are invisible to them but slot stores must copy the directory first.
+func (t *Table) mutableRowsLocked() {
+	if t.rowsGen != t.wgen {
+		t.rows = append([]Row(nil), t.rows...)
+		t.rowsGen = t.wgen
+	}
 }
 
 // CellAt returns the value at (row i, column j). Cheaper than RowAt
@@ -260,12 +314,13 @@ func (t *Table) SetCell(i, j int, v Value) error {
 		return fmt.Errorf("rel: table %s: column %d out of range", t.Name, j)
 	}
 	if t.storage == StorageColumnar {
-		t.cols[j].set(i, v)
+		t.cols[j].set(t.wgen, i, v)
 		return nil
 	}
 	r := make(Row, len(t.rows[i]))
 	copy(r, t.rows[i])
 	r[j] = v
+	t.mutableRowsLocked()
 	t.rows[i] = r
 	return nil
 }
@@ -405,16 +460,12 @@ func (t *Table) CreateIndex(col string) error {
 	if ci < 0 {
 		return fmt.Errorf("rel: table %s has no column %q", t.Name, col)
 	}
-	idx := &hashIndex{col: ci}
 	switch t.Schema[ci].Type {
-	case TInt, TFloat:
-		idx.ints = make(map[int64][]int32)
-		idx.floats = make(map[uint64][]int32)
-	case TString:
-		idx.strs = make(map[string][]int32)
+	case TInt, TFloat, TString:
 	default:
 		return fmt.Errorf("rel: cannot index column %q of type %v", col, t.Schema[ci].Type)
 	}
+	idx := newHashIndex(ci, t.Schema[ci].Type)
 	t.mu.Lock()
 	defer t.mu.Unlock()
 	if t.storage == StorageColumnar {
@@ -458,8 +509,10 @@ func (t *Table) lookup(col string, v Value) ([]int32, bool) {
 // indexFor resolves the hash index on col once, so probe loops can
 // look values up without re-resolving (and lower-casing) the column
 // name per probed row. Returns nil when the column is not indexed.
-// The returned index must only be read while writers are excluded
-// (the store-level lock does this for the query pipeline).
+// On a published snapshot table the returned index is a sealed,
+// immutable copy and needs no further synchronization; on a live
+// table it must only be read while writers are excluded (the store
+// write lock covers the writer-context query pipeline).
 func (t *Table) indexFor(col string) *hashIndex {
 	t.mu.RLock()
 	defer t.mu.RUnlock()
@@ -475,18 +528,18 @@ func (x *hashIndex) lookupVal(v Value) []int32 {
 	case x.ints != nil:
 		switch v.K {
 		case KindInt:
-			return x.ints[v.I]
+			return x.ints.find(v.I)
 		case KindFloat:
 			if v.F == float64(int64(v.F)) {
-				return x.ints[int64(v.F)]
+				return x.ints.find(int64(v.F))
 			}
 			if x.floats != nil {
-				return x.floats[floatBitsKey(v.F)]
+				return x.floats.find(floatBitsKey(v.F))
 			}
 		}
 	case x.strs != nil:
 		if v.K == KindString {
-			return x.strs[v.S]
+			return x.strs.find(v.S)
 		}
 	}
 	return nil
@@ -500,18 +553,17 @@ func (x *hashIndex) add(v Value, id int32) {
 	case x.ints != nil:
 		switch v.K {
 		case KindInt:
-			x.ints[v.I] = append(x.ints[v.I], id)
+			x.ints.add(v.I, id)
 		case KindFloat:
 			if v.F == float64(int64(v.F)) {
-				x.ints[int64(v.F)] = append(x.ints[int64(v.F)], id)
+				x.ints.add(int64(v.F), id)
 			} else if x.floats != nil {
-				k := floatBitsKey(v.F)
-				x.floats[k] = append(x.floats[k], id)
+				x.floats.add(floatBitsKey(v.F), id)
 			}
 		}
 	case x.strs != nil:
 		if v.K == KindString {
-			x.strs[v.S] = append(x.strs[v.S], id)
+			x.strs.add(v.S, id)
 		}
 	}
 }

@@ -33,11 +33,13 @@ import (
 //
 // Compaction: once a chunk accumulates tombCompactDead dead-but-dirty
 // rows (dirty = cells still sitting in the packed vectors), the chunk
-// is rewritten — every dead cell is cleared through colVec.set (packed
-// delete + presence-bit clear), and the chunk's zone map is rebuilt
-// over the surviving packed ints. Tombstone bits persist after
-// compaction so cleared cells do not leak into IS NULL results; only
-// the dirty counter resets.
+// is rewritten at the next Publish — every dead cell is cleared
+// through colVec.set (packed delete + presence-bit clear), and the
+// chunk's zone map is rebuilt over the surviving packed ints. Running
+// compaction at publish time means it always operates on the writer's
+// private copy-on-write chunks, never on data a snapshot still reads.
+// Tombstone bits persist after compaction so cleared cells do not leak
+// into IS NULL results; only the dirty counter resets.
 
 // tombCompactDead is the per-chunk dead-row threshold that triggers
 // compaction (a quarter of a chunk).
@@ -48,6 +50,7 @@ type tombChunk struct {
 	bits  [chunkWords]uint64 // set bit = dead row
 	dead  int                // dead rows in this chunk
 	dirty int                // dead rows whose cells are still in the column chunks
+	gen   uint64             // writer generation that owns this bitmap (COW)
 }
 
 // has reports whether the row at in-chunk offset off is dead.
@@ -83,8 +86,8 @@ func (t *Table) DeadRows() int {
 // DeleteRow tombstones row i. The row id stays allocated (physical
 // indices never shift), but the row is removed from every hash index
 // immediately and excluded from all scans. Deleting an already-dead row
-// is a no-op. On a columnar table, a chunk that crosses the
-// dead-density threshold is compacted in place.
+// is a no-op. Chunks that cross the dead-density threshold are
+// compacted at the next Publish, on the writer's private copies.
 func (t *Table) DeleteRow(i int) error {
 	t.mu.Lock()
 	defer t.mu.Unlock()
@@ -95,14 +98,10 @@ func (t *Table) DeleteRow(i int) error {
 	for len(t.tomb) <= ci {
 		t.tomb = append(t.tomb, nil)
 	}
-	tc := t.tomb[ci]
-	if tc == nil {
-		tc = &tombChunk{}
-		t.tomb[ci] = tc
-	}
-	if tc.has(off) {
+	if tc := t.tomb[ci]; tc != nil && tc.has(off) {
 		return nil
 	}
+	tc := t.mutableTombLocked(ci)
 	// Unindex before the bit is set (the cell values are still intact).
 	for _, idx := range t.indexes {
 		var v Value
@@ -117,10 +116,48 @@ func (t *Table) DeleteRow(i int) error {
 	tc.dead++
 	tc.dirty++
 	t.dead++
-	if t.storage == StorageColumnar && tc.dirty >= tombCompactDead {
-		t.compactChunkLocked(ci, tc)
-	}
 	return nil
+}
+
+// mutableTombLocked returns tombstone chunk ci ready for mutation in
+// the current generation, creating or cloning it (and COW-ing the
+// tomb directory slot) as needed. The tomb slice must already cover ci.
+func (t *Table) mutableTombLocked(ci int) *tombChunk {
+	tc := t.tomb[ci]
+	switch {
+	case tc == nil:
+		tc = &tombChunk{gen: t.wgen}
+	case tc.gen != t.wgen:
+		c := *tc
+		c.gen = t.wgen
+		tc = &c
+	default:
+		return tc
+	}
+	if t.tombGen != t.wgen {
+		t.tomb = append([]*tombChunk(nil), t.tomb...)
+		t.tombGen = t.wgen
+	}
+	t.tomb[ci] = tc
+	return tc
+}
+
+// compactPendingLocked compacts every chunk whose dirty dead-cell
+// count has crossed the threshold. Called by Publish before freezing,
+// so the clears land on the writer's private chunk copies and the
+// published invariant holds: no chunk carries tombCompactDead or more
+// dirty cells. Caller holds the table write lock.
+func (t *Table) compactPendingLocked() {
+	if t.storage != StorageColumnar {
+		return
+	}
+	for ci, tc := range t.tomb {
+		if tc == nil || tc.dirty < tombCompactDead {
+			continue
+		}
+		t.compactChunkLocked(ci, t.mutableTombLocked(ci))
+		t.compactions++
+	}
 }
 
 // compactChunkLocked clears every dirty dead cell of chunk ci out of
@@ -135,7 +172,7 @@ func (t *Table) compactChunkLocked(ci int, tc *tombChunk) {
 			off := w<<6 + bits.TrailingZeros64(word)
 			word &= word - 1
 			for _, col := range t.cols {
-				col.set(base+off, Null)
+				col.set(t.wgen, base+off, Null)
 			}
 		}
 	}
@@ -145,7 +182,11 @@ func (t *Table) compactChunkLocked(ci int, tc *tombChunk) {
 			continue
 		}
 		ck := col.chunkOf(ci)
-		if ck == nil {
+		// Only chunks the clears above actually touched (and therefore
+		// cloned into the current generation) need a zone rebuild; an
+		// untouched chunk may still be shared with a snapshot and its
+		// bounds are unchanged anyway.
+		if ck == nil || ck.gen != t.wgen {
 			continue
 		}
 		// Re-widen from scratch: the old bounds may be witnessed only by
@@ -158,17 +199,28 @@ func (t *Table) compactChunkLocked(ci int, tc *tombChunk) {
 	}
 }
 
+// Compactions returns the number of chunk compactions the table has
+// run at publish time (metrics).
+func (t *Table) Compactions() int64 {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return t.compactions
+}
+
 // Clear removes every row, resetting the table to empty while keeping
-// its schema and index definitions (the indexes are emptied in place).
+// its schema and index definitions. Everything is replaced with fresh
+// objects — a whole-table copy-on-write — so published snapshots keep
+// reading the old column vectors and posting maps untouched.
 func (t *Table) Clear() {
 	t.mu.Lock()
 	defer t.mu.Unlock()
 	t.nrows, t.dead = 0, 0
 	t.rows, t.tomb = nil, nil
+	t.rowsGen, t.tombGen = t.wgen, t.wgen
 	if t.storage == StorageColumnar {
 		t.cols = make([]*colVec, len(t.Schema))
 		for i, c := range t.Schema {
-			t.cols[i] = &colVec{typ: c.Type}
+			t.cols[i] = &colVec{typ: c.Type, sgen: t.wgen}
 		}
 	}
 	for _, idx := range t.indexes {
@@ -191,34 +243,24 @@ func (x *hashIndex) remove(v Value, id int32) {
 	case x.ints != nil:
 		switch v.K {
 		case KindInt:
-			removeID(x.ints, v.I, id)
+			x.ints.remove(v.I, id)
 		case KindFloat:
 			if v.F == float64(int64(v.F)) {
-				removeID(x.ints, int64(v.F), id)
+				x.ints.remove(int64(v.F), id)
 			} else if x.floats != nil {
-				removeID(x.floats, floatBitsKey(v.F), id)
+				x.floats.remove(floatBitsKey(v.F), id)
 			}
 		}
 	case x.strs != nil:
 		if v.K == KindString {
-			removeID(x.strs, v.S, id)
+			x.strs.remove(v.S, id)
 		}
 	}
 }
 
-// removeID drops id from the posting list under key, deleting the key
-// outright when the list empties.
-func removeID[K comparable](m map[K][]int32, key K, id int32) {
-	ids := dropID(m[key], id)
-	if len(ids) == 0 {
-		delete(m, key)
-	} else {
-		m[key] = ids
-	}
-}
-
 // dropID removes the first occurrence of id, preserving order (probe
-// result determinism depends on posting-list order).
+// result determinism depends on posting-list order). The slice must be
+// owned by the caller (postMap dirty lists are).
 func dropID(ids []int32, id int32) []int32 {
 	for k, v := range ids {
 		if v == id {
@@ -228,15 +270,16 @@ func dropID(ids []int32, id int32) []int32 {
 	return ids
 }
 
-// reset empties the index in place, keeping its column binding.
+// reset empties the index by allocating fresh posting maps, keeping
+// its column binding. Sealed copies held by snapshots are untouched.
 func (x *hashIndex) reset() {
 	if x.ints != nil {
-		x.ints = make(map[int64][]int32)
+		x.ints = &postMap[int64]{}
 	}
 	if x.floats != nil {
-		x.floats = make(map[uint64][]int32)
+		x.floats = &postMap[uint64]{}
 	}
 	if x.strs != nil {
-		x.strs = make(map[string][]int32)
+		x.strs = &postMap[string]{}
 	}
 }

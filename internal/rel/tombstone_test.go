@@ -117,8 +117,8 @@ func TestDeleteZoneWitness(t *testing.T) {
 }
 
 // TestDeleteCompaction crosses the per-chunk compaction threshold and
-// checks the chunk is rewritten correctly: dead cells cleared, zone
-// map rebuilt over survivors, scans unchanged.
+// checks the chunk is rewritten correctly at the next publish: dead
+// cells cleared, zone map rebuilt over survivors, scans unchanged.
 func TestDeleteCompaction(t *testing.T) {
 	db, tbl := tombTable(t, StorageColumnar, chunkRows)
 	// Delete the top quarter of the chunk — the rows carrying the
@@ -128,7 +128,15 @@ func TestDeleteCompaction(t *testing.T) {
 			t.Fatal(err)
 		}
 	}
+	// Compaction runs at publish time, on the writer's private chunks.
+	snap := tbl.Publish()
+	if got := tbl.Compactions(); got != 1 {
+		t.Fatalf("compactions=%d want 1", got)
+	}
 	live := chunkRows - tombCompactDead
+	if snap.LiveLen() != live {
+		t.Fatalf("snapshot live=%d want %d", snap.LiveLen(), live)
+	}
 	if tbl.LiveLen() != live {
 		t.Fatalf("live=%d want %d", tbl.LiveLen(), live)
 	}

@@ -1,0 +1,81 @@
+package rel
+
+import "strings"
+
+// Snapshot publication. Publish freezes a table's current contents
+// into an immutable copy that shares all chunk data with the live
+// table: the frozen table gets its own colVec headers with len-capped
+// chunk directories, a len-capped tombstone directory, sealed index
+// copies, and the row/dead counters as of the freeze. Bumping the
+// live table's writer generation afterwards makes every shared chunk
+// stale for the writer, so the next mutation of any shared piece
+// clones it first (see column.go / tombstone.go / cowmap.go).
+//
+// A frozen table is a plain *Table, so the whole read pipeline —
+// point reads, index probes, vectorized scans, materialization — runs
+// on it unchanged. Its mutex is never writer-contended (nothing
+// mutates a frozen table), so reader-side lock acquisitions on it are
+// uncontended atomic ops; readers never wait on a store writer.
+// Memory reclamation is garbage collection: when the last query using
+// an old snapshot finishes, the snapshot and any chunks superseded by
+// newer generations become unreachable and are collected.
+
+// Publish returns an immutable frozen copy of the table and opens a
+// new writer generation on the receiver.
+func (t *Table) Publish() *Table {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.compactPendingLocked()
+	f := &Table{
+		Name:    t.Name,
+		Schema:  t.Schema,
+		storage: t.storage,
+		nrows:   t.nrows,
+		dead:    t.dead,
+		colIdx:  t.colIdx,
+		indexes: make(map[string]*hashIndex, len(t.indexes)),
+
+		compactions: t.compactions,
+	}
+	for name, idx := range t.indexes {
+		f.indexes[name] = idx.seal()
+	}
+	if t.storage == StorageColumnar {
+		f.cols = make([]*colVec, len(t.cols))
+		for i, c := range t.cols {
+			f.cols[i] = &colVec{
+				typ:      c.typ,
+				chunks:   c.chunks[:len(c.chunks):len(c.chunks)],
+				excCount: c.excCount,
+			}
+		}
+	} else {
+		f.rows = t.rows[:len(t.rows):len(t.rows)]
+	}
+	f.tomb = t.tomb[:len(t.tomb):len(t.tomb)]
+	t.wgen++
+	return f
+}
+
+// Publish freezes every table of the database into a new read-only DB
+// sharing chunk data with the live tables. The returned DB is safe
+// for unlimited concurrent readers while the live DB keeps mutating;
+// per-query temp tables (property-path closures) may still be created
+// in and dropped from it under its own mutex.
+func (db *DB) Publish() *DB {
+	db.mu.RLock()
+	live := make([]*Table, 0, len(db.tables))
+	for _, t := range db.tables {
+		live = append(live, t)
+	}
+	funcs := make(map[string]Func, len(db.funcs))
+	for k, f := range db.funcs {
+		funcs[k] = f
+	}
+	db.mu.RUnlock()
+	out := &DB{tables: make(map[string]*Table, len(live)), funcs: funcs}
+	for _, t := range live {
+		out.tables[strings.ToLower(t.Name)] = t.Publish()
+	}
+	return out
+}

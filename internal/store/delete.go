@@ -33,7 +33,7 @@ func (s *Store) Delete(t rdf.Triple) (bool, error) {
 	defer s.mu.Unlock()
 	removed, err := s.deleteLocked(t)
 	if removed {
-		s.epoch.Add(1)
+		s.publishLocked()
 	}
 	return removed, err
 }
@@ -47,7 +47,7 @@ func (s *Store) DeleteTriples(ts []rdf.Triple) (int, error) {
 	n := 0
 	defer func() {
 		if n > 0 {
-			s.epoch.Add(1)
+			s.publishLocked()
 		}
 	}()
 	for _, t := range ts {
@@ -70,7 +70,7 @@ func (s *Store) Clear() int {
 	defer s.mu.Unlock()
 	n := s.ClearLocked()
 	if n > 0 {
-		s.epoch.Add(1)
+		s.publishLocked()
 	}
 	return n
 }
@@ -83,27 +83,22 @@ func (s *Store) Lock() { s.mu.Lock() }
 // Unlock releases the store-wide write lock.
 func (s *Store) Unlock() { s.mu.Unlock() }
 
-// BumpEpoch advances the write epoch. The caller holds the write lock
-// and has actually changed store content (a no-op update must leave
-// the epoch alone so cached plans stay valid).
-func (s *Store) BumpEpoch() { s.epoch.Add(1) }
-
 // InsertLocked adds one triple with the write lock already held
 // (taken via Lock), reporting whether it was new. The caller is
-// responsible for bumping the epoch when anything changed.
+// responsible for publishing (PublishLocked) when anything changed.
 func (s *Store) InsertLocked(t rdf.Triple) (bool, error) {
 	return s.insertLocked(t)
 }
 
 // DeleteLocked removes one triple with the write lock already held,
 // reporting whether it was present. The caller is responsible for
-// bumping the epoch when anything changed.
+// publishing (PublishLocked) when anything changed.
 func (s *Store) DeleteLocked(t rdf.Triple) (bool, error) {
 	return s.deleteLocked(t)
 }
 
 // ClearLocked is Clear with the write lock already held; it returns
-// the number of triples removed and does not touch the epoch.
+// the number of triples removed and does not publish.
 func (s *Store) ClearLocked() int {
 	n := int(s.stats.TotalTriples())
 	for _, t := range []*rel.Table{s.dph, s.ds, s.rph, s.rs} {
@@ -255,9 +250,11 @@ func (d *side) resetState() {
 		}
 	}
 	d.predMu.Lock()
+	// Fresh maps, so snapshot-captured copies are left untouched.
 	d.spillPreds = make(map[int64]bool)
 	d.multiPreds = make(map[int64]bool)
 	d.spillCount = 0
+	d.predShared = false
 	d.predMu.Unlock()
 }
 

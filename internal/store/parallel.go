@@ -77,7 +77,7 @@ func (s *Store) LoadParallel(r io.Reader, workers int) (int, error) {
 	}
 	fresh, err := s.bulkLoadLocked(enc, workers)
 	if fresh > 0 {
-		s.epoch.Add(1)
+		s.publishLocked()
 	}
 	return len(enc), err
 }
@@ -91,7 +91,7 @@ func (s *Store) LoadTriplesParallel(ts []rdf.Triple, workers int) error {
 	enc := s.encodeSlice(ts, workers)
 	fresh, err := s.bulkLoadLocked(enc, workers)
 	if fresh > 0 {
-		s.epoch.Add(1)
+		s.publishLocked()
 	}
 	return err
 }
@@ -441,6 +441,7 @@ func (d *side) bulkInsert(s *Store, bucket []encTriple, stats *Stats, reverse bo
 	// Fold the bucket's predicate-keyed effects into the side.
 	if len(agg.spillPreds) > 0 || len(agg.multiPreds) > 0 || agg.spillCount > 0 {
 		d.predMu.Lock()
+		d.mutablePredsLocked()
 		for pid := range agg.spillPreds {
 			d.spillPreds[pid] = true
 		}

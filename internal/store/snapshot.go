@@ -1,0 +1,227 @@
+package store
+
+import (
+	"db2rdf/internal/coloring"
+	"db2rdf/internal/rdf"
+	"db2rdf/internal/rel"
+)
+
+// Snapshot publication (DESIGN.md §8). Every successful writer, while
+// still holding the store write lock, freezes the current state into a
+// Snapshot — an immutable bundle of the frozen relational database
+// (rel.DB.Publish), the predicate-keyed translator inputs (spill and
+// multi-value sets), the entity counts, and the new epoch — and
+// publishes it with one atomic pointer swap. Readers load the pointer
+// once and run the whole query against that snapshot without ever
+// touching the store-level lock: a bulk load on another goroutine can
+// proceed concurrently and its partial state is invisible until its
+// own publish.
+//
+// The captured spill/multi maps are shared with the live side until a
+// writer next mutates them; the predShared flag makes that mutation
+// clone first (copy-on-write under predMu), so a published map is
+// never written again.
+//
+// Memory reclamation is garbage collection: when the last query using
+// an old snapshot returns, the snapshot — and every chunk version
+// superseded since — becomes unreachable.
+
+// Snapshot is one immutable published version of the store. All
+// methods are safe for unlimited concurrent use without any store
+// locking. The zero-db ("live") variant returned by LiveSnapshot
+// instead reads the live state and is only for callers already
+// holding the store write lock (the SPARQL Update WHERE path).
+type Snapshot struct {
+	store *Store
+	epoch uint64
+	db    *rel.DB // frozen database; nil = live fallback
+
+	dph, ds, rph, rs *rel.Table // frozen relations (nil on live)
+
+	dirSpill, revSpill           map[int64]bool
+	dirMulti, revMulti           map[int64]bool
+	dirSpillCount, revSpillCount int
+	dirEntities, revEntities     int
+}
+
+// Snapshot returns the most recently published snapshot. It never
+// blocks and never returns nil once New has run.
+func (s *Store) Snapshot() *Snapshot { return s.snap.Load() }
+
+// LiveSnapshot returns a pass-through snapshot reading the live store
+// state. The caller must hold the store write lock for its whole
+// lifetime: the SPARQL Update path uses it so DELETE/INSERT ... WHERE
+// evaluation sees its own earlier mutations within one request.
+func (s *Store) LiveSnapshot() *Snapshot {
+	return &Snapshot{store: s, epoch: s.epoch.Load()}
+}
+
+// publishLocked advances the epoch and publishes a fresh snapshot of
+// the current state. The caller holds the store write lock and has
+// actually changed store content (the epoch-iff-changed discipline: a
+// no-op write publishes nothing, so cached plans and the snapshot both
+// stay valid).
+func (s *Store) publishLocked() {
+	sn := &Snapshot{store: s, epoch: s.epoch.Add(1), db: s.DB.Publish()}
+	sn.dph = sn.db.Table(s.TableName("DPH"))
+	sn.ds = sn.db.Table(s.TableName("DS"))
+	sn.rph = sn.db.Table(s.TableName("RPH"))
+	sn.rs = sn.db.Table(s.TableName("RS"))
+	sn.dirSpill, sn.dirMulti, sn.dirSpillCount = s.direct.capturePreds()
+	sn.revSpill, sn.revMulti, sn.revSpillCount = s.reverse.capturePreds()
+	sn.dirEntities = s.direct.entityCount()
+	sn.revEntities = s.reverse.entityCount()
+	s.snap.Store(sn)
+}
+
+// PublishLocked is publishLocked for package db2rdf's update path,
+// which batches many mutations under one Lock/Unlock and publishes
+// exactly once iff anything changed.
+func (s *Store) PublishLocked() { s.publishLocked() }
+
+// capturePreds hands out the side's predicate-keyed maps for a
+// snapshot, marking them shared so the next writer mutation clones
+// them first.
+func (d *side) capturePreds() (spill, multi map[int64]bool, spillCount int) {
+	d.predMu.Lock()
+	defer d.predMu.Unlock()
+	d.predShared = true
+	return d.spillPreds, d.multiPreds, d.spillCount
+}
+
+// entityCount counts distinct entities across the side's shards; the
+// caller holds the store write lock.
+func (d *side) entityCount() int {
+	n := 0
+	for _, sh := range d.shards {
+		n += len(sh.entityRows)
+	}
+	return n
+}
+
+// Live reports whether this is a pass-through snapshot of the live
+// store (write-lock callers only). Live results must not be cached
+// against the snapshot epoch: mid-update content is newer than the
+// published state of the same epoch.
+func (sn *Snapshot) Live() bool { return sn.db == nil }
+
+// Epoch returns the store epoch this snapshot was published at.
+func (sn *Snapshot) Epoch() uint64 { return sn.epoch }
+
+// DB returns the relational database to execute against: the frozen
+// copy, or the live database for a write-lock pass-through. Per-query
+// temp tables (property-path closures) may be created in and dropped
+// from a frozen DB under its own mutex; its store relations are
+// immutable.
+func (sn *Snapshot) DB() *rel.DB {
+	if sn.db == nil {
+		return sn.store.DB
+	}
+	return sn.db
+}
+
+// TableName returns the prefixed name of one of the store's relations.
+func (sn *Snapshot) TableName(base string) string { return sn.store.TableName(base) }
+
+// Mapping returns the predicate-to-column mapping of one side (fixed
+// at store creation, never mutated).
+func (sn *Snapshot) Mapping(reverse bool) coloring.Mapping { return sn.store.Mapping(reverse) }
+
+// K returns the column-pair budget of one side.
+func (sn *Snapshot) K(reverse bool) int { return sn.store.K(reverse) }
+
+// LookupID resolves a term against the store dictionary (internally
+// synchronized and append-only: an id interned after this snapshot
+// cannot occur in the snapshot's relations, so a hit merely yields an
+// id matching nothing — a correct empty result).
+func (sn *Snapshot) LookupID(t rdf.Term) (int64, bool) { return sn.store.Dict.Lookup(t) }
+
+// EncodeID interns a term (the dictionary is shared and append-only,
+// so interning from the read path is safe and ids are stable).
+func (sn *Snapshot) EncodeID(t rdf.Term) int64 { return sn.store.Dict.Encode(t) }
+
+// Decode resolves an id from this snapshot's relations to its term
+// (lock-free on the published dictionary version).
+func (sn *Snapshot) Decode(id int64) (rdf.Term, error) { return sn.store.Dict.Decode(id) }
+
+// SpillPredicates returns the spill-involved predicate set of one side
+// as of this snapshot. The returned map is immutable (copy-on-write on
+// the writer side).
+func (sn *Snapshot) SpillPredicates(reverse bool) map[int64]bool {
+	if sn.db == nil {
+		return sn.store.SpillPredicates(reverse)
+	}
+	if reverse {
+		return sn.revSpill
+	}
+	return sn.dirSpill
+}
+
+// MultiValued reports whether the predicate held a DS/RS list on the
+// given side as of this snapshot.
+func (sn *Snapshot) MultiValued(pid int64, reverse bool) bool {
+	if sn.db == nil {
+		return sn.store.MultiValued(pid, reverse)
+	}
+	if reverse {
+		return sn.revMulti[pid]
+	}
+	return sn.dirMulti[pid]
+}
+
+// AnyMultiValued reports whether any predicate on the given side was
+// multi-valued as of this snapshot.
+func (sn *Snapshot) AnyMultiValued(reverse bool) bool {
+	if sn.db == nil {
+		return sn.store.AnyMultiValued(reverse)
+	}
+	if reverse {
+		return len(sn.revMulti) > 0
+	}
+	return len(sn.dirMulti) > 0
+}
+
+// SpillCount returns the number of spill rows on one side as of this
+// snapshot.
+func (sn *Snapshot) SpillCount(reverse bool) int {
+	if sn.db == nil {
+		return sn.store.SpillCount(reverse)
+	}
+	if reverse {
+		return sn.revSpillCount
+	}
+	return sn.dirSpillCount
+}
+
+// EntityCount returns the number of distinct entities on one side as
+// of this snapshot.
+func (sn *Snapshot) EntityCount(reverse bool) int {
+	if sn.db == nil {
+		return sn.store.EntityCount(reverse)
+	}
+	if reverse {
+		return sn.revEntities
+	}
+	return sn.dirEntities
+}
+
+// StorageBytes returns the resident size of the four frozen relations
+// (shared chunk data is counted once — the frozen directories point at
+// the same chunks the live table serves).
+func (sn *Snapshot) StorageBytes() int64 {
+	if sn.db == nil {
+		return sn.store.StorageBytes()
+	}
+	var total int64
+	for _, t := range []*rel.Table{sn.dph, sn.ds, sn.rph, sn.rs} {
+		if t != nil {
+			total += t.ResidentBytes()
+		}
+	}
+	return total
+}
+
+// StatsView returns the optimizer statistics view. Statistics guide
+// plan choice only, never correctness, so they read the live
+// (internally synchronized) collector.
+func (sn *Snapshot) StatsView() *StatsView { return sn.store.StatsView() }

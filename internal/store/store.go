@@ -59,16 +59,18 @@ func (o *Options) fill() {
 
 // Store is a DB2RDF store over a relational database.
 //
-// Concurrency model (see DESIGN.md §8): the store-level RWMutex is the
-// root of the lock hierarchy store → table/dict/stats. Writers
-// (Insert, Load, LoadTriples, LoadParallel) take it exclusively;
-// readers (the query pipeline in package db2rdf) hold it shared via
-// RLock/RUnlock for the full duration of a query, so the loading-state
-// maps and statistics they consult cannot change underfoot. The
-// fine-grained read accessors (SpillPredicates, MultiValued, ...) do
-// NOT lock themselves — they are documented to run under the caller's
-// read lock, which keeps them safely usable from within the query path
-// without re-entrant locking.
+// Concurrency model (see DESIGN.md §8): writers (Insert, Load,
+// LoadTriples, LoadParallel, Delete, Clear, the Update path) serialize
+// on the store mutex, mutate through copy-on-write at chunk
+// granularity, and — iff anything changed — publish a frozen Snapshot
+// with one atomic pointer swap while still holding the lock. Readers
+// (the query pipeline in package db2rdf) call Snapshot() once and run
+// entirely against the frozen state: no store-level lock appears on
+// the read path, so query latency is decoupled from concurrent bulk
+// loads. The fine-grained live accessors (SpillPredicates,
+// MultiValued, ...) do NOT lock themselves — they serve write-lock
+// holders (via LiveSnapshot) and tools that otherwise exclude writers;
+// lock-free readers use the Snapshot methods of the same names.
 type Store struct {
 	DB   *rel.DB
 	Dict *dict.Dict
@@ -82,24 +84,28 @@ type Store struct {
 	mu    sync.RWMutex
 	stats *Stats
 
-	// epoch counts write calls. Every writer (Insert and all loaders)
-	// bumps it while holding the write lock, so a reader that observes
-	// Epoch() == E under the read lock knows the store content is the
-	// same snapshot any earlier epoch-E reader saw. The compiled-plan
-	// cache in package db2rdf keys its entries on it: loads can change
-	// spill and multi-value state and the predicate→column mapping view,
-	// all of which are baked into generated SQL.
+	// epoch counts publishes. Every writer that changed content bumps
+	// it (inside publishLocked) while holding the write lock, so two
+	// readers observing the same Snapshot().Epoch() saw byte-identical
+	// store content. The compiled-plan cache in package db2rdf keys its
+	// entries on it: loads can change spill and multi-value state and
+	// the predicate→column mapping view, all of which are baked into
+	// generated SQL.
 	epoch atomic.Uint64
+
+	// snap is the atomically published snapshot readers run against;
+	// see snapshot.go.
+	snap atomic.Pointer[Snapshot]
 }
 
 // Epoch returns the store's write epoch (see the field comment). A
-// cached artifact derived at epoch E remains valid exactly while
-// Epoch() reads E under the store read lock.
+// cached artifact derived at epoch E remains valid exactly for data
+// read from a snapshot whose Epoch() is E.
 func (s *Store) Epoch() uint64 { return s.epoch.Load() }
 
-// RLock takes the store-wide read lock. The query pipeline holds it
-// across parse→optimize→translate→execute so a whole query sees one
-// consistent snapshot of the loading state and statistics.
+// RLock takes the store-wide read lock, excluding writers. The query
+// pipeline no longer uses it (queries run on published snapshots);
+// it remains for tools that inspect live loading state directly.
 func (s *Store) RLock() { s.mu.RLock() }
 
 // RUnlock releases the store-wide read lock.
@@ -127,6 +133,27 @@ type side struct {
 	spillPreds map[int64]bool // predicate ids involved in spills
 	multiPreds map[int64]bool // predicate ids that own at least one lid
 	spillCount int
+	predShared bool // maps captured by a snapshot: clone before mutating
+}
+
+// mutablePredsLocked makes the predicate maps private to the writer
+// before an in-place mutation: if the current maps were captured by a
+// published snapshot they are cloned first, so the snapshot's copies
+// are never written again. The caller holds predMu.
+func (d *side) mutablePredsLocked() {
+	if !d.predShared {
+		return
+	}
+	sp := make(map[int64]bool, len(d.spillPreds))
+	for pid := range d.spillPreds {
+		sp[pid] = true
+	}
+	mp := make(map[int64]bool, len(d.multiPreds))
+	for pid := range d.multiPreds {
+		mp[pid] = true
+	}
+	d.spillPreds, d.multiPreds = sp, mp
+	d.predShared = false
 }
 
 // sideShard is the entity-keyed loading state for one shard of a side.
@@ -195,6 +222,10 @@ func New(db *rel.DB, opts Options) (*Store, error) {
 	s.direct = newSide(s.dph, s.ds, opts.Mapping, opts.K)
 	s.reverse = newSide(s.rph, s.rs, opts.ReverseMapping, opts.KReverse)
 	s.RegisterSPARQLFuncs()
+	// Publish the initial (empty) snapshot so readers never see nil.
+	s.mu.Lock()
+	s.publishLocked()
+	s.mu.Unlock()
 	return s, nil
 }
 
@@ -229,7 +260,7 @@ func (s *Store) Insert(t rdf.Triple) error {
 	defer s.mu.Unlock()
 	fresh, err := s.insertLocked(t)
 	if fresh {
-		s.epoch.Add(1)
+		s.publishLocked()
 	}
 	return err
 }
@@ -322,6 +353,7 @@ func (d *side) insert(s *Store, entity, pid, member int64, predURI string) (bool
 	if len(rows) > 0 {
 		spillFlag = 1
 		d.predMu.Lock()
+		d.mutablePredsLocked()
 		d.spillCount++
 		d.spillPreds[pid] = true
 		d.predMu.Unlock()
@@ -330,6 +362,7 @@ func (d *side) insert(s *Store, entity, pid, member int64, predURI string) (bool
 			// Every predicate already stored for this entity is now
 			// involved in spills: a merged star lookup could miss it.
 			d.predMu.Lock()
+			d.mutablePredsLocked()
 			for _, ri := range rows {
 				for c := 0; c < d.k; c++ {
 					if pv := d.primary.CellAt(ri, 2+2*c); pv.K == rel.KindInt {
@@ -364,6 +397,7 @@ func (d *side) insert(s *Store, entity, pid, member int64, predURI string) (bool
 // loader worker may reach this for any predicate).
 func (d *side) setMultiPred(pid int64) {
 	d.predMu.Lock()
+	d.mutablePredsLocked()
 	d.multiPreds[pid] = true
 	d.predMu.Unlock()
 }
@@ -371,6 +405,7 @@ func (d *side) setMultiPred(pid int64) {
 // setSpillPred marks a predicate as spill-involved.
 func (d *side) setSpillPred(pid int64) {
 	d.predMu.Lock()
+	d.mutablePredsLocked()
 	d.spillPreds[pid] = true
 	d.predMu.Unlock()
 }
@@ -381,11 +416,12 @@ func (s *Store) Load(r io.Reader) (int, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	freshTotal := 0
-	// Bump once if any triple landed, even when a later line errors:
-	// the partial load is visible, so cached plans must refresh.
+	// Publish once if any triple landed, even when a later line errors:
+	// the partial load is visible, so readers and cached plans must see
+	// the new state.
 	defer func() {
 		if freshTotal > 0 {
-			s.epoch.Add(1)
+			s.publishLocked()
 		}
 	}()
 	rd := rdf.NewReader(r)
@@ -417,7 +453,7 @@ func (s *Store) LoadTriples(ts []rdf.Triple) error {
 	freshTotal := 0
 	defer func() {
 		if freshTotal > 0 {
-			s.epoch.Add(1)
+			s.publishLocked()
 		}
 	}()
 	for _, t := range ts {
@@ -440,8 +476,8 @@ func (s *Store) Stats() *Stats { return s.stats }
 // SpillPredicates returns the set of predicate ids involved in spills
 // on the direct (subject) or reverse (object) side; the translator
 // consults it to decide whether star merging is safe (§3.2.1). The
-// caller must hold the store read lock (the query pipeline does) or
-// otherwise exclude writers.
+// caller must exclude writers (hold the store lock in either mode);
+// lock-free readers use Snapshot.SpillPredicates instead.
 func (s *Store) SpillPredicates(reverse bool) map[int64]bool {
 	if reverse {
 		return s.reverse.spillPreds
@@ -451,8 +487,8 @@ func (s *Store) SpillPredicates(reverse bool) map[int64]bool {
 
 // MultiValued reports whether the predicate id holds a lid (a DS/RS
 // list) for at least one entity on the given side; the translator uses
-// it to decide when the secondary relation must be joined. Caller holds
-// the store read lock.
+// it to decide when the secondary relation must be joined. Caller
+// excludes writers; lock-free readers use Snapshot.MultiValued.
 func (s *Store) MultiValued(pid int64, reverse bool) bool {
 	if reverse {
 		return s.reverse.multiPreds[pid]
@@ -462,7 +498,8 @@ func (s *Store) MultiValued(pid int64, reverse bool) bool {
 
 // AnyMultiValued reports whether any predicate on the given side is
 // multi-valued (used by variable-predicate translations that must be
-// conservative). Caller holds the store read lock.
+// conservative). Caller excludes writers; lock-free readers use
+// Snapshot.AnyMultiValued.
 func (s *Store) AnyMultiValued(reverse bool) bool {
 	if reverse {
 		return len(s.reverse.multiPreds) > 0
@@ -527,6 +564,30 @@ func (s *Store) K(reverse bool) int {
 // term does not occur in the store.
 func (s *Store) LookupID(t rdf.Term) (int64, bool) {
 	return s.Dict.Lookup(t)
+}
+
+// EncodeID interns a term, returning its id (the translator backend
+// hook; the dictionary is internally synchronized).
+func (s *Store) EncodeID(t rdf.Term) int64 { return s.Dict.Encode(t) }
+
+// Compactions returns the total number of publish-time chunk
+// compactions across the four relations (metrics).
+func (s *Store) Compactions() int64 {
+	var total int64
+	for _, t := range []*rel.Table{s.dph, s.ds, s.rph, s.rs} {
+		total += t.Compactions()
+	}
+	return total
+}
+
+// DeadRows returns the current number of tombstoned rows across the
+// four relations (metrics).
+func (s *Store) DeadRows() int {
+	n := 0
+	for _, t := range []*rel.Table{s.dph, s.ds, s.rph, s.rs} {
+		n += t.DeadRows()
+	}
+	return n
 }
 
 // BuildMappings scans a sample of triples, builds interference graphs

@@ -5,10 +5,10 @@ import (
 	"sort"
 	"strings"
 
+	"db2rdf/internal/coloring"
 	"db2rdf/internal/optimizer"
 	"db2rdf/internal/rdf"
 	"db2rdf/internal/sparql"
-	"db2rdf/internal/store"
 )
 
 // MethodT aliases the optimizer's access method type for backends.
@@ -21,24 +21,41 @@ const (
 	MethodACO = optimizer.ACO
 )
 
+// StoreView is the read-side store surface the backend translates
+// against: either the live *store.Store (writer-context translation,
+// under the store write lock — the SPARQL Update WHERE path) or a
+// *store.Snapshot (lock-free query translation against one published
+// version). Keeping it an interface means the generated SQL is always
+// derived from exactly the state it will execute against.
+type StoreView interface {
+	TableName(base string) string
+	Mapping(reverse bool) coloring.Mapping
+	K(reverse bool) int
+	LookupID(t rdf.Term) (int64, bool)
+	EncodeID(t rdf.Term) int64
+	SpillPredicates(reverse bool) map[int64]bool
+	MultiValued(pid int64, reverse bool) bool
+	AnyMultiValued(reverse bool) bool
+}
+
 // DB2RDF is the translator backend for the entity-oriented DB2RDF
 // schema (DPH/DS/RPH/RS), emitting the CTE templates of Figures 12-13.
 type DB2RDF struct {
-	St *store.Store
+	St StoreView
 	// Virtual maps synthetic predicate IRIs (property-path closure
 	// markers) to the name of the materialized (entry, val) relation
 	// holding their pairs.
 	Virtual map[string]string
 }
 
-// NewDB2RDF wraps a store as a translation backend.
-func NewDB2RDF(st *store.Store) *DB2RDF { return &DB2RDF{St: st} }
+// NewDB2RDF wraps a store view as a translation backend.
+func NewDB2RDF(st StoreView) *DB2RDF { return &DB2RDF{St: st} }
 
 // LookupID implements Backend.
 func (b *DB2RDF) LookupID(t rdf.Term) (int64, bool) { return b.St.LookupID(t) }
 
 // EncodeID implements Backend.
-func (b *DB2RDF) EncodeID(t rdf.Term) int64 { return b.St.Dict.Encode(t) }
+func (b *DB2RDF) EncodeID(t rdf.Term) int64 { return b.St.EncodeID(t) }
 
 // MergeSafe implements Backend: constant predicates only, none
 // involved in spills on the relevant side (§3.2.1). Scans read DPH

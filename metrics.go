@@ -7,6 +7,8 @@ import (
 	"io"
 	"sync/atomic"
 	"time"
+
+	"db2rdf/internal/store"
 )
 
 // Store-level runtime metrics. Every counter is an atomic touched on
@@ -60,7 +62,8 @@ type Metrics struct {
 	updateErrors   atomic.Uint64 // update requests that returned any error
 	deletedTriples atomic.Uint64 // triples removed by updates and Delete calls
 
-	plans *planCache // hit/miss/eviction counters re-exported
+	plans *planCache   // hit/miss/eviction counters re-exported
+	inner *store.Store // snapshot epoch / compaction / dead-row gauges
 }
 
 // Snapshot is a point-in-time copy of the registry, suitable for JSON
@@ -93,6 +96,14 @@ type Snapshot struct {
 	UpdatesServed  uint64 `json:"updates_served"`
 	UpdateErrors   uint64 `json:"update_errors"`
 	DeletedTriples uint64 `json:"deleted_triples"`
+
+	// SnapshotEpoch is the epoch of the currently published store
+	// snapshot; CompactionsTotal counts publish-time chunk compactions
+	// and DeadRows the currently tombstoned rows across the four
+	// relations.
+	SnapshotEpoch    uint64 `json:"snapshot_epoch"`
+	CompactionsTotal int64  `json:"compactions_total"`
+	DeadRows         int    `json:"dead_rows"`
 
 	PlanCacheHits           uint64 `json:"plan_cache_hits"`
 	PlanCacheMisses         uint64 `json:"plan_cache_misses"`
@@ -194,6 +205,11 @@ func (m *Metrics) Snapshot() Snapshot {
 		cum += m.latency[i].Load()
 		s.LatencyCounts[i] = cum
 	}
+	if m.inner != nil {
+		s.SnapshotEpoch = m.inner.Epoch()
+		s.CompactionsTotal = m.inner.Compactions()
+		s.DeadRows = m.inner.DeadRows()
+	}
 	if m.plans != nil {
 		ps := m.plans.statsFull()
 		s.PlanCacheHits = ps.Hits
@@ -250,6 +266,9 @@ func (m *Metrics) WritePrometheus(w io.Writer) error {
 	counter("db2rdf_update_errors_total", "SPARQL update requests that returned an error.", s.UpdateErrors)
 	counter("db2rdf_deleted_triples_total", "Triples removed by SPARQL updates.", s.DeletedTriples)
 	counter("db2rdf_triples_loaded_total", "Triples ingested by Insert and the Load entry points.", s.TriplesLoaded)
+	p("# HELP db2rdf_snapshot_epoch Epoch of the currently published store snapshot.\n# TYPE db2rdf_snapshot_epoch gauge\ndb2rdf_snapshot_epoch %d\n", s.SnapshotEpoch)
+	counter("db2rdf_compactions_total", "Publish-time chunk compactions across the four relations.", uint64(s.CompactionsTotal))
+	p("# HELP db2rdf_dead_rows Currently tombstoned rows across the four relations.\n# TYPE db2rdf_dead_rows gauge\ndb2rdf_dead_rows %d\n", s.DeadRows)
 	p("# HELP db2rdf_load_seconds_total Total load wall time.\n# TYPE db2rdf_load_seconds_total counter\ndb2rdf_load_seconds_total %g\n", s.LoadSeconds)
 	counter("db2rdf_plan_cache_hits_total", "Compiled-plan cache hits.", s.PlanCacheHits)
 	counter("db2rdf_plan_cache_misses_total", "Compiled-plan cache misses.", s.PlanCacheMisses)

@@ -7,6 +7,7 @@ import (
 
 	"db2rdf/internal/rel"
 	"db2rdf/internal/sparql"
+	"db2rdf/internal/store"
 )
 
 // Property-path closures (p+, p*, p?) — the paper's stated future work
@@ -29,28 +30,34 @@ var pathTableN int64
 
 // materializeClosures computes and loads each closure of the query,
 // returning the marker->table map and a cleanup function that drops
-// the temporary relations. An abort (cancellation, deadline, budget)
-// between closures drops any temporaries already created before the
-// error is returned, so governance failures never leak PATHTMP tables.
-func (s *Store) materializeClosures(ctx context.Context, parsed *sparql.Query) (map[string]string, func(), error) {
+// the temporary relations. The temporaries live in the snapshot's
+// database — a frozen snapshot DB accepts per-query table creation
+// under its own mutex, and the unique names keep concurrent queries on
+// the same snapshot apart — so the generated SQL finds them in the
+// very database it executes against. An abort (cancellation, deadline,
+// budget) between closures drops any temporaries already created
+// before the error is returned, so governance failures never leak
+// PATHTMP tables.
+func (s *Store) materializeClosures(ctx context.Context, snap *store.Snapshot, parsed *sparql.Query) (map[string]string, func(), error) {
 	if len(parsed.Closures) == 0 {
 		return nil, func() {}, nil
 	}
+	db := snap.DB()
 	virtual := map[string]string{}
 	var created []string
 	cleanup := func() {
 		for _, n := range created {
-			s.inner.DB.DropTable(n)
+			db.DropTable(n)
 		}
 	}
 	for _, cl := range parsed.Closures {
-		pairs, err := s.closurePairs(ctx, cl)
+		pairs, err := s.closurePairs(ctx, snap, cl)
 		if err != nil {
 			cleanup()
 			return nil, nil, err
 		}
 		name := fmt.Sprintf("PATHTMP_%d", atomic.AddInt64(&pathTableN, 1))
-		tbl, err := s.inner.DB.CreateTable(name, rel.Schema{
+		tbl, err := db.CreateTable(name, rel.Schema{
 			{Name: "entry", Type: rel.TInt},
 			{Name: "val", Type: rel.TInt},
 		})
@@ -83,14 +90,13 @@ func (s *Store) materializeClosures(ctx context.Context, parsed *sparql.Query) (
 // queries run under ctx and the store budgets like any other query,
 // and the BFS itself polls cancellation at chunk granularity, so a
 // pathological closure (quadratic reachability) can be aborted too.
-func (s *Store) closurePairs(ctx context.Context, cl sparql.Closure) ([][2]int64, error) {
+func (s *Store) closurePairs(ctx context.Context, snap *store.Snapshot, cl sparql.Closure) ([][2]int64, error) {
 	adj := map[int64][]int64{}
 	nodes := map[int64]bool{}
 	for _, step := range cl.Steps {
-		// queryLocked, not Query: the caller already holds the store
-		// read lock, and RWMutex read locks must not be re-acquired
-		// (a queued writer between the two acquisitions deadlocks).
-		res, err := s.queryLocked(ctx, fmt.Sprintf("SELECT ?a ?b WHERE { ?a <%s> ?b }", step.IRI))
+		// queryOn, not Query: the step queries must read the same
+		// snapshot as the outer query, not whatever was published last.
+		res, err := s.queryOn(ctx, snap, fmt.Sprintf("SELECT ?a ?b WHERE { ?a <%s> ?b }", step.IRI))
 		if err != nil {
 			return nil, fmt.Errorf("db2rdf: evaluating path step <%s>: %w", step.IRI, err)
 		}

@@ -82,11 +82,13 @@ func (s *Store) UpdateContext(ctx context.Context, u string) (res *UpdateResult,
 	defer s.inner.Unlock()
 	changed := 0
 	// Registered after Unlock, so it runs first (LIFO): exactly one
-	// epoch bump per request, while the write lock is still held, and
-	// only when the store content actually changed.
+	// snapshot publish (and epoch bump) per request, while the write
+	// lock is still held, and only when the store content actually
+	// changed — a no-op update keeps the current snapshot and every
+	// cached plan valid.
 	defer func() {
 		if changed > 0 {
-			s.inner.BumpEpoch()
+			s.inner.PublishLocked()
 		}
 	}()
 
@@ -136,7 +138,8 @@ func (s *Store) UpdateContext(ctx context.Context, u string) (res *UpdateResult,
 // pattern against the current state, instantiate both templates over
 // the full solution set, then apply every delete before any insert
 // (SPARQL 1.1 Update §3.1.3). The caller holds the store write lock;
-// WHERE evaluation takes only table-level read locks underneath it.
+// WHERE evaluation runs on a live (pass-through) snapshot so it sees
+// the request's own earlier mutations, which are not published yet.
 func (s *Store) applyModify(ctx context.Context, prefixes map[string]string, op *sparql.UpdateOp, result *UpdateResult, changed *int) error {
 	q := &sparql.Query{
 		Prefixes: prefixes,
@@ -145,16 +148,17 @@ func (s *Store) applyModify(ctx context.Context, prefixes map[string]string, op 
 		Closures: op.Closures,
 		Limit:    -1,
 	}
-	virtual, cleanup, err := s.materializeClosures(ctx, q)
+	snap := s.inner.LiveSnapshot()
+	virtual, cleanup, err := s.materializeClosures(ctx, snap, q)
 	if err != nil {
 		return err
 	}
 	defer cleanup()
-	tr, err := s.translate(q, virtual)
+	tr, err := s.translate(snap, q, virtual)
 	if err != nil {
 		return err
 	}
-	res, err := s.execute(ctx, q, tr)
+	res, err := s.execute(ctx, snap, q, tr)
 	if err != nil {
 		return err
 	}
