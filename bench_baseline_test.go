@@ -21,6 +21,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"os"
+	"path/filepath"
 	"sync"
 	"testing"
 	"time"
@@ -241,6 +242,109 @@ func TestBenchBaseline(t *testing.T) {
 		}
 	})
 
+	// Durability: cold-start recovery from an epoch-aligned snapshot,
+	// WAL-only replay throughput, and the WAL-on publish overhead
+	// (compare against the in-memory snapshot_publish point above).
+	snapDir := t.TempDir()
+	durStore, err := db2rdf.Open(db2rdf.Options{DataDir: snapDir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := durStore.LoadTriples(ds.Triples); err != nil {
+		t.Fatal(err)
+	}
+	if err := durStore.Close(); err != nil {
+		t.Fatal(err)
+	}
+	recoverSnap := testing.Benchmark(func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			rs, err := db2rdf.Open(db2rdf.Options{DataDir: snapDir})
+			if err != nil {
+				b.Fatal(err)
+			}
+			if err := rs.Close(); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+
+	// WAL-only replay: load into a durable store and "crash" (no Close,
+	// so no snapshot exists); each iteration recovers a fresh copy of
+	// the segment purely through replay.
+	walDir := t.TempDir()
+	crashStore, err := db2rdf.Open(db2rdf.Options{DataDir: walDir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := crashStore.LoadTriples(ds.Triples); err != nil {
+		t.Fatal(err)
+	}
+	segs, err := os.ReadDir(walDir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var replayed uint64
+	recoverWAL := testing.Benchmark(func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			b.StopTimer()
+			rdir := b.TempDir()
+			for _, f := range segs {
+				data, err := os.ReadFile(filepath.Join(walDir, f.Name()))
+				if err != nil {
+					b.Fatal(err)
+				}
+				if err := os.WriteFile(filepath.Join(rdir, f.Name()), data, 0o644); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.StartTimer()
+			rs, err := db2rdf.Open(db2rdf.Options{DataDir: rdir})
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.StopTimer()
+			replayed = rs.Internal().DurabilityStats().ReplayedRecords
+			if replayed == 0 {
+				b.Fatal("WAL-only recovery replayed nothing")
+			}
+			if err := rs.Close(); err != nil {
+				b.Fatal(err)
+			}
+			b.StartTimer()
+		}
+	})
+
+	// Same dataset as the in-memory snapshot_publish point above, so the
+	// delta between the two is the WAL capture + append cost.
+	publishWAL := testing.Benchmark(func(b *testing.B) {
+		b.StopTimer()
+		ws, err := db2rdf.Open(db2rdf.Options{DataDir: b.TempDir()})
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer ws.Close()
+		if err := ws.LoadTriples(ds.Triples); err != nil {
+			b.Fatal(err)
+		}
+		inner := ws.Internal()
+		inner.Lock()
+		defer inner.Unlock()
+		b.StartTimer()
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := inner.InsertLocked(rdf.NewTriple(
+				rdf.NewIRI(fmt.Sprintf("http://wal/s%d", i)),
+				rdf.NewIRI("http://wal/p"),
+				rdf.NewLiteral(fmt.Sprintf("v%d", i)),
+			)); err != nil {
+				b.Fatal(err)
+			}
+			if err := inner.PublishLocked(); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+
 	points := []benchPoint{
 		latencyPoint("load_lubm", load),
 		latencyPoint("query_cold_plan", cold),
@@ -249,6 +353,9 @@ func TestBenchBaseline(t *testing.T) {
 		latencyPoint("delete_batch_200", deleted),
 		latencyPoint("query_warm_plan_after_delete", scanAfterDelete),
 		latencyPoint("snapshot_publish", publish),
+		latencyPoint("snapshot_publish_wal", publishWAL),
+		{Name: "recover_snapshot_ms", NsOp: float64(recoverSnap.NsPerOp()) / 1e6, N: recoverSnap.N},
+		{Name: "wal_replay_rate", NsOp: float64(replayed) / (float64(recoverWAL.NsPerOp()) / 1e9), N: recoverWAL.N},
 		{Name: "query_during_load_p50", NsOp: float64(loadP50), N: 1},
 		{Name: "query_during_load_p99", NsOp: float64(loadP99), N: 1},
 		{Name: "table_resident_bytes", NsOp: float64(colBytes), N: 1},

@@ -27,10 +27,15 @@ go test -race -count=1 \
 echo "== snapshot isolation (mixed read/write, torn-read + goroutine-leak checks) =="
 go test -race -count=1 \
     -run 'TestSnapshotIsolationReaders|TestConcurrentInsertQueryExport|TestLoadParallelConcurrentReaders' .
+echo "== crash recovery (kill points, bit flips, WAL replay, reclamation) =="
+go test -race -count=1 \
+    -run 'TestDurableCloseReopen|TestWALOnlyCrashReopen|TestKillPointRecovery|TestBitFlipFaultInjection|TestSnapshotReclaimsDeletedState|TestBackgroundSnapshotRotation|TestDurableConfigMismatch' .
 echo "== hot-path perf gates (instrumentation disabled; reads during load) =="
 DB2RDF_PERF_GATE=1 go test -count=1 -run '^TestPerfGate' -v .
 echo "== fuzz smoke (5s per target) =="
 go test -run '^$' -fuzz '^FuzzLoadReader$' -fuzztime 5s .
 go test -run '^$' -fuzz '^FuzzParseQuery$' -fuzztime 5s .
 go test -run '^$' -fuzz '^FuzzParseUpdate$' -fuzztime 5s .
+go test -run '^$' -fuzz '^FuzzWALReplay$' -fuzztime 5s .
+go test -run '^$' -fuzz '^FuzzReadSegment$' -fuzztime 5s ./internal/wal/
 echo "ok"

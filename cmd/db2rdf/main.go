@@ -18,8 +18,10 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"runtime"
 	"strings"
+	"syscall"
 	"time"
 
 	"db2rdf"
@@ -50,10 +52,14 @@ func main() {
 	analyze := flag.Bool("analyze", false, "EXPLAIN ANALYZE: execute with per-operator instrumentation and print estimates vs actuals")
 	metrics := flag.Bool("metrics", false, "print the store metrics registry (Prometheus text) before exiting")
 	slowQuery := flag.Duration("slow-query", 0, "log queries at or over this duration to stderr, with their operator profile (0 = off)")
+	dataDir := flag.String("data", "", "data directory for durability (WAL + snapshots); empty = in-memory only")
+	fsync := flag.Bool("fsync", false, "fsync the WAL on every publish (machine-crash durability; requires -data)")
+	snapshotEvery := flag.Int("snapshot-every", 0, "write a background snapshot every n publishes (0 = only at exit; requires -data)")
 	flag.Parse()
 
 	gov := govFlags{timeout: *timeout, maxRows: *maxRows, maxBytes: *maxBytes, slowQuery: *slowQuery}
-	if err := realMain(loads, *query, *queryFile, *update, *explain, *run, *stats, *k, *color, *noopt, *workers, gov, *analyze, *metrics); err != nil {
+	dur := durFlags{dataDir: *dataDir, fsync: *fsync, snapshotEvery: *snapshotEvery}
+	if err := realMain(loads, *query, *queryFile, *update, *explain, *run, *stats, *k, *color, *noopt, *workers, gov, dur, *analyze, *metrics); err != nil {
 		fmt.Fprintln(os.Stderr, "db2rdf:", err)
 		os.Exit(1)
 	}
@@ -67,7 +73,14 @@ type govFlags struct {
 	slowQuery time.Duration
 }
 
-func realMain(loads []string, query, queryFile, update string, explain, run, stats bool, k int, color, noopt bool, workers int, gov govFlags, analyze, metrics bool) error {
+// durFlags carries the durability flags into realMain.
+type durFlags struct {
+	dataDir       string
+	fsync         bool
+	snapshotEvery int
+}
+
+func realMain(loads []string, query, queryFile, update string, explain, run, stats bool, k int, color, noopt bool, workers int, gov govFlags, dur durFlags, analyze, metrics bool) error {
 	var triples []rdf.Triple
 	for _, path := range loads {
 		f, err := os.Open(path)
@@ -99,9 +112,28 @@ func realMain(loads []string, query, queryFile, update string, explain, run, sta
 		direct, reverse := db2rdf.ColorTriples(triples, k, k)
 		opts.Mapping, opts.ReverseMapping = direct, reverse
 	}
+	opts.DataDir = dur.dataDir
+	opts.Fsync = dur.fsync
+	opts.SnapshotEvery = dur.snapshotEvery
 	store, err := db2rdf.Open(opts)
 	if err != nil {
 		return err
+	}
+	// Close flushes the WAL and writes a final snapshot when -data is
+	// set; a SIGINT/SIGTERM takes the same clean path before exiting.
+	defer store.Close()
+	if dur.dataDir != "" {
+		sig := make(chan os.Signal, 1)
+		signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+		go func() {
+			s := <-sig
+			fmt.Fprintf(os.Stderr, "db2rdf: received %s, flushing %s\n", s, dur.dataDir)
+			if err := store.Close(); err != nil {
+				fmt.Fprintln(os.Stderr, "db2rdf: close:", err)
+				os.Exit(1)
+			}
+			os.Exit(0)
+		}()
 	}
 	start := time.Now()
 	if workers == 1 {

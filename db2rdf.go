@@ -82,6 +82,22 @@ type Options struct {
 	// callback may itself query the store; it must be safe for
 	// concurrent calls.
 	SlowQueryLog func(SlowQuery)
+
+	// DataDir enables durability: a write-ahead log of checksummed
+	// triple deltas plus epoch-aligned snapshot files live in this
+	// directory, and Open recovers the newest consistent published
+	// state from it (see DESIGN.md §9). Empty (the default) keeps the
+	// store purely in-memory. A store opened on an existing DataDir
+	// must use the same K/KReverse it was created with.
+	DataDir string
+	// Fsync forces an fsync of the WAL on every publish, making each
+	// committed epoch machine-crash durable; off, a process crash
+	// loses nothing but an OS crash may lose recent epochs.
+	Fsync bool
+	// SnapshotEvery writes a background snapshot (and rotates the WAL)
+	// every n published epochs; 0 snapshots only on Close. Ignored
+	// without DataDir.
+	SnapshotEvery int
 }
 
 // Store is a DB2RDF store: the public API of this library.
@@ -92,13 +108,20 @@ type Store struct {
 	metrics *Metrics
 }
 
-// Open creates an empty store.
+// Open creates an empty store — or, when Options.DataDir is set,
+// recovers the persisted state from that directory and continues
+// logging to it.
 func Open(opts Options) (*Store, error) {
 	s, err := store.New(nil, store.Options{
 		K:              opts.K,
 		KReverse:       opts.KReverse,
 		Mapping:        opts.Mapping,
 		ReverseMapping: opts.ReverseMapping,
+		Durability: store.Durability{
+			Dir:           opts.DataDir,
+			Fsync:         opts.Fsync,
+			SnapshotEvery: opts.SnapshotEvery,
+		},
 	})
 	if err != nil {
 		return nil, err
@@ -106,6 +129,13 @@ func Open(opts Options) (*Store, error) {
 	plans := newPlanCache(defaultPlanCacheSize)
 	return &Store{inner: s, opts: opts, plans: plans, metrics: &Metrics{plans: plans, inner: s}}, nil
 }
+
+// Close flushes the durability layer: it waits for any in-flight
+// background snapshot, writes a final snapshot of the latest published
+// epoch, and closes the write-ahead log. A store without a DataDir
+// closes trivially. Close is idempotent; the store remains queryable
+// afterwards but further writes fail to persist.
+func (s *Store) Close() error { return s.inner.Close() }
 
 // ColorTriples analyzes a sample of triples and returns coloring-based
 // predicate mappings (direct, reverse) for budgets k and kRev,

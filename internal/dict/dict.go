@@ -124,3 +124,51 @@ func (d *Dict) Len() int {
 	defer d.mu.RUnlock()
 	return len(d.byID)
 }
+
+// SnapshotState returns a copy of the interned term slice (index i
+// holds the term with id i+1) and the next list id, for durability
+// snapshots. Because the dictionary is append-only, a copy taken at or
+// after a store snapshot's publish covers every id that snapshot's
+// relations can reference; any extra trailing terms are merely unused.
+func (d *Dict) SnapshotState() ([]rdf.Term, int64) {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	terms := make([]rdf.Term, len(d.byID))
+	copy(terms, d.byID)
+	return terms, d.nextLid
+}
+
+// Restore replaces the dictionary contents wholesale (crash recovery).
+// Term i of the slice receives id i+1, exactly as the original
+// interning order assigned. Duplicate term keys or an out-of-range
+// nextLid indicate a corrupt snapshot and are rejected; on error the
+// dictionary is reset to empty.
+func (d *Dict) Restore(terms []rdf.Term, nextLid int64) error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	reset := func() {
+		d.byKey = make(map[string]int64)
+		d.byID = nil
+		d.nextLid = LidBase
+		d.pub.Store(nil)
+	}
+	if nextLid < LidBase {
+		reset()
+		return fmt.Errorf("dict: restore: next lid %d below lid base", nextLid)
+	}
+	byKey := make(map[string]int64, len(terms))
+	for i, t := range terms {
+		key := t.Key()
+		if _, dup := byKey[key]; dup {
+			reset()
+			return fmt.Errorf("dict: restore: duplicate term key %q", key)
+		}
+		byKey[key] = int64(i + 1)
+	}
+	d.byKey = byKey
+	d.byID = terms
+	d.nextLid = nextLid
+	hdr := d.byID
+	d.pub.Store(&hdr)
+	return nil
+}

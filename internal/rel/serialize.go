@@ -1,0 +1,421 @@
+package rel
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+	"math/bits"
+)
+
+// Columnar snapshot serialization (DESIGN.md §9). A table's chunked
+// column vectors are already a near-ideal on-disk format: EncodeSnapshot
+// emits the presence bitmaps, rank-packed value slices, zone maps,
+// exception maps and tombstone bitmaps directly, and DecodeSnapshot
+// rebuilds them into an empty table. Integers are varint-encoded (the
+// RDF schemas store dictionary ids, which are small), floats are fixed
+// 8 bytes, strings length-prefixed.
+//
+// Dead-cell reclamation: rows tombstoned since the last compaction may
+// still hold their cell values in the packed vectors ("dirty" dead
+// cells). The encoder masks them out — the emitted presence bitmaps
+// clear every tombstoned row's bit, the dead values are dropped from
+// the packed slices and exception maps, and the int zone maps are
+// recomputed over the surviving values — while the tombstone bitmaps
+// themselves are preserved so physical row indices stay stable and a
+// cleared cell never resurfaces as a live NULL. A decoded table is
+// therefore equivalent to the source table with every chunk fully
+// compacted, and delete-heavy snapshots shrink accordingly.
+//
+// The format carries no checksums of its own: the store-level snapshot
+// file wraps every table section in a whole-file CRC32C, so the
+// decoder's bounds checks only need to guarantee that arbitrary bytes
+// never panic or over-allocate, not that corruption goes undetected.
+
+// EncodeSnapshot appends the table's serialized contents to buf and
+// returns the extended slice. The table must use the columnar layout.
+// It is intended for frozen (published) tables but takes the read lock
+// so it is safe on any table with no concurrent writers.
+func (t *Table) EncodeSnapshot(buf []byte) ([]byte, error) {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	if t.storage != StorageColumnar {
+		return nil, fmt.Errorf("rel: table %s: snapshot serialization requires the columnar layout", t.Name)
+	}
+	buf = binary.AppendUvarint(buf, uint64(t.nrows))
+	buf = binary.AppendUvarint(buf, uint64(len(t.cols)))
+	// Tombstone bitmaps (bits only; counts are recomputed on decode).
+	buf = binary.AppendUvarint(buf, uint64(len(t.tomb)))
+	for _, tc := range t.tomb {
+		if tc == nil || tc.dead == 0 {
+			buf = append(buf, 0)
+			continue
+		}
+		buf = append(buf, 1)
+		for _, w := range tc.bits {
+			buf = binary.LittleEndian.AppendUint64(buf, w)
+		}
+	}
+	for _, col := range t.cols {
+		buf = binary.AppendUvarint(buf, uint64(len(col.chunks)))
+		for ci, ck := range col.chunks {
+			buf = t.encodeChunkLocked(buf, col, ck, ci)
+		}
+	}
+	return buf, nil
+}
+
+// encodeChunkLocked emits one column chunk with the chunk's tombstoned
+// cells masked out.
+func (t *Table) encodeChunkLocked(buf []byte, col *colVec, ck *colChunk, ci int) []byte {
+	if ck == nil || ck.n == 0 {
+		return append(buf, 0)
+	}
+	var tombBits *[chunkWords]uint64
+	if ci < len(t.tomb) && t.tomb[ci] != nil && t.tomb[ci].dead > 0 {
+		tombBits = &t.tomb[ci].bits
+	}
+	var clean [chunkWords]uint64
+	live := 0
+	for w := range ck.bits {
+		clean[w] = ck.bits[w]
+		if tombBits != nil {
+			clean[w] &^= tombBits[w]
+		}
+		live += bits.OnesCount64(clean[w])
+	}
+	if live == 0 {
+		return append(buf, 0) // every present cell was dead: all-NULL chunk
+	}
+	buf = append(buf, 1)
+	for _, w := range clean {
+		buf = binary.LittleEndian.AppendUint64(buf, w)
+	}
+	// Walk the ORIGINAL presence bits in order, advancing the packed
+	// cursor, and emit only surviving cells. Zone bounds are recomputed
+	// over the emitted packed values (exception placeholders included —
+	// loose but sound, matching compactChunkLocked).
+	var zmin, zmax int64
+	zoneInit := false
+	var excOut []uint16
+	k := 0
+	for w := 0; w < chunkWords; w++ {
+		word := ck.bits[w]
+		for word != 0 {
+			off := w<<6 + bits.TrailingZeros64(word)
+			word &= word - 1
+			r := k
+			k++
+			if tombBits != nil && tombBits[off>>6]>>(uint(off)&63)&1 == 1 {
+				continue
+			}
+			isExc := false
+			if ck.exc != nil {
+				_, isExc = ck.exc[uint16(off)]
+			}
+			if isExc {
+				excOut = append(excOut, uint16(off))
+			}
+			switch col.typ {
+			case TInt:
+				x := ck.ints[r]
+				buf = binary.AppendVarint(buf, x)
+				if !zoneInit {
+					zmin, zmax, zoneInit = x, x, true
+				} else if x < zmin {
+					zmin = x
+				} else if x > zmax {
+					zmax = x
+				}
+			case TFloat:
+				buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(ck.floats[r]))
+			default:
+				s := ck.strs[r]
+				buf = binary.AppendUvarint(buf, uint64(len(s)))
+				buf = append(buf, s...)
+			}
+		}
+	}
+	if col.typ == TInt {
+		z := byte(0)
+		if zoneInit {
+			z = 1
+		}
+		buf = append(buf, z)
+		buf = binary.AppendVarint(buf, zmin)
+		buf = binary.AppendVarint(buf, zmax)
+	}
+	buf = binary.AppendUvarint(buf, uint64(len(excOut)))
+	for _, off := range excOut {
+		buf = binary.AppendUvarint(buf, uint64(off))
+		buf = appendValue(buf, ck.exc[off])
+	}
+	return buf
+}
+
+func appendValue(buf []byte, v Value) []byte {
+	buf = append(buf, byte(v.K))
+	switch v.K {
+	case KindInt:
+		buf = binary.AppendVarint(buf, v.I)
+	case KindFloat:
+		buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(v.F))
+	case KindString:
+		buf = binary.AppendUvarint(buf, uint64(len(v.S)))
+		buf = append(buf, v.S...)
+	case KindBool:
+		b := byte(0)
+		if v.I != 0 {
+			b = 1
+		}
+		buf = append(buf, b)
+	}
+	return buf
+}
+
+// cursor is a bounds-checked decoder over a byte slice. Every read
+// records the first error and subsequently yields zero values, so
+// decode loops stay panic-free on arbitrary input.
+type cursor struct {
+	data []byte
+	off  int
+	err  error
+}
+
+func (c *cursor) fail(format string, args ...any) {
+	if c.err == nil {
+		c.err = fmt.Errorf(format, args...)
+	}
+}
+
+func (c *cursor) remaining() int { return len(c.data) - c.off }
+
+func (c *cursor) u8() byte {
+	if c.err != nil || c.off >= len(c.data) {
+		c.fail("rel: snapshot decode: truncated input")
+		return 0
+	}
+	b := c.data[c.off]
+	c.off++
+	return b
+}
+
+func (c *cursor) bytes(n int) []byte {
+	if c.err != nil || n < 0 || n > c.remaining() {
+		c.fail("rel: snapshot decode: truncated input")
+		return nil
+	}
+	b := c.data[c.off : c.off+n]
+	c.off += n
+	return b
+}
+
+func (c *cursor) uvarint() uint64 {
+	if c.err != nil {
+		return 0
+	}
+	v, n := binary.Uvarint(c.data[c.off:])
+	if n <= 0 {
+		c.fail("rel: snapshot decode: bad uvarint")
+		return 0
+	}
+	c.off += n
+	return v
+}
+
+func (c *cursor) varint() int64 {
+	if c.err != nil {
+		return 0
+	}
+	v, n := binary.Varint(c.data[c.off:])
+	if n <= 0 {
+		c.fail("rel: snapshot decode: bad varint")
+		return 0
+	}
+	c.off += n
+	return v
+}
+
+func (c *cursor) u64() uint64 {
+	b := c.bytes(8)
+	if b == nil {
+		return 0
+	}
+	return binary.LittleEndian.Uint64(b)
+}
+
+// DecodeSnapshot rebuilds the table's contents from data produced by
+// EncodeSnapshot. The table must be empty, columnar, and have the same
+// schema width as the encoder's. Indexes are not rebuilt; callers
+// re-run CreateIndex afterwards. Arbitrary (corrupt) input yields an
+// error, never a panic; on error the table is reset to empty.
+func (t *Table) DecodeSnapshot(data []byte) error {
+	t.mu.Lock()
+	if t.storage != StorageColumnar {
+		t.mu.Unlock()
+		return fmt.Errorf("rel: table %s: snapshot decode requires the columnar layout", t.Name)
+	}
+	if t.nrows != 0 {
+		t.mu.Unlock()
+		return fmt.Errorf("rel: table %s: snapshot decode into non-empty table", t.Name)
+	}
+	err := t.decodeSnapshotLocked(data)
+	t.mu.Unlock()
+	if err != nil {
+		t.Clear()
+		return err
+	}
+	return nil
+}
+
+func (t *Table) decodeSnapshotLocked(data []byte) error {
+	c := &cursor{data: data}
+	nrows := c.uvarint()
+	ncols := c.uvarint()
+	if c.err != nil {
+		return c.err
+	}
+	if ncols != uint64(len(t.Schema)) {
+		return fmt.Errorf("rel: table %s: snapshot has %d columns, schema has %d", t.Name, ncols, len(t.Schema))
+	}
+	maxChunks := (nrows + chunkMask) >> chunkShift
+	// Each encoded chunk consumes at least one byte, so a valid chunk
+	// count can never exceed the remaining input. This bounds every
+	// allocation below by the input size.
+	ntomb := c.uvarint()
+	if ntomb > maxChunks || ntomb > uint64(c.remaining()) {
+		return fmt.Errorf("rel: table %s: bad tombstone chunk count %d", t.Name, ntomb)
+	}
+	var tomb []*tombChunk
+	dead := 0
+	for i := uint64(0); i < ntomb && c.err == nil; i++ {
+		if c.u8() == 0 {
+			tomb = append(tomb, nil)
+			continue
+		}
+		tc := &tombChunk{}
+		for w := 0; w < chunkWords; w++ {
+			tc.bits[w] = c.u64()
+			tc.dead += bits.OnesCount64(tc.bits[w])
+		}
+		dead += tc.dead
+		tomb = append(tomb, tc)
+	}
+	cols := make([]*colVec, len(t.Schema))
+	for j := range t.Schema {
+		v := &colVec{typ: t.Schema[j].Type}
+		nchunks := c.uvarint()
+		if nchunks > maxChunks || nchunks > uint64(c.remaining()) {
+			return fmt.Errorf("rel: table %s: bad chunk count %d", t.Name, nchunks)
+		}
+		for ci := uint64(0); ci < nchunks && c.err == nil; ci++ {
+			ck, nexc, err := decodeChunk(c, v.typ)
+			if err != nil {
+				return err
+			}
+			v.excCount += nexc
+			v.chunks = append(v.chunks, ck)
+		}
+		if c.err != nil {
+			return c.err
+		}
+		cols[j] = v
+	}
+	if c.err != nil {
+		return c.err
+	}
+	if c.remaining() != 0 {
+		return fmt.Errorf("rel: table %s: %d trailing bytes after snapshot", t.Name, c.remaining())
+	}
+	if dead > int(nrows) {
+		return fmt.Errorf("rel: table %s: %d tombstoned rows exceed %d total", t.Name, dead, nrows)
+	}
+	t.nrows = int(nrows)
+	t.cols = cols
+	t.tomb = tomb
+	t.dead = dead
+	return nil
+}
+
+func decodeChunk(c *cursor, typ ColumnType) (*colChunk, int, error) {
+	if c.u8() == 0 {
+		return nil, 0, c.err
+	}
+	ck := &colChunk{}
+	for w := 0; w < chunkWords; w++ {
+		ck.bits[w] = c.u64()
+		ck.n += bits.OnesCount64(ck.bits[w])
+	}
+	if c.err != nil {
+		return nil, 0, c.err
+	}
+	switch typ {
+	case TInt:
+		ck.ints = make([]int64, ck.n)
+		for k := range ck.ints {
+			ck.ints[k] = c.varint()
+		}
+	case TFloat:
+		ck.floats = make([]float64, ck.n)
+		for k := range ck.floats {
+			ck.floats[k] = math.Float64frombits(c.u64())
+		}
+	default:
+		ck.strs = make([]string, ck.n)
+		for k := range ck.strs {
+			ln := c.uvarint()
+			if ln > uint64(c.remaining()) {
+				c.fail("rel: snapshot decode: string length %d beyond input", ln)
+				break
+			}
+			ck.strs[k] = string(c.bytes(int(ln)))
+		}
+	}
+	if typ == TInt {
+		ck.zoneInit = c.u8() == 1
+		ck.min = c.varint()
+		ck.max = c.varint()
+	}
+	nexc := c.uvarint()
+	if nexc > uint64(ck.n) || nexc > uint64(c.remaining()) {
+		c.fail("rel: snapshot decode: bad exception count %d", nexc)
+	}
+	for i := uint64(0); i < nexc && c.err == nil; i++ {
+		off := c.uvarint()
+		if off >= chunkRows {
+			c.fail("rel: snapshot decode: exception offset %d out of range", off)
+			break
+		}
+		v := decodeValue(c)
+		if ck.exc == nil {
+			ck.exc = make(map[uint16]Value, nexc)
+		}
+		ck.exc[uint16(off)] = v
+	}
+	if c.err != nil {
+		return nil, 0, c.err
+	}
+	return ck, len(ck.exc), nil
+}
+
+func decodeValue(c *cursor) Value {
+	switch Kind(c.u8()) {
+	case KindNull:
+		return Null
+	case KindInt:
+		return Int(c.varint())
+	case KindFloat:
+		return Float(math.Float64frombits(c.u64()))
+	case KindString:
+		ln := c.uvarint()
+		if ln > uint64(c.remaining()) {
+			c.fail("rel: snapshot decode: string length %d beyond input", ln)
+			return Null
+		}
+		return Str(string(c.bytes(int(ln))))
+	case KindBool:
+		return Bool(c.u8() == 1)
+	default:
+		c.fail("rel: snapshot decode: unknown value kind")
+		return Null
+	}
+}

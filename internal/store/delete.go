@@ -6,6 +6,7 @@ import (
 	"db2rdf/internal/dict"
 	"db2rdf/internal/rdf"
 	"db2rdf/internal/rel"
+	"db2rdf/internal/wal"
 )
 
 // Triple deletion. Removal is the mirror of side.insert: the (entity,
@@ -33,7 +34,9 @@ func (s *Store) Delete(t rdf.Triple) (bool, error) {
 	defer s.mu.Unlock()
 	removed, err := s.deleteLocked(t)
 	if removed {
-		s.publishLocked()
+		if perr := s.publishLocked(); perr != nil && err == nil {
+			err = perr
+		}
 	}
 	return removed, err
 }
@@ -41,22 +44,23 @@ func (s *Store) Delete(t rdf.Triple) (bool, error) {
 // DeleteTriples removes a slice of triples under one write lock,
 // returning the number actually removed. The epoch advances once if
 // any removal happened, even when a later triple errors.
-func (s *Store) DeleteTriples(ts []rdf.Triple) (int, error) {
+func (s *Store) DeleteTriples(ts []rdf.Triple) (n int, err error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	n := 0
 	defer func() {
 		if n > 0 {
-			s.publishLocked()
+			if perr := s.publishLocked(); perr != nil && err == nil {
+				err = perr
+			}
 		}
 	}()
 	for _, t := range ts {
-		removed, err := s.deleteLocked(t)
+		removed, derr := s.deleteLocked(t)
 		if removed {
 			n++
 		}
-		if err != nil {
-			return n, err
+		if derr != nil {
+			return n, derr
 		}
 	}
 	return n, nil
@@ -70,7 +74,7 @@ func (s *Store) Clear() int {
 	defer s.mu.Unlock()
 	n := s.ClearLocked()
 	if n > 0 {
-		s.publishLocked()
+		_ = s.publishLocked() // memory state is cleared regardless of WAL health
 	}
 	return n
 }
@@ -107,6 +111,11 @@ func (s *Store) ClearLocked() int {
 	s.direct.resetState()
 	s.reverse.resetState()
 	s.stats.reset()
+	if n > 0 {
+		// One clear op supersedes any deltas captured earlier in this
+		// locked section; keeping them preserves replay order anyway.
+		s.logDelta(wal.OpClear, 0, 0, 0)
+	}
 	return n
 }
 
@@ -134,6 +143,7 @@ func (s *Store) deleteLocked(t rdf.Triple) (bool, error) {
 		return true, err
 	}
 	s.stats.unrecord(sid, pid, oid)
+	s.logDelta(wal.OpDelete, sid, pid, oid)
 	return true, nil
 }
 

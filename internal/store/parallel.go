@@ -13,6 +13,7 @@ import (
 	"db2rdf/internal/dict"
 	"db2rdf/internal/rdf"
 	"db2rdf/internal/rel"
+	"db2rdf/internal/wal"
 )
 
 // Parallel bulk loading. The loader is a three-stage pipeline:
@@ -77,7 +78,9 @@ func (s *Store) LoadParallel(r io.Reader, workers int) (int, error) {
 	}
 	fresh, err := s.bulkLoadLocked(enc, workers)
 	if fresh > 0 {
-		s.publishLocked()
+		if perr := s.publishLocked(); perr != nil && err == nil {
+			err = perr
+		}
 	}
 	return len(enc), err
 }
@@ -91,7 +94,9 @@ func (s *Store) LoadTriplesParallel(ts []rdf.Triple, workers int) error {
 	enc := s.encodeSlice(ts, workers)
 	fresh, err := s.bulkLoadLocked(enc, workers)
 	if fresh > 0 {
-		s.publishLocked()
+		if perr := s.publishLocked(); perr != nil && err == nil {
+			err = perr
+		}
 	}
 	return err
 }
@@ -283,6 +288,14 @@ func (s *Store) bulkLoadLocked(enc []encTriple, workers int) (int, error) {
 	statsParts := make([]*Stats, workers)
 	freshParts := make([]int, workers)
 	errs := make([]error, 2*workers)
+	// Per-worker WAL delta capture (nil slots when durability is off).
+	// The direct side owns capture — it is the side that detects
+	// freshness — and the parts are merged in worker order below, so
+	// the pending batch is deterministic for a given partition.
+	var deltaParts [][]walDelta
+	if s.dur != nil {
+		deltaParts = make([][]walDelta, workers)
+	}
 	var abort atomic.Bool
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
@@ -291,17 +304,28 @@ func (s *Store) bulkLoadLocked(enc []encTriple, workers int) (int, error) {
 			defer wg.Done()
 			st := newStats(s.Opts.TopK)
 			statsParts[w] = st
-			freshParts[w], errs[w] = s.direct.bulkInsert(s, directBuckets[w], st, false, &abort)
+			var deltas *[]walDelta
+			if deltaParts != nil {
+				deltas = &deltaParts[w]
+			}
+			freshParts[w], errs[w] = s.direct.bulkInsert(s, directBuckets[w], st, false, &abort, deltas)
 		}(w)
 		go func(w int) {
 			defer wg.Done()
-			_, errs[workers+w] = s.reverse.bulkInsert(s, reverseBuckets[w], nil, true, &abort)
+			_, errs[workers+w] = s.reverse.bulkInsert(s, reverseBuckets[w], nil, true, &abort, nil)
 		}(w)
 	}
 	wg.Wait()
 	fresh := 0
 	for _, f := range freshParts {
 		fresh += f
+	}
+	// Merge captured deltas even when a bucket errored: whatever landed
+	// in the tables is about to be published, so it must be logged.
+	if s.dur != nil {
+		for _, part := range deltaParts {
+			s.dur.pending = append(s.dur.pending, part...)
+		}
 	}
 	for _, err := range errs {
 		if err != nil {
@@ -336,7 +360,7 @@ type entityRange struct {
 // back to the incremental insert path. abort is the load-wide failure
 // flag: set on the first error, polled at entity-group boundaries so
 // sibling buckets stop early instead of completing a doomed load.
-func (d *side) bulkInsert(s *Store, bucket []encTriple, stats *Stats, reverse bool, abort *atomic.Bool) (int, error) {
+func (d *side) bulkInsert(s *Store, bucket []encTriple, stats *Stats, reverse bool, abort *atomic.Bool, deltas *[]walDelta) (int, error) {
 	if len(bucket) == 0 {
 		return 0, nil
 	}
@@ -393,6 +417,9 @@ func (d *side) bulkInsert(s *Store, bucket []encTriple, stats *Stats, reverse bo
 					if stats != nil {
 						stats.record(e.s, e.p, e.o)
 					}
+					if deltas != nil {
+						*deltas = append(*deltas, walDelta{op: wal.OpInsert, s: e.s, p: e.p, o: e.o})
+					}
 				}
 			}
 			continue
@@ -409,6 +436,9 @@ func (d *side) bulkInsert(s *Store, bucket []encTriple, stats *Stats, reverse bo
 				freshTotal++
 				if stats != nil {
 					stats.record(e.s, e.p, e.o)
+				}
+				if deltas != nil {
+					*deltas = append(*deltas, walDelta{op: wal.OpInsert, s: e.s, p: e.p, o: e.o})
 				}
 			}
 		}

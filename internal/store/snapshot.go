@@ -1,6 +1,8 @@
 package store
 
 import (
+	"fmt"
+
 	"db2rdf/internal/coloring"
 	"db2rdf/internal/rdf"
 	"db2rdf/internal/rel"
@@ -61,8 +63,36 @@ func (s *Store) LiveSnapshot() *Snapshot {
 // actually changed store content (the epoch-iff-changed discipline: a
 // no-op write publishes nothing, so cached plans and the snapshot both
 // stay valid).
-func (s *Store) publishLocked() {
-	sn := &Snapshot{store: s, epoch: s.epoch.Add(1), db: s.DB.Publish()}
+//
+// With durability enabled the epoch's captured deltas are appended to
+// the WAL — and fsynced, when configured — BEFORE the snapshot swap,
+// so any state a reader can observe is already logged. A WAL failure
+// still publishes (the memory mutation has happened and must become
+// visible) and surfaces the error to the writer; durability is
+// degraded from that epoch until the append path recovers.
+func (s *Store) publishLocked() error {
+	epoch := s.epoch.Add(1)
+	var werr error
+	if d := s.dur; d != nil {
+		if d.closed {
+			d.pending = d.pending[:0]
+			werr = fmt.Errorf("store: publish at epoch %d: store is closed", epoch)
+		} else {
+			werr = s.walCommitLocked(epoch)
+		}
+	}
+	s.installLocked(epoch)
+	if d := s.dur; d != nil && !d.closed {
+		s.maybeSnapshotLocked(epoch)
+	}
+	return werr
+}
+
+// installLocked freezes the current state into a Snapshot at the given
+// epoch and publishes it with one atomic pointer swap. Recovery calls
+// it directly (the recovered epoch is re-published, not advanced).
+func (s *Store) installLocked(epoch uint64) {
+	sn := &Snapshot{store: s, epoch: epoch, db: s.DB.Publish()}
 	sn.dph = sn.db.Table(s.TableName("DPH"))
 	sn.ds = sn.db.Table(s.TableName("DS"))
 	sn.rph = sn.db.Table(s.TableName("RPH"))
@@ -77,7 +107,7 @@ func (s *Store) publishLocked() {
 // PublishLocked is publishLocked for package db2rdf's update path,
 // which batches many mutations under one Lock/Unlock and publishes
 // exactly once iff anything changed.
-func (s *Store) PublishLocked() { s.publishLocked() }
+func (s *Store) PublishLocked() error { return s.publishLocked() }
 
 // capturePreds hands out the side's predicate-keyed maps for a
 // snapshot, marking them shared so the next writer mutation clones

@@ -17,6 +17,7 @@ import (
 	"db2rdf/internal/dict"
 	"db2rdf/internal/rdf"
 	"db2rdf/internal/rel"
+	"db2rdf/internal/wal"
 )
 
 // Options configures a Store.
@@ -37,6 +38,9 @@ type Options struct {
 	// TablePrefix prefixes the relation names so several stores can
 	// share one rel.DB (used by the benchmark harness).
 	TablePrefix string
+	// Durability enables the WAL + snapshot persistence layer (see
+	// persist.go); the zero value keeps the store purely in-memory.
+	Durability Durability
 }
 
 func (o *Options) fill() {
@@ -96,6 +100,11 @@ type Store struct {
 	// snap is the atomically published snapshot readers run against;
 	// see snapshot.go.
 	snap atomic.Pointer[Snapshot]
+
+	// dur is the durability runtime (nil when persistence is off). It
+	// is installed after recovery completes, so replay's inserts and
+	// deletes never re-capture deltas; see persist.go.
+	dur *durableState
 }
 
 // Epoch returns the store's write epoch (see the field comment). A
@@ -222,9 +231,23 @@ func New(db *rel.DB, opts Options) (*Store, error) {
 	s.direct = newSide(s.dph, s.ds, opts.Mapping, opts.K)
 	s.reverse = newSide(s.rph, s.rs, opts.ReverseMapping, opts.KReverse)
 	s.RegisterSPARQLFuncs()
+	if opts.Durability.Dir != "" {
+		if rel.DefaultStorage() != rel.StorageColumnar {
+			return nil, fmt.Errorf("store: durability requires the columnar storage layout")
+		}
+		// Recover from the data directory (or initialize it) and
+		// publish the recovered state as the initial snapshot.
+		s.mu.Lock()
+		err := s.openDurableLocked(opts.Durability)
+		s.mu.Unlock()
+		if err != nil {
+			return nil, err
+		}
+		return s, nil
+	}
 	// Publish the initial (empty) snapshot so readers never see nil.
 	s.mu.Lock()
-	s.publishLocked()
+	s.installLocked(s.epoch.Add(1))
 	s.mu.Unlock()
 	return s, nil
 }
@@ -260,7 +283,9 @@ func (s *Store) Insert(t rdf.Triple) error {
 	defer s.mu.Unlock()
 	fresh, err := s.insertLocked(t)
 	if fresh {
-		s.publishLocked()
+		if perr := s.publishLocked(); perr != nil && err == nil {
+			err = perr
+		}
 	}
 	return err
 }
@@ -282,6 +307,7 @@ func (s *Store) insertLocked(t rdf.Triple) (bool, error) {
 	}
 	if fresh {
 		s.stats.record(sid, pid, oid)
+		s.logDelta(wal.OpInsert, sid, pid, oid)
 	}
 	return fresh, nil
 }
@@ -412,7 +438,7 @@ func (d *side) setSpillPred(pid int64) {
 
 // Load reads N-Triples from r and inserts every triple. The store
 // write lock is held for the whole load.
-func (s *Store) Load(r io.Reader) (int, error) {
+func (s *Store) Load(r io.Reader) (n int, err error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	freshTotal := 0
@@ -421,25 +447,26 @@ func (s *Store) Load(r io.Reader) (int, error) {
 	// the new state.
 	defer func() {
 		if freshTotal > 0 {
-			s.publishLocked()
+			if perr := s.publishLocked(); perr != nil && err == nil {
+				err = perr
+			}
 		}
 	}()
 	rd := rdf.NewReader(r)
-	n := 0
 	for {
-		t, err := rd.Read()
-		if err == io.EOF {
+		t, rerr := rd.Read()
+		if rerr == io.EOF {
 			return n, nil
 		}
-		if err != nil {
-			return n, err
+		if rerr != nil {
+			return n, rerr
 		}
-		fresh, err := s.insertLocked(t)
+		fresh, ierr := s.insertLocked(t)
 		if fresh {
 			freshTotal++
 		}
-		if err != nil {
-			return n, err
+		if ierr != nil {
+			return n, ierr
 		}
 		n++
 	}
@@ -447,22 +474,24 @@ func (s *Store) Load(r io.Reader) (int, error) {
 
 // LoadTriples inserts a slice of triples under one write lock. The
 // epoch advances once iff any triple was new.
-func (s *Store) LoadTriples(ts []rdf.Triple) error {
+func (s *Store) LoadTriples(ts []rdf.Triple) (err error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	freshTotal := 0
 	defer func() {
 		if freshTotal > 0 {
-			s.publishLocked()
+			if perr := s.publishLocked(); perr != nil && err == nil {
+				err = perr
+			}
 		}
 	}()
 	for _, t := range ts {
-		fresh, err := s.insertLocked(t)
+		fresh, ierr := s.insertLocked(t)
 		if fresh {
 			freshTotal++
 		}
-		if err != nil {
-			return err
+		if ierr != nil {
+			return ierr
 		}
 	}
 	return nil

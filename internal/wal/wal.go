@@ -1,0 +1,280 @@
+// Package wal implements the write-ahead log backing the store's
+// durability layer (see DESIGN.md §9). The log is a sequence of
+// length-prefixed, CRC32C-checksummed records grouped into batches:
+// one batch per published epoch, consisting of the epoch's triple
+// deltas (inserts/deletes/clear) followed by a commit marker carrying
+// the epoch number. A batch whose commit marker is missing or whose
+// records fail the checksum is a torn write and is discarded wholesale
+// on replay, so recovery always lands on some previously published
+// epoch — never a partial state.
+//
+// On-disk record framing:
+//
+//	[u32 payload length][u32 CRC32C(payload)][payload]
+//
+// both integers little-endian. The payload starts with a one-byte op:
+//
+//	OpInsert/OpDelete: 3 × (uvarint key length + rdf.Term.Key bytes)
+//	OpClear:           empty
+//	OpCommit:          u64 epoch (little-endian)
+//
+// Log files ("segments") are named wal-<base>.log where <base> is the
+// store epoch at the moment the segment was opened; every batch inside
+// a segment has epoch > base of its own segment and ≤ base of the next.
+package wal
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"time"
+
+	"db2rdf/internal/rdf"
+)
+
+// Op enumerates WAL record types.
+type Op uint8
+
+const (
+	// OpInsert records one inserted triple.
+	OpInsert Op = 1
+	// OpDelete records one deleted triple.
+	OpDelete Op = 2
+	// OpClear records a whole-store CLEAR.
+	OpClear Op = 3
+	// OpCommit terminates a batch and names the epoch it publishes.
+	OpCommit Op = 4
+)
+
+// MaxRecordBytes caps a single record's payload. Anything larger is
+// treated as corruption: the largest legitimate record is three term
+// keys, and terms are far below this bound in practice.
+const MaxRecordBytes = 1 << 28
+
+const recHeader = 8 // u32 length + u32 crc32c
+
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// Record is one decoded WAL record.
+type Record struct {
+	Op    Op
+	Epoch uint64 // OpCommit only
+	S     rdf.Term
+	P     rdf.Term
+	O     rdf.Term // OpInsert/OpDelete only
+}
+
+// AppendRecord appends the framed encoding of r to buf.
+func AppendRecord(buf []byte, r Record) []byte {
+	start := len(buf)
+	buf = append(buf, 0, 0, 0, 0, 0, 0, 0, 0) // header placeholder
+	buf = append(buf, byte(r.Op))
+	switch r.Op {
+	case OpInsert, OpDelete:
+		for _, t := range [3]rdf.Term{r.S, r.P, r.O} {
+			k := t.Key()
+			buf = binary.AppendUvarint(buf, uint64(len(k)))
+			buf = append(buf, k...)
+		}
+	case OpCommit:
+		buf = binary.LittleEndian.AppendUint64(buf, r.Epoch)
+	}
+	payload := buf[start+recHeader:]
+	binary.LittleEndian.PutUint32(buf[start:], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(buf[start+4:], crc32.Checksum(payload, castagnoli))
+	return buf
+}
+
+// decodeRecord decodes one framed record from the front of data. It
+// returns the record and the total number of bytes consumed. Any
+// framing, checksum, or payload violation yields an error; the caller
+// treats every error as the torn/corrupt tail of the log.
+func decodeRecord(data []byte) (Record, int, error) {
+	if len(data) < recHeader {
+		return Record{}, 0, fmt.Errorf("wal: short header (%d bytes)", len(data))
+	}
+	ln := int(binary.LittleEndian.Uint32(data))
+	if ln == 0 || ln > MaxRecordBytes || ln > len(data)-recHeader {
+		return Record{}, 0, fmt.Errorf("wal: bad record length %d", ln)
+	}
+	payload := data[recHeader : recHeader+ln]
+	if crc32.Checksum(payload, castagnoli) != binary.LittleEndian.Uint32(data[4:]) {
+		return Record{}, 0, fmt.Errorf("wal: checksum mismatch")
+	}
+	r := Record{Op: Op(payload[0])}
+	body := payload[1:]
+	switch r.Op {
+	case OpInsert, OpDelete:
+		terms := [3]*rdf.Term{&r.S, &r.P, &r.O}
+		for _, t := range terms {
+			kl, n := binary.Uvarint(body)
+			if n <= 0 || kl > uint64(len(body)-n) {
+				return Record{}, 0, fmt.Errorf("wal: bad term key length")
+			}
+			term, err := rdf.TermFromKey(string(body[n : n+int(kl)]))
+			if err != nil {
+				return Record{}, 0, err
+			}
+			*t = term
+			body = body[n+int(kl):]
+		}
+	case OpClear:
+	case OpCommit:
+		if len(body) != 8 {
+			return Record{}, 0, fmt.Errorf("wal: bad commit payload")
+		}
+		r.Epoch = binary.LittleEndian.Uint64(body)
+		body = body[8:]
+	default:
+		return Record{}, 0, fmt.Errorf("wal: unknown op %d", r.Op)
+	}
+	if r.Op != OpCommit && len(body) != 0 {
+		return Record{}, 0, fmt.Errorf("wal: trailing payload bytes")
+	}
+	return r, recHeader + ln, nil
+}
+
+// Batch is one committed group of deltas publishing Epoch. End is the
+// byte offset just past the batch's commit record within its segment —
+// the truncation point that keeps the batch intact.
+type Batch struct {
+	Epoch uint64
+	Recs  []Record // deltas only; the commit marker is not included
+	End   int64
+}
+
+// ReadSegment parses one segment's bytes into committed batches. It
+// returns the batches, the offset just past the last committed batch
+// (the segment's valid prefix), and the number of records that were
+// read but discarded because no commit marker followed them (a torn
+// tail). Parsing stops at the first framing or checksum violation;
+// nothing after it is trusted. ReadSegment never panics on arbitrary
+// input.
+func ReadSegment(data []byte) (batches []Batch, valid int64, discarded int) {
+	var cur []Record
+	off := 0
+	for off < len(data) {
+		r, n, err := decodeRecord(data[off:])
+		if err != nil {
+			break
+		}
+		off += n
+		if r.Op == OpCommit {
+			batches = append(batches, Batch{Epoch: r.Epoch, Recs: cur, End: int64(off)})
+			valid = int64(off)
+			cur = nil
+			continue
+		}
+		cur = append(cur, r)
+	}
+	return batches, valid, len(cur)
+}
+
+// SegmentName returns the file name of the segment whose batches all
+// have epoch greater than base. The zero-padded fixed width makes
+// lexical order equal numeric order.
+func SegmentName(base uint64) string {
+	return fmt.Sprintf("wal-%020d.log", base)
+}
+
+// SegmentInfo describes one on-disk segment.
+type SegmentInfo struct {
+	Path string
+	Base uint64
+}
+
+// ListSegments returns the segments in dir ordered by base epoch.
+// Files that do not match the segment naming scheme are ignored.
+func ListSegments(dir string) ([]SegmentInfo, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var segs []SegmentInfo
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || !strings.HasPrefix(name, "wal-") || !strings.HasSuffix(name, ".log") {
+			continue
+		}
+		var base uint64
+		if _, err := fmt.Sscanf(name, "wal-%020d.log", &base); err != nil {
+			continue
+		}
+		segs = append(segs, SegmentInfo{Path: filepath.Join(dir, name), Base: base})
+	}
+	sort.Slice(segs, func(i, j int) bool { return segs[i].Base < segs[j].Base })
+	return segs, nil
+}
+
+// Log is the append side of the WAL: one open segment file. It is not
+// safe for concurrent use; the store serializes appends under its
+// write lock.
+type Log struct {
+	f     *os.File
+	dir   string
+	fsync bool
+	buf   []byte // reused encode buffer
+}
+
+// OpenSegment opens (creating if absent) the segment file at path for
+// appending. Appends go to the end of any valid prefix already
+// present — recovery truncates the file to that prefix first.
+func OpenSegment(path string, fsync bool) (*Log, error) {
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	return &Log{f: f, dir: filepath.Dir(path), fsync: fsync}, nil
+}
+
+// AppendBatch encodes deltas plus a commit marker for epoch and writes
+// them in a single Write call, then fsyncs if the log was opened with
+// fsync enabled. It returns the bytes written and the time spent in
+// fsync. On any error the batch must be considered torn; the commit
+// marker may not be durable and recovery will discard the batch.
+func (l *Log) AppendBatch(deltas []Record, epoch uint64) (int64, time.Duration, error) {
+	buf := l.buf[:0]
+	for _, r := range deltas {
+		buf = AppendRecord(buf, r)
+	}
+	buf = AppendRecord(buf, Record{Op: OpCommit, Epoch: epoch})
+	if cap(buf) <= 1<<20 {
+		l.buf = buf // keep small buffers; let bulk-load-sized ones go
+	} else {
+		l.buf = nil
+	}
+	n, err := l.f.Write(buf)
+	if err != nil {
+		return int64(n), 0, err
+	}
+	var d time.Duration
+	if l.fsync {
+		start := time.Now()
+		if err := l.f.Sync(); err != nil {
+			return int64(n), time.Since(start), err
+		}
+		d = time.Since(start)
+	}
+	return int64(n), d, nil
+}
+
+// Sync forces the segment to stable storage regardless of the fsync
+// setting (used for the final flush on Close).
+func (l *Log) Sync() error { return l.f.Sync() }
+
+// Close syncs and closes the segment file.
+func (l *Log) Close() error {
+	if l.f == nil {
+		return nil
+	}
+	err := l.f.Sync()
+	if cerr := l.f.Close(); err == nil {
+		err = cerr
+	}
+	l.f = nil
+	return err
+}

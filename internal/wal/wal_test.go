@@ -1,0 +1,175 @@
+package wal
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"db2rdf/internal/rdf"
+)
+
+func sampleBatch(i int) []Record {
+	return []Record{
+		{Op: OpInsert, S: rdf.NewIRI("http://ex/s"), P: rdf.NewIRI("http://ex/p"), O: rdf.NewInteger(int64(i))},
+		{Op: OpInsert, S: rdf.NewBlank("b1"), P: rdf.NewIRI("http://ex/p"), O: rdf.NewLangLiteral("héllo\nworld", "en")},
+		{Op: OpDelete, S: rdf.NewIRI("http://ex/s"), P: rdf.NewIRI("http://ex/p"), O: rdf.NewTypedLiteral("3.14", rdf.XSDDecimal)},
+	}
+}
+
+func TestBatchRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, SegmentName(1))
+	l, err := OpenSegment(path, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var want []Batch
+	for i := 0; i < 5; i++ {
+		recs := sampleBatch(i)
+		if i == 3 {
+			recs = []Record{{Op: OpClear}}
+		}
+		if _, _, err := l.AppendBatch(recs, uint64(2+i)); err != nil {
+			t.Fatal(err)
+		}
+		want = append(want, Batch{Epoch: uint64(2 + i), Recs: recs})
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, valid, discarded := ReadSegment(data)
+	if discarded != 0 || valid != int64(len(data)) {
+		t.Fatalf("valid=%d len=%d discarded=%d", valid, len(data), discarded)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("got %d batches, want %d", len(got), len(want))
+	}
+	for i, b := range got {
+		if b.Epoch != want[i].Epoch || len(b.Recs) != len(want[i].Recs) {
+			t.Fatalf("batch %d: epoch %d recs %d", i, b.Epoch, len(b.Recs))
+		}
+		for j, r := range b.Recs {
+			w := want[i].Recs[j]
+			if r.Op != w.Op || r.S != w.S || r.P != w.P || r.O != w.O {
+				t.Fatalf("batch %d rec %d: got %+v want %+v", i, j, r, w)
+			}
+		}
+	}
+}
+
+// TestTornTail truncates a segment at every byte boundary and checks
+// that ReadSegment returns exactly the batches whose commit markers
+// survive intact, with the valid offset at the last surviving commit.
+func TestTornTail(t *testing.T) {
+	var data []byte
+	var commits []int64 // offset just past batch i's commit record
+	for i := 0; i < 4; i++ {
+		for _, r := range sampleBatch(i) {
+			data = AppendRecord(data, r)
+		}
+		data = AppendRecord(data, Record{Op: OpCommit, Epoch: uint64(2 + i)})
+		commits = append(commits, int64(len(data)))
+	}
+	for cut := 0; cut <= len(data); cut++ {
+		batches, valid, _ := ReadSegment(data[:cut])
+		wantN := 0
+		var wantValid int64
+		for i, end := range commits {
+			if int64(cut) >= end {
+				wantN = i + 1
+				wantValid = end
+			}
+		}
+		if len(batches) != wantN || valid != wantValid {
+			t.Fatalf("cut=%d: got %d batches valid=%d, want %d valid=%d",
+				cut, len(batches), valid, wantN, wantValid)
+		}
+	}
+}
+
+// TestBitFlip flips each byte of a segment and checks parsing stops at
+// or before the corrupted record without panicking, and that batches
+// before the flip survive.
+func TestBitFlip(t *testing.T) {
+	var data []byte
+	for i := 0; i < 3; i++ {
+		for _, r := range sampleBatch(i) {
+			data = AppendRecord(data, r)
+		}
+		data = AppendRecord(data, Record{Op: OpCommit, Epoch: uint64(2 + i)})
+	}
+	clean, _, _ := ReadSegment(data)
+	if len(clean) != 3 {
+		t.Fatalf("clean parse: %d batches", len(clean))
+	}
+	for pos := 0; pos < len(data); pos++ {
+		mut := append([]byte(nil), data...)
+		mut[pos] ^= 0x41
+		batches, valid, _ := ReadSegment(mut)
+		if valid > int64(len(mut)) {
+			t.Fatalf("pos=%d: valid=%d beyond len=%d", pos, valid, len(mut))
+		}
+		// Every surviving batch before the flip must be byte-identical
+		// territory: its End must not extend past the flipped byte
+		// unless the checksum still covers it (flips inside a later
+		// record leave earlier batches intact).
+		for _, b := range batches {
+			if b.End <= int64(pos) {
+				continue // committed strictly before the corruption
+			}
+			// A batch spanning the flip can only survive if the flip
+			// did not change parsed bytes — impossible with XOR 0x41
+			// inside the batch's framed region, unless the flip is in
+			// a later region. So surviving spans mean mis-sync; verify
+			// the epoch is one we actually wrote.
+			if b.Epoch < 2 || b.Epoch > 4 {
+				t.Fatalf("pos=%d: surviving batch has foreign epoch %d", pos, b.Epoch)
+			}
+		}
+	}
+}
+
+func TestListSegments(t *testing.T) {
+	dir := t.TempDir()
+	for _, base := range []uint64{7, 1, 300} {
+		if err := os.WriteFile(filepath.Join(dir, SegmentName(base)), nil, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Noise that must be ignored.
+	os.WriteFile(filepath.Join(dir, "snap-1.snap"), nil, 0o644)
+	os.WriteFile(filepath.Join(dir, "wal-bogus.log"), nil, 0o644)
+	segs, err := ListSegments(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(segs) != 3 || segs[0].Base != 1 || segs[1].Base != 7 || segs[2].Base != 300 {
+		t.Fatalf("segments: %+v", segs)
+	}
+}
+
+func FuzzReadSegment(f *testing.F) {
+	var seed []byte
+	for _, r := range sampleBatch(0) {
+		seed = AppendRecord(seed, r)
+	}
+	seed = AppendRecord(seed, Record{Op: OpCommit, Epoch: 2})
+	f.Add(seed)
+	f.Add([]byte{})
+	f.Add([]byte{0xff, 0xff, 0xff, 0xff, 1, 2, 3, 4})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		batches, valid, _ := ReadSegment(data)
+		if valid > int64(len(data)) {
+			t.Fatalf("valid=%d beyond input", valid)
+		}
+		for _, b := range batches {
+			if b.End > int64(len(data)) {
+				t.Fatalf("batch end beyond input")
+			}
+		}
+	})
+}

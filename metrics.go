@@ -111,6 +111,22 @@ type Snapshot struct {
 	PlanCacheInserts        uint64 `json:"plan_cache_inserts"`
 	PlanCacheCapEvictions   uint64 `json:"plan_cache_cap_evictions"`
 	PlanCacheStaleEvictions uint64 `json:"plan_cache_stale_evictions"`
+
+	// Durability counters (all zero when the store has no DataDir).
+	DurabilityEnabled        bool      `json:"durability_enabled"`
+	WALAppends               uint64    `json:"wal_appends"`
+	WALBytes                 int64     `json:"wal_bytes"`
+	FsyncCount               uint64    `json:"wal_fsync_count"`
+	FsyncSeconds             float64   `json:"wal_fsync_seconds_total"`
+	FsyncBucketsS            []float64 `json:"wal_fsync_buckets_s,omitempty"`
+	FsyncCounts              []uint64  `json:"wal_fsync_counts,omitempty"`
+	SnapshotWrites           uint64    `json:"snapshot_writes"`
+	SnapshotErrors           uint64    `json:"snapshot_errors"`
+	SnapshotWriteSeconds     float64   `json:"snapshot_write_seconds_total"`
+	RecoveryTruncatedRecords uint64    `json:"recovery_truncated_records"`
+	RecoverSeconds           float64   `json:"recover_seconds"`
+	ReplayedRecords          uint64    `json:"replayed_records"`
+	LastSnapshotEpoch        uint64    `json:"last_snapshot_epoch"`
 }
 
 // Metrics returns the store's metrics registry.
@@ -209,6 +225,28 @@ func (m *Metrics) Snapshot() Snapshot {
 		s.SnapshotEpoch = m.inner.Epoch()
 		s.CompactionsTotal = m.inner.Compactions()
 		s.DeadRows = m.inner.DeadRows()
+		if ds := m.inner.DurabilityStats(); ds.Enabled {
+			s.DurabilityEnabled = true
+			s.WALAppends = ds.WALAppends
+			s.WALBytes = ds.WALBytes
+			s.FsyncCount = ds.FsyncCount
+			s.FsyncSeconds = ds.FsyncSeconds
+			s.FsyncBucketsS = append([]float64(nil), store.FsyncBuckets...)
+			// Cumulative counts, Prometheus convention.
+			s.FsyncCounts = make([]uint64, len(ds.FsyncHist))
+			var fcum uint64
+			for i := range ds.FsyncHist {
+				fcum += ds.FsyncHist[i]
+				s.FsyncCounts[i] = fcum
+			}
+			s.SnapshotWrites = ds.SnapshotWrites
+			s.SnapshotErrors = ds.SnapshotErrors
+			s.SnapshotWriteSeconds = ds.SnapshotWriteSeconds
+			s.RecoveryTruncatedRecords = ds.RecoveryTruncatedRecords
+			s.RecoverSeconds = ds.RecoverSeconds
+			s.ReplayedRecords = ds.ReplayedRecords
+			s.LastSnapshotEpoch = ds.LastSnapshotEpoch
+		}
 	}
 	if m.plans != nil {
 		ps := m.plans.statsFull()
@@ -276,5 +314,24 @@ func (m *Metrics) WritePrometheus(w io.Writer) error {
 	counter("db2rdf_plan_cache_cap_evictions_total", "Plan-cache LRU capacity evictions.", s.PlanCacheCapEvictions)
 	counter("db2rdf_plan_cache_stale_evictions_total", "Plan-cache stale-epoch evictions.", s.PlanCacheStaleEvictions)
 	p("# HELP db2rdf_plan_cache_size Cached compiled plans.\n# TYPE db2rdf_plan_cache_size gauge\ndb2rdf_plan_cache_size %d\n", s.PlanCacheSize)
+	if s.DurabilityEnabled {
+		counter("db2rdf_wal_appends_total", "WAL batches appended at publish.", s.WALAppends)
+		counter("db2rdf_wal_bytes_total", "Bytes appended to the WAL.", uint64(s.WALBytes))
+		p("# HELP db2rdf_wal_fsync_seconds WAL fsync latency histogram.\n# TYPE db2rdf_wal_fsync_seconds histogram\n")
+		for i, b := range s.FsyncBucketsS {
+			p("db2rdf_wal_fsync_seconds_bucket{le=\"%g\"} %d\n", b, s.FsyncCounts[i])
+		}
+		if n := len(s.FsyncCounts); n > 0 {
+			p("db2rdf_wal_fsync_seconds_bucket{le=\"+Inf\"} %d\n", s.FsyncCounts[n-1])
+		}
+		p("db2rdf_wal_fsync_seconds_sum %g\n", s.FsyncSeconds)
+		p("db2rdf_wal_fsync_seconds_count %d\n", s.FsyncCount)
+		counter("db2rdf_snapshot_writes_total", "Snapshot files written.", s.SnapshotWrites)
+		counter("db2rdf_snapshot_errors_total", "Snapshot writes that failed.", s.SnapshotErrors)
+		p("# HELP db2rdf_snapshot_write_seconds Total snapshot serialization and write time.\n# TYPE db2rdf_snapshot_write_seconds counter\ndb2rdf_snapshot_write_seconds %g\n", s.SnapshotWriteSeconds)
+		counter("db2rdf_recovery_truncated_records", "WAL records discarded as torn or unreachable at recovery.", s.RecoveryTruncatedRecords)
+		counter("db2rdf_recovery_replayed_records", "WAL records replayed at recovery.", s.ReplayedRecords)
+		p("# HELP db2rdf_last_snapshot_epoch Epoch of the newest on-disk snapshot.\n# TYPE db2rdf_last_snapshot_epoch gauge\ndb2rdf_last_snapshot_epoch %d\n", s.LastSnapshotEpoch)
+	}
 	return err
 }

@@ -88,7 +88,9 @@ func (s *Store) UpdateContext(ctx context.Context, u string) (res *UpdateResult,
 	// cached plan valid.
 	defer func() {
 		if changed > 0 {
-			s.inner.PublishLocked()
+			if perr := s.inner.PublishLocked(); perr != nil && err == nil {
+				res, err = result, perr
+			}
 		}
 	}()
 
