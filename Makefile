@@ -24,10 +24,10 @@ race:
 # snapshot_publish_wal (publish with WAL capture on),
 # recover_snapshot_ms (cold start from an epoch-aligned snapshot) and
 # wal_replay_rate (records/s through WAL-only crash recovery)) to
-# BENCH_PR8.json; bench-all runs the full paper figure/table benchmark
+# BENCH_PR9.json; bench-all runs the full paper figure/table benchmark
 # sweep.
 bench:
-	DB2RDF_BENCH_OUT=BENCH_PR8.json $(GO) test -run '^TestBenchBaseline$$' -count=1 -v .
+	DB2RDF_BENCH_OUT=BENCH_PR9.json $(GO) test -run '^TestBenchBaseline$$' -count=1 -v .
 
 bench-all:
 	$(GO) test -run '^$$' -bench . -benchtime 1x ./...

@@ -9,9 +9,13 @@ package db2rdf_test
 //
 // Besides ns/op each point carries bytes/op and allocs/op, and
 // non-latency points record the resident size of a loaded LUBM store
-// under the columnar (default) and legacy row layouts — plus after
-// snapshot-publishing write churn — so the memory claims of the
-// columnar storage and the COW snapshot layer are tracked across PRs.
+// under the encoded-columnar (default), raw-columnar and legacy row
+// layouts — plus the front-coded vs raw dictionary, the on-disk
+// snapshot size, and after snapshot-publishing write churn — so the
+// memory claims of the compressed chunks, the columnar storage and
+// the COW snapshot layer are tracked across PRs. The *_ratio points
+// compare warm, concurrent and selective-scan latency between the
+// encoded and raw chunk layouts.
 // The query_during_load_p50/p99 points record reader latency while a
 // concurrent bulk load keeps publishing snapshots (the headline of the
 // lock-free read path), and snapshot_publish the writer-side cost of
@@ -123,10 +127,25 @@ func TestBenchBaseline(t *testing.T) {
 		}
 	})
 
-	// Resident table footprint of the same LUBM dataset under both
-	// layouts. The store above is columnar (the default); load a second
-	// store under the legacy row layout for the comparison point.
-	colBytes := s.StorageBytes()
+	// Resident footprints of the same LUBM dataset under three table
+	// layouts — encoded columnar (the default: chunks seal into the
+	// FoR bit-packed form at publish), raw columnar (encoding off),
+	// and the legacy row layout — plus the dictionary under its
+	// front-coded and raw []Term layouts. Tables and dictionary are
+	// reported separately (TableBytes / DictBytes).
+	colBytes := s.TableBytes()
+	dictBytes := s.DictBytes()
+	dictRawBytes := s.Internal().Dict.RawBytes()
+	rel.SetChunkEncoding(false)
+	rawColStore, err := db2rdf.Open(db2rdf.Options{})
+	if err == nil {
+		err = rawColStore.LoadTriples(ds.Triples)
+	}
+	rel.SetChunkEncoding(true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rawColBytes := rawColStore.TableBytes()
 	rel.SetDefaultStorage(rel.StorageRows)
 	rowStore, err := db2rdf.Open(db2rdf.Options{})
 	rel.SetDefaultStorage(rel.StorageColumnar)
@@ -136,7 +155,69 @@ func TestBenchBaseline(t *testing.T) {
 	if err := rowStore.LoadTriples(ds.Triples); err != nil {
 		t.Fatal(err)
 	}
-	rowBytes := rowStore.StorageBytes()
+	rowBytes := rowStore.TableBytes()
+
+	// Warm-plan and concurrent query latency against the raw-columnar
+	// store: the encoded-vs-raw ratios below are the flat-scan-latency
+	// acceptance numbers for the compressed chunk representation.
+	if _, err := rawColStore.Query(q); err != nil {
+		t.Fatal(err)
+	}
+	warmRaw := testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := rawColStore.Query(q); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	concurrent := func(st *db2rdf.Store) testing.BenchmarkResult {
+		return testing.Benchmark(func(b *testing.B) {
+			b.SetParallelism(4)
+			b.RunParallel(func(pb *testing.PB) {
+				for pb.Next() {
+					if _, err := st.Query(q); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		})
+	}
+	concEnc := concurrent(s)
+	concRaw := concurrent(rawColStore)
+
+	// Selective scan with zone maps defeated, at the rel level, sealed
+	// (encoded) vs raw chunks — the same comparison without plan-cache
+	// or dictionary work in the loop.
+	relScan := func(sealed bool) testing.BenchmarkResult {
+		db := rel.NewDB()
+		tb, err := db.CreateTable("sf", rel.Schema{{Name: "v", Type: rel.TInt}, {Name: "pad", Type: rel.TInt}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		const n = 1 << 18
+		rows := make([]rel.Row, n)
+		for i := range rows {
+			rows[i] = rel.Row{rel.Int(int64((i*2654435761 + 12345) % n)), rel.Int(int64(i))}
+		}
+		if _, err := tb.AppendRows(rows); err != nil {
+			t.Fatal(err)
+		}
+		if sealed {
+			tb.Publish()
+		}
+		const sq = "SELECT T.pad FROM sf AS T WHERE T.v = 70000"
+		return testing.Benchmark(func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				rs, err := db.Query(sq)
+				if err != nil || len(rs.Rows) != 1 {
+					b.Fatalf("err=%v rows=%d", err, len(rs.Rows))
+				}
+			}
+		})
+	}
+	scanRaw := relScan(false)
+	scanSealed := relScan(true)
 
 	// Delete throughput and post-delete scan latency: each iteration
 	// deletes a batch of triples via SPARQL update from a pre-loaded
@@ -222,7 +303,7 @@ func TestBenchBaseline(t *testing.T) {
 	}()
 	loadP50, loadP99 := readLatencies(t, churnStore, q, stop)
 	churnWg.Wait()
-	churnBytes := churnStore.StorageBytes()
+	churnBytes := churnStore.TableBytes()
 
 	publish := testing.Benchmark(func(b *testing.B) {
 		b.ReportAllocs()
@@ -267,6 +348,23 @@ func TestBenchBaseline(t *testing.T) {
 			}
 		}
 	})
+
+	// On-disk size of the epoch snapshot just written: tracks the
+	// encoded (marker-tagged packed) table sections across PRs.
+	var snapFileBytes int64
+	snapFiles, err := os.ReadDir(snapDir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range snapFiles {
+		if filepath.Ext(f.Name()) == ".snap" {
+			fi, err := f.Info()
+			if err != nil {
+				t.Fatal(err)
+			}
+			snapFileBytes += fi.Size()
+		}
+	}
 
 	// WAL-only replay: load into a durable store and "crash" (no Close,
 	// so no snapshot exists); each iteration recovers a fresh copy of
@@ -359,13 +457,46 @@ func TestBenchBaseline(t *testing.T) {
 		{Name: "query_during_load_p50", NsOp: float64(loadP50), N: 1},
 		{Name: "query_during_load_p99", NsOp: float64(loadP99), N: 1},
 		{Name: "table_resident_bytes", NsOp: float64(colBytes), N: 1},
+		{Name: "table_resident_bytes_rawcolumnar", NsOp: float64(rawColBytes), N: 1},
 		{Name: "table_resident_bytes_rowlayout", NsOp: float64(rowBytes), N: 1},
 		{Name: "table_resident_bytes_after_write_churn", NsOp: float64(churnBytes), N: 1},
+		{Name: "dict_resident_bytes", NsOp: float64(dictBytes), N: 1},
+		{Name: "dict_resident_bytes_raw", NsOp: float64(dictRawBytes), N: 1},
+		{Name: "encoded_chunks_total", NsOp: float64(rel.SealedChunksTotal()), N: 1},
+		{Name: "snapshot_file_bytes", NsOp: float64(snapFileBytes), N: 1},
+		latencyPoint("query_warm_plan_rawcolumnar", warmRaw),
+		latencyPoint("concurrent_query_encoded", concEnc),
+		latencyPoint("concurrent_query_rawcolumnar", concRaw),
+		latencyPoint("scan_selective_encoded", scanSealed),
+		latencyPoint("scan_selective_rawcolumnar", scanRaw),
 	}
 	if warm.NsPerOp() > 0 {
 		points = append(points, benchPoint{
 			Name: "instrumentation_overhead_ratio",
 			NsOp: float64(warmInstr.NsPerOp()) / float64(warm.NsPerOp()),
+			N:    1,
+		})
+	}
+	// Encoded-vs-raw latency ratios (the <= 1.15x acceptance numbers
+	// for the compressed chunk representation).
+	if warmRaw.NsPerOp() > 0 {
+		points = append(points, benchPoint{
+			Name: "query_warm_encoded_vs_raw_ratio",
+			NsOp: float64(warm.NsPerOp()) / float64(warmRaw.NsPerOp()),
+			N:    1,
+		})
+	}
+	if concRaw.NsPerOp() > 0 {
+		points = append(points, benchPoint{
+			Name: "concurrent_query_encoded_vs_raw_ratio",
+			NsOp: float64(concEnc.NsPerOp()) / float64(concRaw.NsPerOp()),
+			N:    1,
+		})
+	}
+	if scanRaw.NsPerOp() > 0 {
+		points = append(points, benchPoint{
+			Name: "scan_selective_encoded_vs_raw_ratio",
+			NsOp: float64(scanSealed.NsPerOp()) / float64(scanRaw.NsPerOp()),
 			N:    1,
 		})
 	}

@@ -11,7 +11,7 @@ echo "== go test -race =="
 go test -race ./...
 echo "== kernel equivalence (parallel on/off) and plan cache =="
 go test -race -run 'TestKernelEquivalence|TestPlanCache' -count=1 .
-echo "== columnar/row storage equivalence =="
+echo "== storage equivalence (encoded / raw columnar / rows) =="
 go test -race -run 'TestStorageEquivalence' -count=1 .
 echo "== abort paths (governance, fault injection, panic containment) =="
 go test -race -count=1 \
@@ -32,10 +32,13 @@ go test -race -count=1 \
     -run 'TestDurableCloseReopen|TestWALOnlyCrashReopen|TestKillPointRecovery|TestBitFlipFaultInjection|TestSnapshotReclaimsDeletedState|TestBackgroundSnapshotRotation|TestDurableConfigMismatch' .
 echo "== hot-path perf gates (instrumentation disabled; reads during load) =="
 DB2RDF_PERF_GATE=1 go test -count=1 -run '^TestPerfGate' -v .
+echo "== resident-bytes gate (encoded <= 0.5x raw tables, fc dict <= 0.7x raw terms) =="
+DB2RDF_PERF_GATE=1 go test -count=1 -run '^TestResidentBytesGate$' -v .
 echo "== fuzz smoke (5s per target) =="
 go test -run '^$' -fuzz '^FuzzLoadReader$' -fuzztime 5s .
 go test -run '^$' -fuzz '^FuzzParseQuery$' -fuzztime 5s .
 go test -run '^$' -fuzz '^FuzzParseUpdate$' -fuzztime 5s .
 go test -run '^$' -fuzz '^FuzzWALReplay$' -fuzztime 5s .
 go test -run '^$' -fuzz '^FuzzReadSegment$' -fuzztime 5s ./internal/wal/
+go test -run '^$' -fuzz '^FuzzChunkRoundTrip$' -fuzztime 5s ./internal/rel/
 echo "ok"

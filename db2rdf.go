@@ -209,14 +209,27 @@ func (s *Store) Len() int {
 	return s.inner.Snapshot().EntityCount(false)
 }
 
-// StorageBytes returns the resident in-memory size of the four DB2RDF
-// relations (DPH, DS, RPH, RS) in bytes: vector/row storage, null
-// bitmaps, and string contents. It is the number the columnar layout
-// (rel.StorageColumnar, the default) is designed to shrink — sparse
-// predicate columns cost one presence bit per absent value instead of
-// a full value slot.
+// StorageBytes returns the resident in-memory size of the store's
+// data: the four DB2RDF relations (DPH, DS, RPH, RS) plus the
+// dictionary's id→term store. Relation bytes cover vector/row storage,
+// null bitmaps, and string contents — the number the columnar layout
+// (rel.StorageColumnar, the default) and publish-time chunk sealing
+// are designed to shrink; dictionary bytes cover the front-coded term
+// blocks.
 func (s *Store) StorageBytes() int64 {
 	return s.inner.Snapshot().StorageBytes()
+}
+
+// TableBytes returns the resident bytes of the four relations alone
+// (the table_resident_bytes metric).
+func (s *Store) TableBytes() int64 {
+	return s.inner.Snapshot().TableBytes()
+}
+
+// DictBytes returns the resident bytes of the dictionary's id→term
+// store (the dict_resident_bytes metric).
+func (s *Store) DictBytes() int64 {
+	return s.inner.Snapshot().DictBytes()
 }
 
 // Internal exposes the underlying store for the benchmark harness and

@@ -4,12 +4,23 @@
 // additionally need list ids ("lid"s, the paper's lid:1, lid:2, ...)
 // drawn from a disjoint id space so a val_i column can hold either a
 // term id or a lid without ambiguity.
+//
+// The id→term direction is stored front-coded: interned term keys
+// (Term.Key canonical strings) are grouped into blocks of fcBlockSize,
+// every key after a block's first is stored as (shared-prefix length
+// with the block head, suffix), and the suffixes of a block live in one
+// contiguous string. Term keys — IRIs above all — share long prefixes,
+// so this cuts the resident id→term bytes severalfold while decoding a
+// key stays two slices and at most one concatenation. Decode parses the
+// rebuilt key with rdf.TermFromKey, whose Terms alias the key's backing
+// bytes, so no per-field copies are made either.
 package dict
 
 import (
 	"fmt"
 	"sync"
 	"sync/atomic"
+	"unsafe"
 
 	"db2rdf/internal/rdf"
 )
@@ -23,27 +34,137 @@ const LidBase int64 = 1 << 62
 // term id.
 func IsLid(id int64) bool { return id >= LidBase }
 
+// fcBlockSize is the number of keys per front-coded block. 16 keeps the
+// per-block fixed cost (two string headers plus two offset arrays)
+// around ten bytes per term while the head key a decode may copy a
+// prefix from stays nearby.
+const fcBlockSize = 16
+
+// fcBlock is one sealed front-coded block of fcBlockSize term keys.
+// Entry 0 is head, stored whole; entry j>0 is head[:lcp[j-1]] followed
+// by the blob slice ending at end[j-1] (and starting at the previous
+// entry's end). Blocks are immutable once built.
+type fcBlock struct {
+	head string
+	blob string
+	lcp  [fcBlockSize - 1]uint32
+	end  [fcBlockSize - 1]uint32
+}
+
+// key returns block entry j (0 ≤ j < fcBlockSize).
+func (b *fcBlock) key(j int) string {
+	if j == 0 {
+		return b.head
+	}
+	var start uint32
+	if j > 1 {
+		start = b.end[j-2]
+	}
+	suffix := b.blob[start:b.end[j-1]]
+	l := b.lcp[j-1]
+	if l == 0 {
+		return suffix
+	}
+	return b.head[:l] + suffix
+}
+
+// fcStore is an immutable published view of the interned terms: the
+// sealed blocks plus the raw keys that have not filled a block yet.
+// Decode reads one of these lock-free via the atomic pointer.
+type fcStore struct {
+	blocks []fcBlock
+	tail   []string
+	n      int
+}
+
+func (st *fcStore) keyAt(i int) string {
+	if bi := i / fcBlockSize; bi < len(st.blocks) {
+		return st.blocks[bi].key(i % fcBlockSize)
+	}
+	return st.tail[i-len(st.blocks)*fcBlockSize]
+}
+
 // Dict interns RDF terms and hands out list ids. It is safe for
 // concurrent use. The dictionary is append-only and versioned: every
-// Encode that allocates a new id republishes the id→term slice header
+// Encode that allocates a new id republishes the front-coded store
 // through an atomic pointer, so Decode — the hot call on every query's
 // result materialization — resolves ids entirely lock-free even while
-// a bulk load is interning thousands of new terms. A published header
-// is len-capped by value, and ids are only handed out after the term
-// lands in the slice, so a reader's header always covers every id any
+// a bulk load is interning thousands of new terms. A published store
+// is immutable by construction (the blocks slice is len-capped, the
+// tail freshly copied), and ids are only handed out after the key
+// lands in the store, so a reader's store always covers every id any
 // published store snapshot can contain.
 type Dict struct {
 	mu      sync.RWMutex
 	byKey   map[string]int64
-	byID    []rdf.Term // index i holds the term with id i+1
+	blocks  []fcBlock // sealed blocks; len-capped at every publish
+	pend    []string  // keys of the partially filled last block
+	n       int       // total interned terms
 	nextLid int64
+	rawLen  int64 // what the raw []rdf.Term layout would hold in string bytes
 
-	pub atomic.Pointer[[]rdf.Term] // published byID header for lock-free Decode
+	pub atomic.Pointer[fcStore] // published store for lock-free Decode
 }
 
 // New returns an empty dictionary.
 func New() *Dict {
 	return &Dict{byKey: make(map[string]int64), nextLid: LidBase}
+}
+
+func lcpLen(a, b string) int {
+	n := len(a)
+	if len(b) < n {
+		n = len(b)
+	}
+	i := 0
+	for i < n && a[i] == b[i] {
+		i++
+	}
+	return i
+}
+
+// sealBlock front-codes fcBlockSize keys into an immutable block.
+func sealBlock(keys []string) fcBlock {
+	var b fcBlock
+	b.head = keys[0]
+	var blob []byte
+	for j := 1; j < fcBlockSize; j++ {
+		l := lcpLen(b.head, keys[j])
+		blob = append(blob, keys[j][l:]...)
+		b.lcp[j-1] = uint32(l)
+		b.end[j-1] = uint32(len(blob))
+	}
+	b.blob = string(blob)
+	return b
+}
+
+// appendLocked adds key as the next id. Caller holds the write lock,
+// has checked the key is new, and republishes afterwards.
+func (d *Dict) appendLocked(key string) int64 {
+	d.pend = append(d.pend, key)
+	if len(d.pend) == fcBlockSize {
+		d.blocks = append(d.blocks, sealBlock(d.pend))
+		d.pend = d.pend[:0]
+	}
+	d.n++
+	id := int64(d.n)
+	d.byKey[key] = id
+	return id
+}
+
+// publishLocked republishes the lock-free store. The published blocks
+// header is len-capped by value, so readers can never index past it
+// even though the writer keeps appending sealed blocks to the shared
+// backing array; the tail is a fresh copy because the writer reuses
+// its backing in place. Readers load the pointer with acquire
+// semantics, so a reader that sees the new n also sees every key that
+// backs it.
+func (d *Dict) publishLocked() {
+	d.pub.Store(&fcStore{
+		blocks: d.blocks[:len(d.blocks):len(d.blocks)],
+		tail:   append([]string(nil), d.pend...),
+		n:      d.n,
+	})
 }
 
 // Encode interns t, returning its id (allocating one if new).
@@ -60,15 +181,9 @@ func (d *Dict) Encode(t rdf.Term) int64 {
 	if id, ok = d.byKey[key]; ok {
 		return id
 	}
-	d.byID = append(d.byID, t)
-	id = int64(len(d.byID))
-	d.byKey[key] = id
-	// Republish the slice header. The element write above happens
-	// before the atomic store, and readers load the pointer with
-	// acquire semantics, so a reader that sees the new length also
-	// sees the new term.
-	hdr := d.byID
-	d.pub.Store(&hdr)
+	d.rawLen += int64(len(t.Value) + len(t.Datatype) + len(t.Lang))
+	id = d.appendLocked(key)
+	d.publishLocked()
 	return id
 }
 
@@ -80,24 +195,37 @@ func (d *Dict) Lookup(t rdf.Term) (int64, bool) {
 	return id, ok
 }
 
+// termFromStoredKey reparses a stored term key. The keys were produced
+// by Term.Key, so reparsing cannot fail; an error here means the store
+// itself is corrupt.
+func termFromStoredKey(key string) rdf.Term {
+	t, err := rdf.TermFromKey(key)
+	if err != nil {
+		panic(fmt.Sprintf("dict: corrupt stored key: %v", err))
+	}
+	return t
+}
+
 // Decode returns the term for a term id. Lock-free: it reads the
-// atomically published slice header. An id allocated after the last
-// publish this reader observed cannot appear in any data the reader
-// sees (ids are interned before rows referencing them are written and
+// atomically published store. An id allocated after the last publish
+// this reader observed cannot appear in any data the reader sees (ids
+// are interned before rows referencing them are written and
 // published), so a miss here is a genuinely unknown id — but fall back
-// to the locked slice to keep the error path exact under races.
+// to the locked state to keep the error path exact under races.
 func (d *Dict) Decode(id int64) (rdf.Term, error) {
-	if p := d.pub.Load(); p != nil {
-		if byID := *p; id >= 1 && id <= int64(len(byID)) {
-			return byID[id-1], nil
-		}
+	if st := d.pub.Load(); st != nil && id >= 1 && id <= int64(st.n) {
+		return termFromStoredKey(st.keyAt(int(id - 1))), nil
 	}
 	d.mu.RLock()
 	defer d.mu.RUnlock()
-	if id < 1 || id > int64(len(d.byID)) {
+	if id < 1 || id > int64(d.n) {
 		return rdf.Term{}, fmt.Errorf("dict: unknown term id %d", id)
 	}
-	return d.byID[id-1], nil
+	i := int(id - 1)
+	if bi := i / fcBlockSize; bi < len(d.blocks) {
+		return termFromStoredKey(d.blocks[bi].key(i % fcBlockSize)), nil
+	}
+	return termFromStoredKey(d.pend[i-len(d.blocks)*fcBlockSize]), nil
 }
 
 // MustDecode is Decode for callers that already validated the id.
@@ -122,7 +250,38 @@ func (d *Dict) NextLid() int64 {
 func (d *Dict) Len() int {
 	d.mu.RLock()
 	defer d.mu.RUnlock()
-	return len(d.byID)
+	return d.n
+}
+
+// ResidentBytes reports the in-process footprint of the id→term store:
+// block fixed costs, head and suffix-blob contents, and the raw tail
+// keys. The byKey map is excluded — it is identical across encodings
+// (dict_resident_bytes measures the storage the front coding changes).
+func (d *Dict) ResidentBytes() int64 {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	const sliceHeader = 24
+	const stringHeader = 16
+	total := int64(2 * sliceHeader)
+	blockFixed := int64(unsafe.Sizeof(fcBlock{}))
+	for i := range d.blocks {
+		total += blockFixed + int64(len(d.blocks[i].head)+len(d.blocks[i].blob))
+	}
+	total += int64(cap(d.pend)) * stringHeader
+	for _, k := range d.pend {
+		total += int64(len(k))
+	}
+	return total
+}
+
+// RawBytes reports what the pre-encoding layout (a plain []rdf.Term)
+// would occupy for the same contents: one Term struct per id plus its
+// string bytes. This is the baseline dict_resident_bytes is gated
+// against.
+func (d *Dict) RawBytes() int64 {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	return int64(d.n)*int64(unsafe.Sizeof(rdf.Term{})) + d.rawLen
 }
 
 // SnapshotState returns a copy of the interned term slice (index i
@@ -133,8 +292,15 @@ func (d *Dict) Len() int {
 func (d *Dict) SnapshotState() ([]rdf.Term, int64) {
 	d.mu.RLock()
 	defer d.mu.RUnlock()
-	terms := make([]rdf.Term, len(d.byID))
-	copy(terms, d.byID)
+	terms := make([]rdf.Term, 0, d.n)
+	for i := range d.blocks {
+		for j := 0; j < fcBlockSize; j++ {
+			terms = append(terms, termFromStoredKey(d.blocks[i].key(j)))
+		}
+	}
+	for _, k := range d.pend {
+		terms = append(terms, termFromStoredKey(k))
+	}
 	return terms, d.nextLid
 }
 
@@ -148,27 +314,30 @@ func (d *Dict) Restore(terms []rdf.Term, nextLid int64) error {
 	defer d.mu.Unlock()
 	reset := func() {
 		d.byKey = make(map[string]int64)
-		d.byID = nil
+		d.blocks = nil
+		d.pend = nil
+		d.n = 0
+		d.rawLen = 0
 		d.nextLid = LidBase
 		d.pub.Store(nil)
 	}
+	reset()
 	if nextLid < LidBase {
-		reset()
 		return fmt.Errorf("dict: restore: next lid %d below lid base", nextLid)
 	}
-	byKey := make(map[string]int64, len(terms))
-	for i, t := range terms {
+	d.byKey = make(map[string]int64, len(terms))
+	for _, t := range terms {
 		key := t.Key()
-		if _, dup := byKey[key]; dup {
+		if _, dup := d.byKey[key]; dup {
 			reset()
 			return fmt.Errorf("dict: restore: duplicate term key %q", key)
 		}
-		byKey[key] = int64(i + 1)
+		d.rawLen += int64(len(t.Value) + len(t.Datatype) + len(t.Lang))
+		d.appendLocked(key)
 	}
-	d.byKey = byKey
-	d.byID = terms
 	d.nextLid = nextLid
-	hdr := d.byID
-	d.pub.Store(&hdr)
+	if d.n > 0 {
+		d.publishLocked()
+	}
 	return nil
 }

@@ -3,6 +3,7 @@ package rel
 import (
 	"math"
 	"math/bits"
+	"sync/atomic"
 )
 
 // Columnar table storage (§2 of the paper motivates it): the DPH/RPH
@@ -48,6 +49,18 @@ import (
 // current generation are private to the writer and mutate in place; a
 // table that has never been published has wgen 0 and every mutation
 // stays in place, so temp tables pay nothing for the machinery.
+//
+// Compression (DESIGN.md §10): at publish time every raw chunk is
+// replaced — as a new object, never in place, since concurrent readers
+// may hold the raw pointer — by a sealed copy. Sealed TInt chunks store
+// their values frame-of-reference bit-packed: ref is the minimum over
+// the packed slice and each value is kept as a packedW-bit delta in
+// packed, so a chunk of dictionary ids costs bits proportional to its
+// value spread instead of 64 per value. Fully dense sealed chunks share
+// the package-global all-ones presence bitmap (the degenerate run-length
+// case; all-absent chunks are already nil). A sealed chunk is immutable:
+// mutableChunk clones it back into raw form before any write, so the
+// insert/delete/tombstone paths never see encoded data.
 
 const (
 	chunkShift = 10
@@ -56,15 +69,87 @@ const (
 	chunkWords = chunkRows / 64 // bitmap words per chunk
 )
 
+// maxPackWidth caps the bit width of the FoR encoding. A chunk whose
+// value spread needs more bits keeps its raw slice when sealed: with
+// word-aligned lanes a width above 32 fits at most one lane per word,
+// which compresses nothing over the raw slice.
+const maxPackWidth = 32
+
+// packLanes returns the number of w-bit lanes per 64-bit word in the
+// aligned packed layout. Lanes never straddle a word boundary; the
+// top 64 mod w bits of each word are zero padding. The alignment
+// trades a few padding bits for straddle-free extraction: scans and
+// point reads touch exactly one word per value, and the scan kernels
+// can test a whole word of lanes at once. Callers guarantee
+// 1 <= w <= maxPackWidth.
+func packLanes(w uint) uint { return 64 / w }
+
+// packWords returns the packed-slice length for n values of width w.
+func packWords(n int, w uint) int {
+	if w == 0 {
+		return 0
+	}
+	lpw := int(packLanes(w))
+	return (n + lpw - 1) / lpw
+}
+
+// denseBits is the shared all-ones presence bitmap referenced by sealed
+// fully-dense chunks. Only sealed (immutable) chunks may point at it;
+// every mutable chunk owns a private bitmap array.
+var denseBits = func() *[chunkWords]uint64 {
+	var b [chunkWords]uint64
+	for i := range b {
+		b[i] = ^uint64(0)
+	}
+	return &b
+}()
+
+// chunkEncodingOff disables seal-at-publish when set. The zero value
+// means encoding is ON; the knob exists for the encoded-vs-raw
+// equivalence tests and the resident-bytes benchmarks.
+var chunkEncodingOff atomic.Bool
+
+// SetChunkEncoding toggles sealing chunks into the compressed form at
+// publish time (on by default). Affects tables published after the
+// call; already-sealed chunks stay sealed.
+func SetChunkEncoding(on bool) { chunkEncodingOff.Store(!on) }
+
+// ChunkEncoding reports whether publish-time chunk encoding is enabled.
+func ChunkEncoding() bool { return !chunkEncodingOff.Load() }
+
+// sealedChunksTotal counts chunk seal events process-wide (monotonic;
+// exported as the db2rdf_encoded_chunks_total metric).
+var sealedChunksTotal atomic.Int64
+
+// SealedChunksTotal returns the number of chunks sealed into encoded
+// form since process start.
+func SealedChunksTotal() int64 { return sealedChunksTotal.Load() }
+
 // colChunk is 1024 rows of one column.
 type colChunk struct {
-	bits [chunkWords]uint64 // presence bitmap; clear bit = NULL
-	n    int                // number of set bits (packed values)
+	bits *[chunkWords]uint64 // presence bitmap; clear bit = NULL. Sealed dense chunks share denseBits.
+	n    int                 // number of set bits (packed values)
 
-	// Exactly one of the packed slices is used, per the column type.
+	// Exactly one of the packed slices is used, per the column type —
+	// unless the chunk is sealed with a non-nil packed, in which case
+	// ints is nil and the values live bit-packed in packed.
 	ints   []int64
 	floats []float64
 	strs   []string
+
+	// Sealed frame-of-reference representation (TInt only): with
+	// lpw = 64/packedW lanes per word, value k is ref + the
+	// packedW-bit field at bit (k mod lpw)*packedW of packed[k/lpw].
+	// nil packed on a sealed chunk means the values stayed raw
+	// (non-int column, or spread wider than maxPackWidth).
+	packed  []uint64
+	packedW uint8
+	ref     int64
+
+	// sealed marks the chunk immutable (published in encoded form).
+	// mutableChunk clones a sealed chunk back to raw before mutation
+	// even when its generation matches the writer's.
+	sealed bool
 
 	// Zone map over packed int values: sound (possibly loose) bounds,
 	// widened on write, never narrowed. Valid only when zoneInit.
@@ -82,6 +167,9 @@ type colChunk struct {
 	gen uint64
 }
 
+// newBits allocates a private presence bitmap.
+func newBits() *[chunkWords]uint64 { return new([chunkWords]uint64) }
+
 // colVec is one column of a table.
 type colVec struct {
 	typ      ColumnType
@@ -90,20 +178,26 @@ type colVec struct {
 	sgen     uint64      // generation that owns the chunks slice (slot stores require sgen == wgen)
 }
 
-// clone deep-copies the chunk for mutation in generation wgen. The
-// packed slices and exception map must be copied, not shared: set()
-// memmoves and rank-writes into them in place, which would corrupt the
-// snapshot's view of the shared backing arrays.
+// clone deep-copies the chunk for mutation in generation wgen,
+// decoding a sealed chunk back into raw form. The bitmap, packed
+// slices and exception map must be copied, not shared: set() memmoves
+// and rank-writes into them in place, which would corrupt the
+// snapshot's view of the shared backing arrays (and a sealed dense
+// chunk's bitmap is the shared global).
 func (c *colChunk) clone(wgen uint64) *colChunk {
 	nc := &colChunk{
-		bits:     c.bits,
+		bits:     newBits(),
 		n:        c.n,
 		min:      c.min,
 		max:      c.max,
 		zoneInit: c.zoneInit,
 		gen:      wgen,
 	}
-	if c.ints != nil {
+	*nc.bits = *c.bits
+	if c.packed != nil {
+		nc.ints = make([]int64, c.n, c.n+1)
+		c.decodeIntsInto(nc.ints)
+	} else if c.ints != nil {
 		nc.ints = append(make([]int64, 0, len(c.ints)+1), c.ints...)
 	}
 	if c.floats != nil {
@@ -121,6 +215,131 @@ func (c *colChunk) clone(wgen uint64) *colChunk {
 	return nc
 }
 
+// seal returns an immutable encoded copy of the chunk for publication:
+// TInt values are frame-of-reference bit-packed (reference = minimum
+// over the packed slice, including exception placeholders, so every
+// delta is non-negative), a fully dense presence bitmap is replaced by
+// the shared global, and float/string slices are shared as-is. The
+// receiver is left untouched — concurrent readers may still hold it.
+func (c *colChunk) seal(typ ColumnType, gen uint64) *colChunk {
+	nc := &colChunk{
+		n:        c.n,
+		min:      c.min,
+		max:      c.max,
+		zoneInit: c.zoneInit,
+		exc:      c.exc,
+		floats:   c.floats,
+		strs:     c.strs,
+		gen:      gen,
+		sealed:   true,
+	}
+	if c.n == chunkRows {
+		nc.bits = denseBits
+	} else {
+		nc.bits = c.bits
+	}
+	if typ != TInt || len(c.ints) == 0 {
+		nc.ints = c.ints
+		sealedChunksTotal.Add(1)
+		return nc
+	}
+	ref, maxv := c.ints[0], c.ints[0]
+	for _, x := range c.ints[1:] {
+		if x < ref {
+			ref = x
+		}
+		if x > maxv {
+			maxv = x
+		}
+	}
+	w := uint(bits.Len64(uint64(maxv) - uint64(ref)))
+	if w > maxPackWidth {
+		nc.ints = c.ints
+		sealedChunksTotal.Add(1)
+		return nc
+	}
+	// Widen by one bit when that changes no word count: the spare top
+	// bit per lane lets the range-scan kernels answer a whole word of
+	// lanes with one guarded subtraction (see firstPassPacked).
+	if w > 0 && w+1 <= maxPackWidth && packLanes(w+1) == packLanes(w) {
+		w++
+	}
+	nc.ref = ref
+	nc.packedW = uint8(w)
+	nc.packed = packInts(c.ints, ref, w)
+	sealedChunksTotal.Add(1)
+	return nc
+}
+
+// packInts bit-packs vals-ref into word-aligned w-bit lanes. Every
+// delta fits in w bits by construction. The w == 0 result is a
+// non-nil empty slice: non-nil packed is what marks a chunk encoded.
+func packInts(vals []int64, ref int64, w uint) []uint64 {
+	out := make([]uint64, packWords(len(vals), w))
+	if w == 0 {
+		return out
+	}
+	lpw := packLanes(w)
+	wi, s := 0, uint(0)
+	for _, x := range vals {
+		out[wi] |= (uint64(x) - uint64(ref)) << s
+		s += w
+		if s >= lpw*w {
+			wi++
+			s = 0
+		}
+	}
+	return out
+}
+
+// intAt returns the packed int value at rank k, decoding the
+// frame-of-reference bit-packed form on encoded chunks. O(1): a value
+// occupies one aligned lane in one word.
+func (c *colChunk) intAt(k int) int64 {
+	if c.packed == nil {
+		return c.ints[k]
+	}
+	w := uint(c.packedW)
+	if w == 0 {
+		return c.ref
+	}
+	lpw := packLanes(w)
+	q := uint(k) / lpw
+	s := (uint(k) - q*lpw) * w
+	return c.ref + int64(c.packed[q]>>s&(uint64(1)<<w-1))
+}
+
+// decodeIntsInto materializes the chunk's int values (raw or packed)
+// into dst, which must have length c.n.
+func (c *colChunk) decodeIntsInto(dst []int64) {
+	if c.packed == nil {
+		copy(dst, c.ints)
+		return
+	}
+	w := uint(c.packedW)
+	if w == 0 {
+		for k := range dst {
+			dst[k] = c.ref
+		}
+		return
+	}
+	lpw := int(packLanes(w))
+	mask := uint64(1)<<w - 1
+	k := 0
+	for wi := 0; k < len(dst); wi++ {
+		word := c.packed[wi]
+		lanes := lpw
+		if rest := len(dst) - k; rest < lanes {
+			lanes = rest
+		}
+		for j := 0; j < lanes; j++ {
+			dst[k] = c.ref + int64(word&mask)
+			word >>= w
+			k++
+		}
+	}
+}
+
 // mutableDir makes the chunk directory writable in generation wgen.
 // Published snapshots capture the directory as a len-capped slice, so
 // appends past the captured length are invisible to them — but a slot
@@ -135,12 +354,14 @@ func (v *colVec) mutableDir(wgen uint64) {
 
 // mutableChunk returns chunk ci ready for mutation in generation wgen,
 // creating or cloning it (and COW-ing the directory slot) as needed.
+// Sealed chunks are cloned even at the current generation: their
+// encoded form (and possibly shared bitmap) is immutable by contract.
 func (v *colVec) mutableChunk(wgen uint64, ci int) *colChunk {
 	ck := v.chunks[ci]
 	switch {
 	case ck == nil:
-		ck = &colChunk{gen: wgen}
-	case ck.gen != wgen:
+		ck = &colChunk{bits: newBits(), gen: wgen}
+	case ck.gen != wgen || ck.sealed:
 		ck = ck.clone(wgen)
 	default:
 		return ck
@@ -268,7 +489,7 @@ func (v *colVec) get(i int) Value {
 	}
 	switch v.typ {
 	case TInt:
-		return Int(ck.ints[ck.rank(off)])
+		return Int(ck.intAt(ck.rank(off)))
 	case TFloat:
 		return Float(ck.floats[ck.rank(off)])
 	default:
@@ -406,7 +627,7 @@ func (v *colVec) gatherChunk(ci int, rows []Row, colPos int) {
 			var val Value
 			switch v.typ {
 			case TInt:
-				val = Int(ck.ints[k])
+				val = Int(ck.intAt(k))
 			case TFloat:
 				val = Float(ck.floats[k])
 			default:

@@ -306,6 +306,10 @@ func TestVectorizedScanEquivalence(t *testing.T) {
 	defer SetParallelism(0, 0)
 	colDB := zoneDB(t, StorageColumnar)
 	rowDB := zoneDB(t, StorageRows)
+	// Publishing seals the columnar chunks (FoR bit-packing, shared
+	// dense bitmaps), so the frozen DB exercises the packed scan fast
+	// paths against the same queries.
+	sealDB := colDB.Publish()
 	queries := []string{
 		"SELECT z.v FROM z AS z WHERE z.v = 5000",
 		"SELECT z.v FROM z AS z WHERE z.v = 100000",    // zone-skips every chunk
@@ -334,6 +338,13 @@ func TestVectorizedScanEquivalence(t *testing.T) {
 			}
 			if !reflect.DeepEqual(a.Rows, b.Rows) {
 				t.Fatalf("workers=%d %q: columnar %d rows vs row-layout %d rows", workers, q, len(a.Rows), len(b.Rows))
+			}
+			c, err := sealDB.Query(q)
+			if err != nil {
+				t.Fatalf("sealed %q: %v", q, err)
+			}
+			if !reflect.DeepEqual(c.Rows, b.Rows) {
+				t.Fatalf("workers=%d %q: sealed %d rows vs row-layout %d rows", workers, q, len(c.Rows), len(b.Rows))
 			}
 			SetParallelism(0, 0)
 		}

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"math"
 	"math/bits"
+	"sort"
 )
 
 // Columnar snapshot serialization (DESIGN.md §9). A table's chunked
@@ -26,10 +27,26 @@ import (
 // therefore equivalent to the source table with every chunk fully
 // compacted, and delete-heavy snapshots shrink accordingly.
 //
+// Chunk payloads are marker-tagged (chunkAbsent..chunkDensePacked): a
+// sealed bit-packed int chunk with no dead cells writes its packed
+// words verbatim (no per-value varint work on either side, and the
+// decoder rebuilds the sealed form directly), a fully dense presence
+// bitmap is elided entirely (the decoder shares the global denseBits),
+// and everything else falls back to the raw bitmap+values layout.
+//
 // The format carries no checksums of its own: the store-level snapshot
 // file wraps every table section in a whole-file CRC32C, so the
 // decoder's bounds checks only need to guarantee that arbitrary bytes
 // never panic or over-allocate, not that corruption goes undetected.
+
+// Chunk payload markers.
+const (
+	chunkAbsent      = 0 // nil / all-NULL / fully dead chunk
+	chunkRaw         = 1 // presence bitmap + raw values
+	chunkDenseRaw    = 2 // dense (bitmap elided) + raw values
+	chunkPacked      = 3 // presence bitmap + FoR bit-packed ints
+	chunkDensePacked = 4 // dense + FoR bit-packed ints
+)
 
 // EncodeSnapshot appends the table's serialized contents to buf and
 // returns the extended slice. The table must use the columnar layout.
@@ -86,9 +103,51 @@ func (t *Table) encodeChunkLocked(buf []byte, col *colVec, ck *colChunk, ci int)
 	if live == 0 {
 		return append(buf, 0) // every present cell was dead: all-NULL chunk
 	}
-	buf = append(buf, 1)
-	for _, w := range clean {
-		buf = binary.LittleEndian.AppendUint64(buf, w)
+	dense := live == chunkRows
+	// A bit-packed chunk with no dead cells round-trips verbatim: the
+	// packed words are copied as-is and the decoder rebuilds the same
+	// sealed chunk, so neither side pays per-value varint work.
+	if ck.packed != nil && live == ck.n {
+		if dense {
+			buf = append(buf, chunkDensePacked)
+		} else {
+			buf = append(buf, chunkPacked)
+			for _, w := range clean {
+				buf = binary.LittleEndian.AppendUint64(buf, w)
+			}
+		}
+		buf = binary.AppendVarint(buf, ck.ref)
+		buf = append(buf, ck.packedW)
+		buf = binary.AppendUvarint(buf, uint64(len(ck.packed)))
+		for _, w := range ck.packed {
+			buf = binary.LittleEndian.AppendUint64(buf, w)
+		}
+		z := byte(0)
+		if ck.zoneInit {
+			z = 1
+		}
+		buf = append(buf, z)
+		buf = binary.AppendVarint(buf, ck.min)
+		buf = binary.AppendVarint(buf, ck.max)
+		excOut := make([]uint16, 0, len(ck.exc))
+		for off := range ck.exc {
+			excOut = append(excOut, off)
+		}
+		sort.Slice(excOut, func(i, j int) bool { return excOut[i] < excOut[j] })
+		buf = binary.AppendUvarint(buf, uint64(len(excOut)))
+		for _, off := range excOut {
+			buf = binary.AppendUvarint(buf, uint64(off))
+			buf = appendValue(buf, ck.exc[off])
+		}
+		return buf
+	}
+	if dense {
+		buf = append(buf, chunkDenseRaw)
+	} else {
+		buf = append(buf, chunkRaw)
+		for _, w := range clean {
+			buf = binary.LittleEndian.AppendUint64(buf, w)
+		}
 	}
 	// Walk the ORIGINAL presence bits in order, advancing the packed
 	// cursor, and emit only surviving cells. Zone bounds are recomputed
@@ -117,7 +176,7 @@ func (t *Table) encodeChunkLocked(buf []byte, col *colVec, ck *colChunk, ci int)
 			}
 			switch col.typ {
 			case TInt:
-				x := ck.ints[r]
+				x := ck.intAt(r)
 				buf = binary.AppendVarint(buf, x)
 				if !zoneInit {
 					zmin, zmax, zoneInit = x, x, true
@@ -337,24 +396,65 @@ func (t *Table) decodeSnapshotLocked(data []byte) error {
 }
 
 func decodeChunk(c *cursor, typ ColumnType) (*colChunk, int, error) {
-	if c.u8() == 0 {
+	marker := c.u8()
+	if marker == chunkAbsent {
 		return nil, 0, c.err
 	}
+	if marker > chunkDensePacked {
+		c.fail("rel: snapshot decode: bad chunk marker %d", marker)
+		return nil, 0, c.err
+	}
+	dense := marker == chunkDenseRaw || marker == chunkDensePacked
+	packed := marker == chunkPacked || marker == chunkDensePacked
 	ck := &colChunk{}
-	for w := 0; w < chunkWords; w++ {
-		ck.bits[w] = c.u64()
-		ck.n += bits.OnesCount64(ck.bits[w])
+	if dense {
+		// Sharing the global all-ones bitmap requires immutability:
+		// sealed makes the first writer mutation clone the chunk
+		// (mutableChunk), exactly as for a publish-sealed chunk.
+		ck.bits = denseBits
+		ck.n = chunkRows
+		ck.sealed = true
+	} else {
+		ck.bits = newBits()
+		for w := 0; w < chunkWords; w++ {
+			ck.bits[w] = c.u64()
+			ck.n += bits.OnesCount64(ck.bits[w])
+		}
 	}
 	if c.err != nil {
 		return nil, 0, c.err
 	}
-	switch typ {
-	case TInt:
+	switch {
+	case packed:
+		if typ != TInt {
+			c.fail("rel: snapshot decode: packed chunk in non-int column")
+			return nil, 0, c.err
+		}
+		ck.sealed = true
+		ck.ref = c.varint()
+		w := uint(c.u8())
+		nwords := c.uvarint()
+		// The word count is fully determined by n and w, which bounds
+		// the allocation at chunkRows words.
+		if w > maxPackWidth {
+			c.fail("rel: snapshot decode: bad packed chunk (width %d, %d words)", w, nwords)
+			return nil, 0, c.err
+		}
+		if nwords != uint64(packWords(ck.n, w)) {
+			c.fail("rel: snapshot decode: bad packed chunk (width %d, %d words)", w, nwords)
+			return nil, 0, c.err
+		}
+		ck.packedW = uint8(w)
+		ck.packed = make([]uint64, nwords)
+		for i := range ck.packed {
+			ck.packed[i] = c.u64()
+		}
+	case typ == TInt:
 		ck.ints = make([]int64, ck.n)
 		for k := range ck.ints {
 			ck.ints[k] = c.varint()
 		}
-	case TFloat:
+	case typ == TFloat:
 		ck.floats = make([]float64, ck.n)
 		for k := range ck.floats {
 			ck.floats[k] = math.Float64frombits(c.u64())

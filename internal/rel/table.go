@@ -442,7 +442,7 @@ func (rd *tableReader) rowAt(i int) Row {
 			continue
 		}
 		if ck.exc == nil && c.typ == TInt {
-			rd.buf[j] = Int(ck.ints[ck.rank(off)])
+			rd.buf[j] = Int(ck.intAt(ck.rank(off)))
 			continue
 		}
 		rd.buf[j] = c.get(i)
@@ -611,7 +611,11 @@ func (t *Table) estimateColumnarLocked() int64 {
 			present += ck.n
 			switch col.typ {
 			case TInt, TFloat:
-				total += int64(len(ck.ints)+len(ck.floats)) * 8
+				// By logical value count, not physical slice length:
+				// the estimate must be identical across raw and
+				// sealed/bit-packed layouts (it models the row count,
+				// not the encoding).
+				total += int64(ck.n) * 8
 			default:
 				for _, s := range ck.strs {
 					total += int64(len(s)) + 4
@@ -676,7 +680,11 @@ func (t *Table) ResidentBytes() int64 {
 				continue
 			}
 			total += chunkFixed
+			if ck.bits != denseBits {
+				total += chunkWords * 8
+			}
 			total += int64(cap(ck.ints))*8 + int64(cap(ck.floats))*8
+			total += int64(cap(ck.packed)) * 8
 			total += int64(cap(ck.strs)) * stringHeader
 			for _, s := range ck.strs {
 				total += int64(len(s))

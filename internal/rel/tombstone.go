@@ -186,7 +186,11 @@ func (t *Table) compactChunkLocked(ci int, tc *tombChunk) {
 		// cloned into the current generation) need a zone rebuild; an
 		// untouched chunk may still be shared with a snapshot and its
 		// bounds are unchanged anyway.
-		if ck == nil || ck.gen != t.wgen {
+		// A sealed chunk (same-generation after a snapshot decode) was
+		// not touched either — col.set clones sealed chunks into raw
+		// form — and its ints slice is empty when bit-packed, so
+		// rebuilding from it would wipe the zone map.
+		if ck == nil || ck.gen != t.wgen || ck.sealed {
 			continue
 		}
 		// Re-widen from scratch: the old bounds may be witnessed only by

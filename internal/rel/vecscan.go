@@ -238,6 +238,9 @@ func (f vecFilter) firstPass(ck *colChunk, n int, sel []int32) []int32 {
 		if len(ck.exc) > 0 {
 			return f.firstPassExc(ck, sel)
 		}
+		if ck.packed != nil {
+			return f.firstPassPacked(ck, sel)
+		}
 		k := 0
 		for w := 0; w < chunkWords; w++ {
 			word := ck.bits[w]
@@ -252,6 +255,242 @@ func (f vecFilter) firstPass(ck *colChunk, n int, sel []int32) []int32 {
 		}
 		return sel
 	}
+}
+
+// packedRebase translates the filter's int literal into the chunk's
+// frame-of-reference delta domain. When the literal lies outside the
+// chunk's representable delta range the comparison degenerates to
+// all-present-match or no-match; otherwise dl is the rebased literal
+// and deltas compare against it with plain unsigned semantics (both
+// sides are non-negative offsets from the same reference).
+func (f vecFilter) packedRebase(ck *colChunk) (dl uint64, all, none bool) {
+	w := uint(ck.packedW)
+	if w == 0 { // every value equals the reference
+		if cmpInt(f.op, ck.ref, f.val) {
+			return 0, true, false
+		}
+		return 0, false, true
+	}
+	if f.val < ck.ref { // literal below every stored value
+		switch f.op {
+		case vecNe, vecGt, vecGe:
+			return 0, true, false
+		default: // vecEq, vecLt, vecLe
+			return 0, false, true
+		}
+	}
+	d := uint64(f.val) - uint64(ck.ref)
+	if d >= uint64(1)<<w { // literal above every representable value
+		switch f.op {
+		case vecNe, vecLt, vecLe:
+			return 0, true, false
+		default: // vecEq, vecGt, vecGe
+			return 0, false, true
+		}
+	}
+	return d, false, false
+}
+
+func cmpU64(op vecOp, v, lit uint64) bool {
+	switch op {
+	case vecEq:
+		return v == lit
+	case vecNe:
+		return v != lit
+	case vecLt:
+		return v < lit
+	case vecLe:
+		return v <= lit
+	case vecGt:
+		return v > lit
+	default:
+		return v >= lit
+	}
+}
+
+// firstPassPacked is the comparison first pass over a sealed FoR
+// bit-packed chunk: the literal is rebased into the delta domain once,
+// the comparison op is lowered to a single unsigned range test (every
+// vecOp is "delta in [lo,hi]" or its complement), and each packed
+// field is tested in place — no value is ever decoded back to int64
+// and no per-element op dispatch remains in the loop.
+func (f vecFilter) firstPassPacked(ck *colChunk, sel []int32) []int32 {
+	dl, all, none := f.packedRebase(ck)
+	if none {
+		return sel
+	}
+	if all {
+		for w := 0; w < chunkWords; w++ {
+			word := ck.bits[w]
+			for word != 0 {
+				sel = append(sel, int32(w<<6+bits.TrailingZeros64(word)))
+				word &= word - 1
+			}
+		}
+		return sel
+	}
+	w := uint(ck.packedW)
+	mask := uint64(1)<<w - 1
+	lpw := packLanes(w)
+	packed := ck.packed
+	if ck.n == chunkRows {
+		// Dense chunk: rank == offset, so the lanes stream word by
+		// word with a constant lpw-trip inner loop — one load per
+		// word, shift+mask per lane, no straddle handling.
+		if f.op == vecEq {
+			// Equality gets a word-at-a-time skip: XOR the word with
+			// the literal replicated into every lane, then detect a
+			// zero lane with the carry trick ((x-ones)&^x&highs is
+			// nonzero iff some lane of x is zero — exact for
+			// existence). A non-matching word retires in ~5 ops for
+			// lpw lanes; only matching words rescan per lane.
+			var pat, ones, highs uint64
+			for j := uint(0); j < lpw; j++ {
+				pat |= dl << (j * w)
+				ones |= 1 << (j * w)
+				highs |= 1 << (j*w + w - 1)
+			}
+			k := 0
+			full := chunkRows / int(lpw) // words with all lpw lanes in use
+			for wi := 0; wi < full; wi++ {
+				x := packed[wi] ^ pat
+				if (x-ones)&^x&highs == 0 {
+					k += int(lpw)
+					continue
+				}
+				word := packed[wi]
+				for j := uint(0); j < lpw; j++ {
+					if word&mask == dl {
+						sel = append(sel, int32(k))
+					}
+					word >>= w
+					k++
+				}
+			}
+			if k < chunkRows {
+				// Tail word: its unused upper lanes are zero and would
+				// false-match the skip test, so scan it per lane.
+				word := packed[full]
+				for ; k < chunkRows; k++ {
+					if word&mask == dl {
+						sel = append(sel, int32(k))
+					}
+					word >>= w
+				}
+			}
+			return sel
+		}
+		// Range ops get the same word-at-a-time skip when every lane
+		// has a spare top bit (seal widens w by one whenever that is
+		// free, and the zone map bounds the deltas soundly): with the
+		// guard bit OR-ed into each lane of the replicated literal,
+		// (pat - word) & guards keeps the guard exactly in lanes
+		// where d <= lit, and no borrow crosses lanes because each
+		// lane's minuend is at least its subtrahend. Every op except
+		// Ne is "d <= b" or its complement for some threshold b.
+		if ck.zoneInit && dl < uint64(1)<<(w-1) && uint64(ck.max-ck.ref) < uint64(1)<<(w-1) {
+			spare := uint64(1) << (w - 1)
+			var b uint64
+			comp, swar := false, true
+			switch f.op {
+			case vecLt:
+				if dl == 0 {
+					return sel // no delta is below zero
+				}
+				b = dl - 1
+			case vecLe:
+				b = dl
+			case vecGt:
+				b, comp = dl, true
+			case vecGe:
+				if dl == 0 {
+					b = spare - 1 // every lane matches: le(spare-1) is all-ones
+				} else {
+					b, comp = dl-1, true
+				}
+			default: // vecNe: needs two thresholds, not worth a skip
+				swar = false
+			}
+			if swar {
+				var pat, highs uint64
+				for j := uint(0); j < lpw; j++ {
+					pat |= (b | spare) << (j * w)
+					highs |= spare << (j * w)
+				}
+				k := 0
+				full := chunkRows / int(lpw)
+				for wi := 0; wi < full; wi++ {
+					m := (pat - packed[wi]) & highs
+					if comp {
+						m ^= highs
+					}
+					if m == 0 {
+						k += int(lpw)
+						continue
+					}
+					word := packed[wi]
+					for j := uint(0); j < lpw; j++ {
+						if cmpU64(f.op, word&mask, dl) {
+							sel = append(sel, int32(k))
+						}
+						word >>= w
+						k++
+					}
+				}
+				if k < chunkRows {
+					word := packed[full]
+					for ; k < chunkRows; k++ {
+						if cmpU64(f.op, word&mask, dl) {
+							sel = append(sel, int32(k))
+						}
+						word >>= w
+					}
+				}
+				return sel
+			}
+		}
+		k := 0
+		for wi := 0; k < chunkRows; wi++ {
+			word := packed[wi]
+			lanes := int(lpw)
+			if rest := chunkRows - k; rest < lanes {
+				lanes = rest
+			}
+			for j := 0; j < lanes; j++ {
+				if cmpU64(f.op, word&mask, dl) {
+					sel = append(sel, int32(k))
+				}
+				word >>= w
+				k++
+			}
+		}
+		return sel
+	}
+	// Sparse chunk: walk the presence bitmap for offsets while the
+	// lane cursor advances sequentially through the packed words —
+	// rank k is consumed in order, so no division is needed.
+	cur := uint64(0)
+	consumed := lpw // forces a load on the first lane
+	pi := 0
+	for wi := 0; wi < chunkWords; wi++ {
+		word := ck.bits[wi]
+		for word != 0 {
+			off := wi<<6 + bits.TrailingZeros64(word)
+			word &= word - 1
+			if consumed == lpw {
+				cur = packed[pi]
+				pi++
+				consumed = 0
+			}
+			d := cur & mask
+			cur >>= w
+			consumed++
+			if cmpU64(f.op, d, dl) {
+				sel = append(sel, int32(off))
+			}
+		}
+	}
+	return sel
 }
 
 // firstPassExc is the comparison first pass for a chunk carrying
@@ -270,7 +509,7 @@ func (f vecFilter) firstPassExc(ck *colChunk, sel []int32) []int32 {
 				if f.matchExc(ev) {
 					sel = append(sel, int32(off))
 				}
-			} else if cmpInt(f.op, ck.ints[k], f.val) {
+			} else if cmpInt(f.op, ck.intAt(k), f.val) {
 				sel = append(sel, int32(off))
 			}
 			k++
@@ -306,7 +545,7 @@ func (f vecFilter) refine(ck *colChunk, sel []int32) []int32 {
 					break
 				}
 			}
-			if cmpInt(f.op, ck.ints[ck.rank(int(off))], f.val) {
+			if cmpInt(f.op, ck.intAt(ck.rank(int(off))), f.val) {
 				kept = append(kept, off)
 			}
 		}

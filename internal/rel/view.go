@@ -22,10 +22,19 @@ import "strings"
 
 // Publish returns an immutable frozen copy of the table and opens a
 // new writer generation on the receiver.
+//
+// Before freezing, every not-yet-sealed chunk is sealed into its
+// compressed form (column.go): publish cost stays proportional to the
+// chunks written since the last publish, and because the live
+// directory slots are redirected to the sealed copies too, the raw
+// slices become garbage once no in-flight reader holds them.
 func (t *Table) Publish() *Table {
 	t.mu.Lock()
 	defer t.mu.Unlock()
 	t.compactPendingLocked()
+	if t.storage == StorageColumnar {
+		t.sealChunksLocked()
+	}
 	f := &Table{
 		Name:    t.Name,
 		Schema:  t.Schema,
@@ -55,6 +64,29 @@ func (t *Table) Publish() *Table {
 	f.tomb = t.tomb[:len(t.tomb):len(t.tomb)]
 	t.wgen++
 	return f
+}
+
+// sealChunksLocked replaces every unsealed chunk with a sealed
+// (compressed, immutable) copy via a COW directory-slot store. The raw
+// chunk objects are never mutated — a concurrent reader that captured
+// the directory earlier keeps reading its raw versions safely. An
+// unsealed chunk implies the directory was already made private to the
+// current generation by the mutation that created it, so the slot
+// stores are invisible to every published snapshot; mutableDir covers
+// the remaining first-publish / encoding-toggled cases.
+func (t *Table) sealChunksLocked() {
+	if !ChunkEncoding() {
+		return
+	}
+	for _, c := range t.cols {
+		for ci, ck := range c.chunks {
+			if ck == nil || ck.sealed {
+				continue
+			}
+			c.mutableDir(t.wgen)
+			c.chunks[ci] = ck.seal(c.typ, t.wgen)
+		}
+	}
 }
 
 // Publish freezes every table of the database into a new read-only DB

@@ -326,7 +326,7 @@ func (s *Store) Close() error {
 // ---------------------------------------------------------------------
 
 // snapMagic heads every snapshot file; a version bump changes it.
-const snapMagic = "D2RSNAP1"
+const snapMagic = "D2RSNAP2" // v2: marker-tagged (packed/dense) chunk payloads in table sections
 
 func snapName(epoch uint64) string { return fmt.Sprintf("snap-%020d.snap", epoch) }
 
@@ -762,6 +762,35 @@ func (s *Store) replayWALLocked(dir string) (replayed, truncated uint64, lastSeg
 	}
 	cur := s.epoch.Load()
 	stopSeg, stopOff := -1, int64(0)
+	// Runs of contiguous insert-only batches are coalesced and flushed
+	// through the partitioned bulk-load path (parallel.go) instead of
+	// one insertLocked per record: recovery of an insert-heavy log
+	// becomes a sequence of entity-sharded parallel loads. This is
+	// sound because an insert is only ever logged when it was fresh, so
+	// within a run (no deletes, no clears) the triples are distinct and
+	// absent from the store — exactly the bulk-load contract — and a
+	// flush happens before any non-insert batch is applied, preserving
+	// operation order. Epochs still advance batch by batch.
+	var pending []rdf.Triple
+	flush := func() error {
+		if len(pending) == 0 {
+			return nil
+		}
+		if len(pending) >= replayBulkMin {
+			w := normWorkers(0)
+			if _, err := s.bulkLoadLocked(s.encodeSlice(pending, w), w); err != nil {
+				return err
+			}
+		} else {
+			for _, t := range pending {
+				if _, err := s.insertLocked(t); err != nil {
+					return err
+				}
+			}
+		}
+		pending = pending[:0]
+		return nil
+	}
 	for si, seg := range segs {
 		data, rerr := os.ReadFile(seg.Path)
 		if rerr != nil {
@@ -782,8 +811,17 @@ func (s *Store) replayWALLocked(dir string) (replayed, truncated uint64, lastSeg
 				stopped = true
 				break
 			}
-			if aerr := s.applyBatchLocked(b); aerr != nil {
-				return replayed, truncated, "", aerr
+			if batchInsertOnly(b) {
+				for _, r := range b.Recs {
+					pending = append(pending, rdf.Triple{S: r.S, P: r.P, O: r.O})
+				}
+			} else {
+				if aerr := flush(); aerr != nil {
+					return replayed, truncated, "", aerr
+				}
+				if aerr := s.applyBatchLocked(b); aerr != nil {
+					return replayed, truncated, "", aerr
+				}
 			}
 			replayed += uint64(len(b.Recs))
 			cur++
@@ -809,6 +847,9 @@ func (s *Store) replayWALLocked(dir string) (replayed, truncated uint64, lastSeg
 			break
 		}
 	}
+	if ferr := flush(); ferr != nil {
+		return replayed, truncated, "", ferr
+	}
 	s.epoch.Store(cur)
 	if stopSeg >= 0 {
 		if terr := os.Truncate(segs[stopSeg].Path, stopOff); terr != nil {
@@ -822,6 +863,22 @@ func (s *Store) replayWALLocked(dir string) (replayed, truncated uint64, lastSeg
 		segs = segs[:stopSeg+1]
 	}
 	return replayed, truncated, segs[len(segs)-1].Path, nil
+}
+
+// replayBulkMin is the coalesced-insert run length below which replay
+// falls back to sequential insertLocked calls: sharding and worker
+// startup don't pay for themselves under a chunk of rows.
+const replayBulkMin = 1024
+
+// batchInsertOnly reports whether every record of the batch is an
+// insert, making it eligible for replay coalescing.
+func batchInsertOnly(b wal.Batch) bool {
+	for _, r := range b.Recs {
+		if r.Op != wal.OpInsert {
+			return false
+		}
+	}
+	return true
 }
 
 // applyBatchLocked replays one committed batch through the ordinary

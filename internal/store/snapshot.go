@@ -235,12 +235,12 @@ func (sn *Snapshot) EntityCount(reverse bool) int {
 	return sn.dirEntities
 }
 
-// StorageBytes returns the resident size of the four frozen relations
+// TableBytes returns the resident size of the four frozen relations
 // (shared chunk data is counted once — the frozen directories point at
 // the same chunks the live table serves).
-func (sn *Snapshot) StorageBytes() int64 {
+func (sn *Snapshot) TableBytes() int64 {
 	if sn.db == nil {
-		return sn.store.StorageBytes()
+		return sn.store.TableBytes()
 	}
 	var total int64
 	for _, t := range []*rel.Table{sn.dph, sn.ds, sn.rph, sn.rs} {
@@ -249,6 +249,17 @@ func (sn *Snapshot) StorageBytes() int64 {
 		}
 	}
 	return total
+}
+
+// DictBytes returns the resident size of the dictionary's id→term
+// store. The dictionary is shared (append-only) rather than frozen, so
+// this reads the live store's dictionary.
+func (sn *Snapshot) DictBytes() int64 { return sn.store.Dict.ResidentBytes() }
+
+// StorageBytes returns the total resident data footprint as of this
+// snapshot: the four relations plus the dictionary's id→term store.
+func (sn *Snapshot) StorageBytes() int64 {
+	return sn.TableBytes() + sn.DictBytes()
 }
 
 // StatsView returns the optimizer statistics view. Statistics guide

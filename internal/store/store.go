@@ -560,18 +560,30 @@ func (s *Store) EntityCount(reverse bool) int {
 	return n
 }
 
-// StorageBytes returns the resident in-memory size of the four DB2RDF
+// TableBytes returns the resident in-memory size of the four DB2RDF
 // relations (DPH, DS, RPH, RS): row headers and value slots under the
 // row layout, or packed column vectors, null bitmaps and exception
 // maps under the columnar layout, plus string contents in either case.
 // Caller holds the store read lock or otherwise excludes writers.
-func (s *Store) StorageBytes() int64 {
+func (s *Store) TableBytes() int64 {
 	var total int64
 	for _, t := range []*rel.Table{s.dph, s.ds, s.rph, s.rs} {
 		total += t.ResidentBytes()
 	}
 	return total
 }
+
+// DictBytes returns the resident in-memory size of the dictionary's
+// id→term store (front-coded blocks plus the unsealed tail).
+func (s *Store) DictBytes() int64 { return s.Dict.ResidentBytes() }
+
+// StorageBytes returns the total resident data footprint: relations
+// plus dictionary.
+func (s *Store) StorageBytes() int64 { return s.TableBytes() + s.DictBytes() }
+
+// EncodedChunks returns the process-wide count of column chunks sealed
+// into the compressed representation (metrics).
+func EncodedChunks() int64 { return rel.SealedChunksTotal() }
 
 // Mapping returns the predicate-to-column mapping of one side.
 func (s *Store) Mapping(reverse bool) coloring.Mapping {

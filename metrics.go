@@ -105,6 +105,13 @@ type Snapshot struct {
 	CompactionsTotal int64  `json:"compactions_total"`
 	DeadRows         int    `json:"dead_rows"`
 
+	// Storage gauges: resident bytes of the four relations, resident
+	// bytes of the dictionary id→term store, and the process-wide count
+	// of column chunks sealed into the compressed representation.
+	TableResidentBytes int64 `json:"table_resident_bytes"`
+	DictResidentBytes  int64 `json:"dict_resident_bytes"`
+	EncodedChunksTotal int64 `json:"encoded_chunks_total"`
+
 	PlanCacheHits           uint64 `json:"plan_cache_hits"`
 	PlanCacheMisses         uint64 `json:"plan_cache_misses"`
 	PlanCacheSize           int    `json:"plan_cache_size"`
@@ -225,6 +232,10 @@ func (m *Metrics) Snapshot() Snapshot {
 		s.SnapshotEpoch = m.inner.Epoch()
 		s.CompactionsTotal = m.inner.Compactions()
 		s.DeadRows = m.inner.DeadRows()
+		sn := m.inner.Snapshot()
+		s.TableResidentBytes = sn.TableBytes()
+		s.DictResidentBytes = sn.DictBytes()
+		s.EncodedChunksTotal = store.EncodedChunks()
 		if ds := m.inner.DurabilityStats(); ds.Enabled {
 			s.DurabilityEnabled = true
 			s.WALAppends = ds.WALAppends
@@ -307,6 +318,9 @@ func (m *Metrics) WritePrometheus(w io.Writer) error {
 	p("# HELP db2rdf_snapshot_epoch Epoch of the currently published store snapshot.\n# TYPE db2rdf_snapshot_epoch gauge\ndb2rdf_snapshot_epoch %d\n", s.SnapshotEpoch)
 	counter("db2rdf_compactions_total", "Publish-time chunk compactions across the four relations.", uint64(s.CompactionsTotal))
 	p("# HELP db2rdf_dead_rows Currently tombstoned rows across the four relations.\n# TYPE db2rdf_dead_rows gauge\ndb2rdf_dead_rows %d\n", s.DeadRows)
+	p("# HELP db2rdf_table_resident_bytes Resident bytes of the four DB2RDF relations.\n# TYPE db2rdf_table_resident_bytes gauge\ndb2rdf_table_resident_bytes %d\n", s.TableResidentBytes)
+	p("# HELP db2rdf_dict_bytes Resident bytes of the dictionary id-to-term store.\n# TYPE db2rdf_dict_bytes gauge\ndb2rdf_dict_bytes %d\n", s.DictResidentBytes)
+	counter("db2rdf_encoded_chunks_total", "Column chunks sealed into the compressed representation (process-wide).", uint64(s.EncodedChunksTotal))
 	p("# HELP db2rdf_load_seconds_total Total load wall time.\n# TYPE db2rdf_load_seconds_total counter\ndb2rdf_load_seconds_total %g\n", s.LoadSeconds)
 	counter("db2rdf_plan_cache_hits_total", "Compiled-plan cache hits.", s.PlanCacheHits)
 	counter("db2rdf_plan_cache_misses_total", "Compiled-plan cache misses.", s.PlanCacheMisses)

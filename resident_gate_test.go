@@ -1,0 +1,64 @@
+package db2rdf_test
+
+// TestResidentBytesGate is the ci.sh storage regression gate for the
+// compressed chunk representation: the encoded columnar layout (the
+// default — chunks seal into FoR bit-packed form at publish) must keep
+// LUBM table_resident_bytes at or below half of the raw columnar
+// layout, and the front-coded dictionary must keep dict_resident_bytes
+// at or below 0.7x the raw []rdf.Term layout. Ratios, not absolute
+// bytes, so the gate is machine-independent.
+//
+// Gated behind DB2RDF_PERF_GATE=1 (set by ci.sh) so plain `go test`
+// stays fast.
+
+import (
+	"os"
+	"testing"
+
+	"db2rdf"
+	"db2rdf/internal/rel"
+)
+
+const (
+	tableBytesMaxRatio = 0.5
+	dictBytesMaxRatio  = 0.7
+)
+
+func TestResidentBytesGate(t *testing.T) {
+	if os.Getenv("DB2RDF_PERF_GATE") == "" {
+		t.Skip("set DB2RDF_PERF_GATE=1 to run the resident-bytes regression gate")
+	}
+	defer rel.SetChunkEncoding(true)
+	ds := lubmData()
+
+	load := func() *db2rdf.Store {
+		s, err := db2rdf.Open(db2rdf.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := s.LoadTriples(ds.Triples); err != nil {
+			t.Fatal(err)
+		}
+		return s
+	}
+	enc := load()
+	rel.SetChunkEncoding(false)
+	raw := load()
+	rel.SetChunkEncoding(true)
+
+	encTable, rawTable := enc.TableBytes(), raw.TableBytes()
+	dictEnc := enc.DictBytes()
+	dictRaw := enc.Internal().Dict.RawBytes()
+	t.Logf("table_resident_bytes: encoded=%d raw-columnar=%d (%.3fx, limit %.2fx)",
+		encTable, rawTable, float64(encTable)/float64(rawTable), tableBytesMaxRatio)
+	t.Logf("dict_resident_bytes: front-coded=%d raw-terms=%d (%.3fx, limit %.2fx)",
+		dictEnc, dictRaw, float64(dictEnc)/float64(dictRaw), dictBytesMaxRatio)
+	if float64(encTable) > float64(rawTable)*tableBytesMaxRatio {
+		t.Errorf("encoded table bytes %d exceed %.2fx raw columnar %d",
+			encTable, tableBytesMaxRatio, rawTable)
+	}
+	if float64(dictEnc) > float64(dictRaw)*dictBytesMaxRatio {
+		t.Errorf("front-coded dict bytes %d exceed %.2fx raw terms %d",
+			dictEnc, dictBytesMaxRatio, dictRaw)
+	}
+}

@@ -1,12 +1,14 @@
 package db2rdf_test
 
-// End-to-end columnar/row storage equivalence: the same datasets
-// loaded into a columnar-layout store and a legacy row-layout store
+// End-to-end storage equivalence across all three layouts: the same
+// datasets loaded into an encoded-columnar store (the default:
+// publish-time chunk sealing on), a raw-columnar store
+// (rel.SetChunkEncoding(false)) and a legacy row-layout store
 // (rel.SetDefaultStorage) must answer the whole benchmark corpus plus
 // random BGPs byte-identically, with morsel parallelism forced off
 // and on. ci.sh runs this under -race next to the parallel on/off
 // gate, which also probes the vectorized scan's chunk partitioning
-// for data races.
+// and the sealed chunks' packed fast paths for data races.
 
 import (
 	"fmt"
@@ -34,6 +36,7 @@ func openUnder(t *testing.T, storage rel.Storage) *db2rdf.Store {
 func TestStorageEquivalence(t *testing.T) {
 	defer rel.SetDefaultStorage(rel.StorageColumnar)
 	defer rel.SetParallelism(0, 0)
+	defer rel.SetChunkEncoding(true)
 
 	type tcase struct {
 		name     string
@@ -66,9 +69,20 @@ func TestStorageEquivalence(t *testing.T) {
 			}
 			return s.LoadTriples(c.triples)
 		}
-		colStore := openUnder(t, rel.StorageColumnar)
-		if err := load(colStore); err != nil {
-			t.Fatalf("%s: columnar load: %v", c.name, err)
+		// Encoded columnar (the default): chunks seal at publish.
+		encStore := openUnder(t, rel.StorageColumnar)
+		if err := load(encStore); err != nil {
+			t.Fatalf("%s: encoded-columnar load: %v", c.name, err)
+		}
+		// Raw columnar: sealing suppressed, chunks stay as typed slices.
+		// The knob matters only while loads publish, so it is restored
+		// before the comparison queries run.
+		rel.SetChunkEncoding(false)
+		rawStore := openUnder(t, rel.StorageColumnar)
+		rawErr := load(rawStore)
+		rel.SetChunkEncoding(true)
+		if rawErr != nil {
+			t.Fatalf("%s: raw-columnar load: %v", c.name, rawErr)
 		}
 		rowStore := openUnder(t, rel.StorageRows)
 		if err := load(rowStore); err != nil {
@@ -77,27 +91,38 @@ func TestStorageEquivalence(t *testing.T) {
 		for _, q := range c.queries {
 			for _, workers := range []int{1, 4} {
 				rel.SetParallelism(workers, 1)
-				colRes, err := colStore.Query(q.SPARQL)
+				encRes, err := encStore.Query(q.SPARQL)
 				if err != nil {
-					t.Fatalf("%s/%s (columnar, workers=%d): %v", c.name, q.Name, workers, err)
+					t.Fatalf("%s/%s (encoded, workers=%d): %v", c.name, q.Name, workers, err)
+				}
+				rawRes, err := rawStore.Query(q.SPARQL)
+				if err != nil {
+					t.Fatalf("%s/%s (raw columnar, workers=%d): %v", c.name, q.Name, workers, err)
 				}
 				rowRes, err := rowStore.Query(q.SPARQL)
 				rel.SetParallelism(0, 0)
 				if err != nil {
 					t.Fatalf("%s/%s (rows, workers=%d): %v", c.name, q.Name, workers, err)
 				}
-				col := canonical(renderResults(colRes))
 				row := canonical(renderResults(rowRes))
-				if len(col) != len(row) {
-					t.Errorf("%s/%s workers=%d: row count differs: columnar=%d rows=%d",
-						c.name, q.Name, workers, len(col), len(row))
-					continue
-				}
-				for i := range col {
-					if col[i] != row[i] {
-						t.Errorf("%s/%s workers=%d: row %d differs:\ncolumnar: %s\nrows:     %s",
-							c.name, q.Name, workers, i, col[i], row[i])
-						break
+				for _, alt := range []struct {
+					layout string
+					rows   []string
+				}{
+					{"encoded", canonical(renderResults(encRes))},
+					{"raw-columnar", canonical(renderResults(rawRes))},
+				} {
+					if len(alt.rows) != len(row) {
+						t.Errorf("%s/%s workers=%d: row count differs: %s=%d rows=%d",
+							c.name, q.Name, workers, alt.layout, len(alt.rows), len(row))
+						continue
+					}
+					for i := range alt.rows {
+						if alt.rows[i] != row[i] {
+							t.Errorf("%s/%s workers=%d: row %d differs:\n%s: %s\nrows: %s",
+								c.name, q.Name, workers, i, alt.layout, alt.rows[i], row[i])
+							break
+						}
 					}
 				}
 			}
