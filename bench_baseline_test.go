@@ -3,7 +3,7 @@ package db2rdf_test
 // TestBenchBaseline is the `make bench` entry point: it measures bulk
 // load, cold-plan query and warm-plan (cache-hit) query latencies with
 // testing.Benchmark and writes them as JSON to the file named by the
-// DB2RDF_BENCH_OUT environment variable (BENCH_PR7.json from the
+// DB2RDF_BENCH_OUT environment variable (BENCH_PR10.json from the
 // Makefile). Without the variable it is skipped, so plain `go test`
 // stays fast.
 //
@@ -19,13 +19,20 @@ package db2rdf_test
 // The query_during_load_p50/p99 points record reader latency while a
 // concurrent bulk load keeps publishing snapshots (the headline of the
 // lock-free read path), and snapshot_publish the writer-side cost of
-// one insert + publish.
+// one insert + publish. The http_query_* points serve the same warm
+// query over the SPARQL HTTP endpoint (loopback), isolating the
+// protocol + JSON-serialization overhead above the in-process path.
 
 import (
 	"encoding/json"
 	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"net/url"
 	"os"
 	"path/filepath"
+	"sort"
 	"sync"
 	"testing"
 	"time"
@@ -33,6 +40,7 @@ import (
 	"db2rdf"
 	"db2rdf/internal/rdf"
 	"db2rdf/internal/rel"
+	"db2rdf/server"
 )
 
 type benchPoint struct {
@@ -101,6 +109,53 @@ func TestBenchBaseline(t *testing.T) {
 			}
 		}
 	})
+
+	// The same warm-plan query served over the SPARQL HTTP endpoint:
+	// one ns/op point for the full request (admission, execution, JSON
+	// serialization, loopback transport), plus sequential p50/p99
+	// request latencies, so the endpoint's overhead above the
+	// in-process warm point is tracked across PRs.
+	srv := httptest.NewServer(server.New(server.Config{Store: s}))
+	httpURL := srv.URL + "/sparql?query=" + url.QueryEscape(q)
+	httpGet := func() error {
+		resp, err := http.Get(httpURL)
+		if err != nil {
+			return err
+		}
+		_, err = io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		if err != nil {
+			return err
+		}
+		if resp.StatusCode != http.StatusOK {
+			return fmt.Errorf("endpoint returned %d", resp.StatusCode)
+		}
+		return nil
+	}
+	if err := httpGet(); err != nil {
+		t.Fatal(err)
+	}
+	httpWarm := testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if err := httpGet(); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	const httpSamples = 300
+	httpLat := make([]time.Duration, 0, httpSamples)
+	for i := 0; i < httpSamples; i++ {
+		t0 := time.Now()
+		if err := httpGet(); err != nil {
+			t.Fatal(err)
+		}
+		httpLat = append(httpLat, time.Since(t0))
+	}
+	sort.Slice(httpLat, func(i, j int) bool { return httpLat[i] < httpLat[j] })
+	httpP50 := httpLat[len(httpLat)/2]
+	httpP99 := httpLat[len(httpLat)*99/100]
+	srv.Close()
 
 	// Instrumented-vs-disabled delta: a second store whose slow-query
 	// log forces per-operator profiling on every query (threshold high
@@ -448,6 +503,9 @@ func TestBenchBaseline(t *testing.T) {
 		latencyPoint("query_cold_plan", cold),
 		latencyPoint("query_warm_plan", warm),
 		latencyPoint("query_warm_plan_instrumented", warmInstr),
+		latencyPoint("http_query_warm", httpWarm),
+		{Name: "http_query_p50", NsOp: float64(httpP50), N: httpSamples},
+		{Name: "http_query_p99", NsOp: float64(httpP99), N: httpSamples},
 		latencyPoint("delete_batch_200", deleted),
 		latencyPoint("query_warm_plan_after_delete", scanAfterDelete),
 		latencyPoint("snapshot_publish", publish),

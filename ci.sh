@@ -30,6 +30,14 @@ go test -race -count=1 \
 echo "== crash recovery (kill points, bit flips, WAL replay, reclamation) =="
 go test -race -count=1 \
     -run 'TestDurableCloseReopen|TestWALOnlyCrashReopen|TestKillPointRecovery|TestBitFlipFaultInjection|TestSnapshotReclaimsDeletedState|TestBackgroundSnapshotRotation|TestDurableConfigMismatch' .
+echo "== SPARQL endpoint (protocol matrix, conneg, 503 mapping, shedding, drain) =="
+go test -race -count=1 \
+    -run 'TestProtocolMatrix|TestContentNegotiation|TestWritableUpdates|TestGovernanceMapsTo503|TestDeadlineMapsTo503|TestAdmissionControlSheds|TestConcurrentMixedTraffic|TestOversizeBodyRejected|TestGracefulDrain' \
+    ./server/
+echo "== endpoint smoke gate (real binary: startup, query, update, metrics, SIGTERM drain) =="
+go test -race -count=1 -run '^TestServerBinarySmoke$' ./server/
+echo "== wire serialization round-trips and database/sql driver corpus =="
+go test -race -count=1 ./results/ ./driver/
 echo "== hot-path perf gates (instrumentation disabled; reads during load) =="
 DB2RDF_PERF_GATE=1 go test -count=1 -run '^TestPerfGate' -v .
 echo "== resident-bytes gate (encoded <= 0.5x raw tables, fc dict <= 0.7x raw terms) =="

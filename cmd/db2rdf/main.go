@@ -8,6 +8,7 @@
 //	db2rdf -load data.nt -update 'DELETE WHERE { <s> ?p ?o }' -query ...
 //	db2rdf -load data.nt -stats
 //	db2rdf -load data.nt -color -k 40 -query ...   # coloring-based layout
+//	db2rdf -load data.nt -format csv -query ...    # wire serializations: json, csv, tsv
 //
 // Multiple -load flags may be given. With -explain the optimizer flow,
 // execution tree, merged plan and generated SQL are printed instead of
@@ -26,6 +27,7 @@ import (
 
 	"db2rdf"
 	"db2rdf/internal/rdf"
+	"db2rdf/results"
 )
 
 type loadList []string
@@ -50,6 +52,7 @@ func main() {
 	maxRows := flag.Int64("max-rows", 0, "per-query row budget, counting intermediate results (0 = unlimited)")
 	maxBytes := flag.Int64("max-bytes", 0, "per-query executor memory budget in bytes (0 = unlimited)")
 	analyze := flag.Bool("analyze", false, "EXPLAIN ANALYZE: execute with per-operator instrumentation and print estimates vs actuals")
+	format := flag.String("format", "text", "result output format: text, json (SPARQL results JSON), csv, tsv")
 	metrics := flag.Bool("metrics", false, "print the store metrics registry (Prometheus text) before exiting")
 	slowQuery := flag.Duration("slow-query", 0, "log queries at or over this duration to stderr, with their operator profile (0 = off)")
 	dataDir := flag.String("data", "", "data directory for durability (WAL + snapshots); empty = in-memory only")
@@ -59,7 +62,7 @@ func main() {
 
 	gov := govFlags{timeout: *timeout, maxRows: *maxRows, maxBytes: *maxBytes, slowQuery: *slowQuery}
 	dur := durFlags{dataDir: *dataDir, fsync: *fsync, snapshotEvery: *snapshotEvery}
-	if err := realMain(loads, *query, *queryFile, *update, *explain, *run, *stats, *k, *color, *noopt, *workers, gov, dur, *analyze, *metrics); err != nil {
+	if err := realMain(loads, *query, *queryFile, *update, *explain, *run, *stats, *k, *color, *noopt, *workers, gov, dur, *analyze, *metrics, *format); err != nil {
 		fmt.Fprintln(os.Stderr, "db2rdf:", err)
 		os.Exit(1)
 	}
@@ -80,7 +83,12 @@ type durFlags struct {
 	snapshotEvery int
 }
 
-func realMain(loads []string, query, queryFile, update string, explain, run, stats bool, k int, color, noopt bool, workers int, gov govFlags, dur durFlags, analyze, metrics bool) error {
+func realMain(loads []string, query, queryFile, update string, explain, run, stats bool, k int, color, noopt bool, workers int, gov govFlags, dur durFlags, analyze, metrics bool, format string) error {
+	if format != "text" {
+		if _, ok := results.ParseFormat(format); !ok {
+			return fmt.Errorf("unknown -format %q (want text, json, csv or tsv)", format)
+		}
+	}
 	var triples []rdf.Triple
 	for _, path := range loads {
 		f, err := os.Open(path)
@@ -218,7 +226,9 @@ func realMain(loads []string, query, queryFile, update string, explain, run, sta
 			return err
 		}
 		if run && an.Results != nil {
-			printResults(an.Results, an.Duration)
+			if err := printResults(an.Results, an.Duration, format); err != nil {
+				return err
+			}
 		}
 		return printMetrics(store, metrics)
 	}
@@ -227,11 +237,24 @@ func realMain(loads []string, query, queryFile, update string, explain, run, sta
 	if err != nil {
 		return err
 	}
-	printResults(res, time.Since(start))
+	if err := printResults(res, time.Since(start), format); err != nil {
+		return err
+	}
 	return printMetrics(store, metrics)
 }
 
-func printResults(res *db2rdf.Results, dur time.Duration) {
+// printResults renders a result set: the human-readable text layout,
+// or one of the wire serializations shared with the HTTP endpoint.
+func printResults(res *db2rdf.Results, dur time.Duration, format string) error {
+	if format != "text" {
+		f, _ := results.ParseFormat(format)
+		return f.Write(os.Stdout, res)
+	}
+	printText(res, dur)
+	return nil
+}
+
+func printText(res *db2rdf.Results, dur time.Duration) {
 	if res.IsAsk {
 		fmt.Printf("ASK -> %v (%s)\n", res.Ask, dur.Round(time.Microsecond))
 		return

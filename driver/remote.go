@@ -1,0 +1,95 @@
+package driver
+
+// Remote engine: the http(s):// DSN form speaks the SPARQL 1.1
+// Protocol to a db2rdf-server (or any endpoint emitting SPARQL JSON
+// results). Queries POST application/sparql-query with a JSON Accept;
+// updates POST application/sparql-update. Server-side status codes map
+// back onto the store's error taxonomy where the protocol allows: a
+// 503 means governance/overload, a 400 a malformed request.
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"strings"
+
+	"db2rdf"
+	"db2rdf/results"
+)
+
+type remoteEngine struct {
+	endpoint string // the /sparql URL
+	client   *http.Client
+}
+
+func newRemoteEngine(dsn string) (engine, error) {
+	u, err := url.Parse(dsn)
+	if err != nil {
+		return nil, fmt.Errorf("db2rdf: invalid endpoint DSN %q: %w", dsn, err)
+	}
+	if u.Path == "" || u.Path == "/" {
+		u.Path = "/sparql"
+	}
+	return &remoteEngine{endpoint: u.String(), client: &http.Client{}}, nil
+}
+
+func (e *remoteEngine) query(ctx context.Context, q string) (*db2rdf.Results, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, e.endpoint, strings.NewReader(q))
+	if err != nil {
+		return nil, err
+	}
+	req.Header.Set("Content-Type", "application/sparql-query")
+	req.Header.Set("Accept", results.JSONContentType)
+	resp, err := e.client.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, remoteError(resp)
+	}
+	return results.ReadJSON(resp.Body)
+}
+
+func (e *remoteEngine) exec(ctx context.Context, u string) (int, int, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, e.endpoint, strings.NewReader(u))
+	if err != nil {
+		return 0, 0, err
+	}
+	req.Header.Set("Content-Type", "application/sparql-update")
+	resp, err := e.client.Do(req)
+	if err != nil {
+		return 0, 0, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return 0, 0, remoteError(resp)
+	}
+	var counts struct {
+		Inserted int `json:"inserted"`
+		Deleted  int `json:"deleted"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&counts); err != nil {
+		return 0, 0, fmt.Errorf("db2rdf: decoding update response: %w", err)
+	}
+	return counts.Inserted, counts.Deleted, nil
+}
+
+func (e *remoteEngine) close() error {
+	e.client.CloseIdleConnections()
+	return nil
+}
+
+// remoteError converts a non-200 response into an error carrying the
+// status and the server's message.
+func remoteError(resp *http.Response) error {
+	body, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
+	msg := strings.TrimSpace(string(body))
+	if len(msg) > 200 {
+		msg = msg[:200] + "..."
+	}
+	return fmt.Errorf("db2rdf: endpoint returned %s: %s", resp.Status, msg)
+}

@@ -279,9 +279,10 @@ func TestBitFlipFaultInjection(t *testing.T) {
 
 // TestSnapshotReclaimsDeletedState is the delete-reclamation
 // regression: a delete-heavy store must snapshot to a SMALLER file
-// than its full predecessor, and a recovery round-trip must drop the
-// conservatively-stale spill/multi markers the live store keeps (see
-// delete.go) while preserving the exact Export.
+// than its full predecessor, and both the live store (via publish-time
+// marker recomputation, see snapshot.go) and a recovery round-trip
+// must drop the stale spill/multi markers deletes leave behind, while
+// preserving the exact Export.
 func TestSnapshotReclaimsDeletedState(t *testing.T) {
 	dir := t.TempDir()
 	s := durOpen(t, dir, 0)
@@ -298,14 +299,15 @@ func TestSnapshotReclaimsDeletedState(t *testing.T) {
 	if !s.Internal().Snapshot().AnyMultiValued(false) {
 		t.Fatal("fixture should have multi-valued predicates")
 	}
-	// Delete everything: the live store keeps spill/multi markers
-	// conservatively, the snapshot round-trip must not.
+	// Delete everything: the compacting publish recomputes the
+	// spill/multi markers exactly, so the live store already agrees
+	// with what the snapshot round-trip below reconstructs.
 	if n, err := s.Internal().DeleteTriples(ts); err != nil || n == 0 {
 		t.Fatalf("delete: n=%d err=%v", n, err)
 	}
 	want := exportStr(t, s)
-	if s.Internal().SpillCount(false) == 0 {
-		t.Fatal("live spill count should stay conservatively high after deletes")
+	if n := s.Internal().SpillCount(false); n != 0 {
+		t.Fatalf("live spill count not recomputed at compacting publish: %d", n)
 	}
 	if err := s.Close(); err != nil {
 		t.Fatal(err)

@@ -1,0 +1,8 @@
+package db2rdf
+
+// Test-only exports for the external db2rdf_test package.
+
+// PromEscapeLabelForTest exposes the Prometheus label-value escaper so
+// the exposition conformance test can round-trip hostile values
+// through its strict parser.
+func PromEscapeLabelForTest(v string) string { return promEscapeLabel(v) }

@@ -93,6 +93,26 @@ func ParseTripleLine(line string) (Triple, error) {
 	return Triple{S: s, P: pr, O: o}, nil
 }
 
+// ParseTerm parses one N-Triples term — <iri>, _:label, or a literal
+// with optional @lang / ^^<datatype> suffix — and requires the input
+// to contain nothing else. The wire serializations (SPARQL TSV
+// results, the database/sql driver) decode terms with it.
+func ParseTerm(s string) (Term, error) {
+	if i := strings.IndexByte(s, 0); i >= 0 {
+		return Term{}, fmt.Errorf("NUL byte at offset %d", i)
+	}
+	p := &ntParser{in: s}
+	t, err := p.term()
+	if err != nil {
+		return Term{}, err
+	}
+	p.ws()
+	if p.pos != len(p.in) {
+		return Term{}, fmt.Errorf("trailing data %q after term", s[p.pos:])
+	}
+	return t, nil
+}
+
 type ntParser struct {
 	in  string
 	pos int

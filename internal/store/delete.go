@@ -25,7 +25,9 @@ import (
 // LEFT OUTER JOIN (COALESCE falls back to the direct value) or a
 // skipped merge — never a wrong result. Dictionary entries are likewise
 // retained; ids stay decodable so cached plans that embed them remain
-// valid.
+// valid. The staleness is bounded: a publish that compacts chunks
+// recomputes the markers exactly (recomputeMarkersLocked, triggered
+// from installLocked), matching what snapshot recovery would rebuild.
 
 // Delete removes one triple, reporting whether it was present. The
 // epoch advances only when a triple was actually removed.
@@ -111,6 +113,7 @@ func (s *Store) ClearLocked() int {
 	s.direct.resetState()
 	s.reverse.resetState()
 	s.stats.reset()
+	s.markerDeletes = 0 // resetState made every marker exact again
 	if n > 0 {
 		// One clear op supersedes any deltas captured earlier in this
 		// locked section; keeping them preserves replay order anyway.
@@ -143,8 +146,49 @@ func (s *Store) deleteLocked(t rdf.Triple) (bool, error) {
 		return true, err
 	}
 	s.stats.unrecord(sid, pid, oid)
+	s.markerDeletes++
 	s.logDelta(wal.OpDelete, sid, pid, oid)
 	return true, nil
+}
+
+// recomputeMarkersLocked rebuilds one side's spill/multi predicate
+// markers and spill count exactly from the live registries — the same
+// state rebuildSideLocked derives after a snapshot recovery. The
+// entity-keyed registries (entityRows, spilled, lidSets) are maintained
+// exactly across deletes, so only the predicate-keyed aggregates need
+// the rescan. The caller holds the store write lock.
+func (d *side) recomputeMarkersLocked() {
+	spill := make(map[int64]bool)
+	multi := make(map[int64]bool)
+	spillCount := 0
+	for _, sh := range d.shards {
+		for entity, rows := range sh.entityRows {
+			if len(rows) > 1 {
+				spillCount += len(rows) - 1
+			}
+			spilled := sh.spilled[entity]
+			for _, ri := range rows {
+				for c := 0; c < d.k; c++ {
+					pv := d.primary.CellAt(ri, 2+2*c)
+					if pv.K != rel.KindInt {
+						continue
+					}
+					if spilled {
+						spill[pv.I] = true
+					}
+					if vv := d.primary.CellAt(ri, 2+2*c+1); vv.K == rel.KindInt && dict.IsLid(vv.I) {
+						multi[pv.I] = true
+					}
+				}
+			}
+		}
+	}
+	d.predMu.Lock()
+	// Fresh maps replace the (possibly snapshot-shared) old ones, so a
+	// published snapshot's captured copies are never written.
+	d.spillPreds, d.multiPreds, d.spillCount = spill, multi, spillCount
+	d.predShared = false
+	d.predMu.Unlock()
 }
 
 // remove deletes (entity, pid) -> member from one side, reporting

@@ -92,7 +92,18 @@ func (s *Store) publishLocked() error {
 // epoch and publishes it with one atomic pointer swap. Recovery calls
 // it directly (the recovered epoch is re-published, not advanced).
 func (s *Store) installLocked(epoch uint64) {
-	sn := &Snapshot{store: s, epoch: epoch, db: s.DB.Publish()}
+	preCompactions := s.Compactions()
+	db := s.DB.Publish()
+	if s.markerDeletes > 0 && s.Compactions() > preCompactions {
+		// This publish compacted chunks after delete churn: recompute
+		// the conservatively-stale spill/multi markers exactly, so the
+		// snapshot (and every plan compiled against its epoch) sees the
+		// same translator inputs a restarted store would.
+		s.direct.recomputeMarkersLocked()
+		s.reverse.recomputeMarkersLocked()
+		s.markerDeletes = 0
+	}
+	sn := &Snapshot{store: s, epoch: epoch, db: db}
 	sn.dph = sn.db.Table(s.TableName("DPH"))
 	sn.ds = sn.db.Table(s.TableName("DS"))
 	sn.rph = sn.db.Table(s.TableName("RPH"))

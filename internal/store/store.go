@@ -101,6 +101,15 @@ type Store struct {
 	// see snapshot.go.
 	snap atomic.Pointer[Snapshot]
 
+	// markerDeletes counts triple removals since the spill/multi
+	// predicate markers were last recomputed exactly. Deletes leave the
+	// markers conservatively stale (see delete.go); the next publish
+	// that also compacts chunks recomputes them from the surviving rows
+	// (recomputeMarkersLocked), so a long-running server converges to
+	// the same translator inputs a restarted (snapshot-recovered) store
+	// would compute. Guarded by the store write lock.
+	markerDeletes int
+
 	// dur is the durability runtime (nil when persistence is off). It
 	// is installed after recovery completes, so replay's inserts and
 	// deletes never re-capture deltas; see persist.go.

@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"strings"
 	"sync/atomic"
 	"time"
 
@@ -60,6 +61,7 @@ type Metrics struct {
 
 	updates        atomic.Uint64 // update requests served (success or failure)
 	updateErrors   atomic.Uint64 // update requests that returned any error
+	updateNanos    atomic.Int64  // total wall time across update requests
 	deletedTriples atomic.Uint64 // triples removed by updates and Delete calls
 
 	plans *planCache   // hit/miss/eviction counters re-exported
@@ -71,11 +73,11 @@ type Metrics struct {
 // convention: each bucket includes all smaller ones; the last is the
 // total).
 type Snapshot struct {
-	QueriesServed uint64 `json:"queries_served"`
-	QueryErrors   uint64 `json:"query_errors"`
-	RowsEmitted   uint64 `json:"rows_emitted"`
+	QueriesServed uint64  `json:"queries_served"`
+	QueryErrors   uint64  `json:"query_errors"`
+	RowsEmitted   uint64  `json:"rows_emitted"`
 	QuerySeconds  float64 `json:"query_seconds_total"`
-	SlowQueries   uint64 `json:"slow_queries"`
+	SlowQueries   uint64  `json:"slow_queries"`
 
 	AbortsCanceled     uint64 `json:"aborts_canceled"`
 	AbortsDeadline     uint64 `json:"aborts_deadline"`
@@ -93,9 +95,10 @@ type Snapshot struct {
 	LoadSeconds       float64 `json:"load_seconds_total"`
 	LoadTriplesPerSec float64 `json:"load_triples_per_sec"`
 
-	UpdatesServed  uint64 `json:"updates_served"`
-	UpdateErrors   uint64 `json:"update_errors"`
-	DeletedTriples uint64 `json:"deleted_triples"`
+	UpdatesServed  uint64  `json:"updates_served"`
+	UpdateErrors   uint64  `json:"update_errors"`
+	UpdateSeconds  float64 `json:"update_seconds_total"`
+	DeletedTriples uint64  `json:"deleted_triples"`
 
 	// SnapshotEpoch is the epoch of the currently published store
 	// snapshot; CompactionsTotal counts publish-time chunk compactions
@@ -173,10 +176,13 @@ func (m *Metrics) observeQuery(dur time.Duration, rows int, err error) {
 	}
 }
 
-// observeUpdate records one SPARQL update request.
+// observeUpdate records one SPARQL update request. Update wall time is
+// kept out of queryNanos: the query-duration histogram's _sum must
+// cover exactly the requests its buckets count (scrape-clean
+// invariant), and updates never enter those buckets.
 func (m *Metrics) observeUpdate(dur time.Duration, deleted int, err error) {
 	m.updates.Add(1)
-	m.queryNanos.Add(int64(dur))
+	m.updateNanos.Add(int64(dur))
 	if deleted > 0 {
 		m.deletedTriples.Add(uint64(deleted))
 	}
@@ -216,6 +222,7 @@ func (m *Metrics) Snapshot() Snapshot {
 
 		UpdatesServed:  m.updates.Load(),
 		UpdateErrors:   m.updateErrors.Load(),
+		UpdateSeconds:  time.Duration(m.updateNanos.Load()).Seconds(),
 		DeletedTriples: m.deletedTriples.Load(),
 	}
 	if s.LoadSeconds > 0 {
@@ -280,8 +287,36 @@ func (m *Metrics) String() string {
 	return string(b)
 }
 
+// promEscapeLabel escapes a label value for the Prometheus text
+// exposition format: backslash, double quote and newline must be
+// escaped inside the double-quoted value.
+func promEscapeLabel(v string) string {
+	if !strings.ContainsAny(v, "\\\"\n") {
+		return v
+	}
+	var b strings.Builder
+	for _, r := range v {
+		switch r {
+		case '\\':
+			b.WriteString(`\\`)
+		case '"':
+			b.WriteString(`\"`)
+		case '\n':
+			b.WriteString(`\n`)
+		default:
+			b.WriteRune(r)
+		}
+	}
+	return b.String()
+}
+
 // WritePrometheus writes the metrics in Prometheus text exposition
-// format (counters, gauges, and the query-duration histogram).
+// format (counters, gauges, and the query-duration histogram). The
+// output is scrape-clean: every series carries # HELP and # TYPE
+// lines, label values are escaped, histogram buckets are cumulative
+// with a final le="+Inf" sample, and each histogram's _count equals
+// its +Inf bucket (both derived from the same cumulative counts, so
+// the invariant holds even while traffic races the scrape).
 func (m *Metrics) WritePrometheus(w io.Writer) error {
 	s := m.Snapshot()
 	var err error
@@ -293,26 +328,31 @@ func (m *Metrics) WritePrometheus(w io.Writer) error {
 	counter := func(name, help string, v uint64) {
 		p("# HELP %s %s\n# TYPE %s counter\n%s %d\n", name, help, name, name, v)
 	}
+	labeled := func(name, label, value string, v uint64) {
+		p("%s{%s=\"%s\"} %d\n", name, label, promEscapeLabel(value), v)
+	}
 	counter("db2rdf_queries_served_total", "Queries served (success or failure).", s.QueriesServed)
 	counter("db2rdf_query_errors_total", "Queries that returned an error.", s.QueryErrors)
 	counter("db2rdf_rows_emitted_total", "Decoded result rows returned to callers.", s.RowsEmitted)
 	counter("db2rdf_slow_queries_total", "Queries at or over Options.SlowQueryThreshold.", s.SlowQueries)
 	p("# HELP db2rdf_query_seconds_total Total query wall time.\n# TYPE db2rdf_query_seconds_total counter\ndb2rdf_query_seconds_total %g\n", s.QuerySeconds)
 	p("# HELP db2rdf_query_aborts_total Governance aborts by type.\n# TYPE db2rdf_query_aborts_total counter\n")
-	p("db2rdf_query_aborts_total{type=\"canceled\"} %d\n", s.AbortsCanceled)
-	p("db2rdf_query_aborts_total{type=\"deadline\"} %d\n", s.AbortsDeadline)
-	p("db2rdf_query_aborts_total{type=\"row_budget\"} %d\n", s.AbortsRowBudget)
-	p("db2rdf_query_aborts_total{type=\"memory_budget\"} %d\n", s.AbortsMemoryBudget)
-	p("db2rdf_query_aborts_total{type=\"panic\"} %d\n", s.AbortsPanic)
+	labeled("db2rdf_query_aborts_total", "type", "canceled", s.AbortsCanceled)
+	labeled("db2rdf_query_aborts_total", "type", "deadline", s.AbortsDeadline)
+	labeled("db2rdf_query_aborts_total", "type", "row_budget", s.AbortsRowBudget)
+	labeled("db2rdf_query_aborts_total", "type", "memory_budget", s.AbortsMemoryBudget)
+	labeled("db2rdf_query_aborts_total", "type", "panic", s.AbortsPanic)
 	p("# HELP db2rdf_query_duration_seconds Query duration histogram.\n# TYPE db2rdf_query_duration_seconds histogram\n")
 	for i, b := range s.LatencyBucketsNs {
 		p("db2rdf_query_duration_seconds_bucket{le=\"%g\"} %d\n", time.Duration(b).Seconds(), s.LatencyCounts[i])
 	}
-	p("db2rdf_query_duration_seconds_bucket{le=\"+Inf\"} %d\n", s.LatencyCounts[len(s.LatencyCounts)-1])
+	histTotal := s.LatencyCounts[len(s.LatencyCounts)-1]
+	p("db2rdf_query_duration_seconds_bucket{le=\"+Inf\"} %d\n", histTotal)
 	p("db2rdf_query_duration_seconds_sum %g\n", s.QuerySeconds)
-	p("db2rdf_query_duration_seconds_count %d\n", s.QueriesServed)
+	p("db2rdf_query_duration_seconds_count %d\n", histTotal)
 	counter("db2rdf_updates_total", "SPARQL update requests served (success or failure).", s.UpdatesServed)
 	counter("db2rdf_update_errors_total", "SPARQL update requests that returned an error.", s.UpdateErrors)
+	p("# HELP db2rdf_update_seconds_total Total update wall time.\n# TYPE db2rdf_update_seconds_total counter\ndb2rdf_update_seconds_total %g\n", s.UpdateSeconds)
 	counter("db2rdf_deleted_triples_total", "Triples removed by SPARQL updates.", s.DeletedTriples)
 	counter("db2rdf_triples_loaded_total", "Triples ingested by Insert and the Load entry points.", s.TriplesLoaded)
 	p("# HELP db2rdf_snapshot_epoch Epoch of the currently published store snapshot.\n# TYPE db2rdf_snapshot_epoch gauge\ndb2rdf_snapshot_epoch %d\n", s.SnapshotEpoch)
@@ -335,11 +375,13 @@ func (m *Metrics) WritePrometheus(w io.Writer) error {
 		for i, b := range s.FsyncBucketsS {
 			p("db2rdf_wal_fsync_seconds_bucket{le=\"%g\"} %d\n", b, s.FsyncCounts[i])
 		}
+		var fsyncTotal uint64
 		if n := len(s.FsyncCounts); n > 0 {
-			p("db2rdf_wal_fsync_seconds_bucket{le=\"+Inf\"} %d\n", s.FsyncCounts[n-1])
+			fsyncTotal = s.FsyncCounts[n-1]
 		}
+		p("db2rdf_wal_fsync_seconds_bucket{le=\"+Inf\"} %d\n", fsyncTotal)
 		p("db2rdf_wal_fsync_seconds_sum %g\n", s.FsyncSeconds)
-		p("db2rdf_wal_fsync_seconds_count %d\n", s.FsyncCount)
+		p("db2rdf_wal_fsync_seconds_count %d\n", fsyncTotal)
 		counter("db2rdf_snapshot_writes_total", "Snapshot files written.", s.SnapshotWrites)
 		counter("db2rdf_snapshot_errors_total", "Snapshot writes that failed.", s.SnapshotErrors)
 		p("# HELP db2rdf_snapshot_write_seconds Total snapshot serialization and write time.\n# TYPE db2rdf_snapshot_write_seconds counter\ndb2rdf_snapshot_write_seconds %g\n", s.SnapshotWriteSeconds)

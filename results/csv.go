@@ -1,0 +1,223 @@
+package results
+
+// SPARQL 1.1 Query Results CSV Format: RFC 4180 records (CRLF line
+// endings, fields quoted when they contain comma, quote, CR or LF),
+// header row of variable names WITHOUT the "?" prefix, and terms
+// serialized as bare lexical values — IRIs without angle brackets,
+// literals without quotes or lang/datatype decoration, blank nodes as
+// "_:label". The format is intentionally lossy; see the package doc
+// for what ReadCSV can and cannot reconstruct.
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strings"
+
+	"db2rdf"
+	"db2rdf/internal/rdf"
+)
+
+// WriteCSV encodes r per the SPARQL 1.1 CSV results format. The
+// records are written by a hand-rolled RFC 4180 encoder:
+// encoding/csv's Writer rewrites a field-internal LF to CRLF and
+// drops a field-internal CR when UseCRLF is set, both of which break
+// lexical round-tripping of literals holding control characters.
+func WriteCSV(w io.Writer, r *db2rdf.Results) error {
+	bw := bufio.NewWriter(w)
+	writeRecord := func(fields []string) {
+		for i, f := range fields {
+			if i > 0 {
+				bw.WriteByte(',')
+			}
+			if strings.ContainsAny(f, ",\"\r\n") {
+				bw.WriteByte('"')
+				bw.WriteString(strings.ReplaceAll(f, `"`, `""`))
+				bw.WriteByte('"')
+			} else {
+				bw.WriteString(f)
+			}
+		}
+		bw.WriteString("\r\n")
+	}
+	if r.IsAsk {
+		writeRecord([]string{"ask"})
+		writeRecord([]string{boolLex(r.Ask)})
+		return bw.Flush()
+	}
+	writeRecord(r.Vars)
+	record := make([]string, len(r.Vars))
+	for _, row := range r.Rows {
+		for i := range record {
+			record[i] = ""
+			if i < len(row) && row[i].Bound {
+				record[i] = csvLexical(row[i].Term)
+			}
+		}
+		writeRecord(record)
+	}
+	return bw.Flush()
+}
+
+// csvLexical renders one term as its CSV field value.
+func csvLexical(t rdf.Term) string {
+	if t.Kind == rdf.Blank {
+		return "_:" + t.Value
+	}
+	return t.Value // bare IRI or literal lexical form
+}
+
+func boolLex(b bool) string {
+	if b {
+		return "true"
+	}
+	return "false"
+}
+
+// ReadCSV decodes a SPARQL CSV result document with a strict RFC 4180
+// parser. (encoding/csv is not used on the read side: its Reader
+// normalizes away a bare CR inside a quoted field, which RFC 4180
+// preserves.) Term kinds are reconstructed heuristically ("_:" prefix
+// → blank node, absolute-IRI shape → IRI, otherwise plain literal);
+// lexical values round-trip exactly, including embedded commas, quotes
+// and line breaks.
+func ReadCSV(rd io.Reader) (*db2rdf.Results, error) {
+	data, err := io.ReadAll(rd)
+	if err != nil {
+		return nil, fmt.Errorf("results: decoding CSV: %w", err)
+	}
+	all, err := parseRFC4180(string(data))
+	if err != nil {
+		return nil, fmt.Errorf("results: decoding CSV: %w", err)
+	}
+	if len(all) == 0 {
+		return nil, fmt.Errorf("results: empty CSV document")
+	}
+	header, records := all[0], all[1:]
+	if len(header) == 1 && header[0] == "ask" && len(records) == 1 {
+		return &db2rdf.Results{IsAsk: true, Ask: records[0][0] == "true"}, nil
+	}
+	out := &db2rdf.Results{Vars: header}
+	for _, rec := range records {
+		row := make([]db2rdf.Binding, len(header))
+		for i := range header {
+			if i >= len(rec) {
+				continue
+			}
+			// An empty field is an unbound variable. (A bound empty
+			// literal is indistinguishable — inherent CSV lossiness.)
+			if rec[i] == "" {
+				continue
+			}
+			row[i] = db2rdf.Binding{Bound: true, Term: csvTerm(rec[i])}
+		}
+		out.Rows = append(out.Rows, row)
+	}
+	return out, nil
+}
+
+// parseRFC4180 splits a CSV document into records per RFC 4180:
+// records separated by CRLF (a lone LF is tolerated), fields by
+// commas, and quoted fields preserving every byte — including bare CR,
+// LF and commas — with "" unescaping to one quote. A final record
+// without a trailing line break is accepted.
+func parseRFC4180(in string) ([][]string, error) {
+	var records [][]string
+	var record []string
+	var field strings.Builder
+	started := false // current record has consumed a field token
+	endField := func() {
+		record = append(record, field.String())
+		field.Reset()
+	}
+	endRecord := func() {
+		endField()
+		records = append(records, record)
+		record = nil
+		started = false
+	}
+	for i := 0; i < len(in); {
+		if field.Len() == 0 && in[i] == '"' {
+			// Quoted field: scan to the closing quote.
+			started = true
+			i++
+			for {
+				j := strings.IndexByte(in[i:], '"')
+				if j < 0 {
+					return nil, fmt.Errorf("unterminated quoted field")
+				}
+				field.WriteString(in[i : i+j])
+				i += j + 1
+				if i < len(in) && in[i] == '"' {
+					field.WriteByte('"')
+					i++
+					continue
+				}
+				break
+			}
+			if i < len(in) && in[i] != ',' && in[i] != '\r' && in[i] != '\n' {
+				return nil, fmt.Errorf("data after closing quote at offset %d", i)
+			}
+			continue
+		}
+		switch c := in[i]; c {
+		case ',':
+			started = true
+			endField()
+			i++
+		case '\r':
+			if i+1 < len(in) && in[i+1] == '\n' {
+				endRecord()
+				i += 2
+			} else {
+				// A bare CR outside quotes is not a record separator;
+				// RFC 4180 forbids it, be lenient and keep it.
+				field.WriteByte(c)
+				i++
+			}
+		case '\n':
+			endRecord()
+			i++
+		default:
+			started = true
+			field.WriteByte(c)
+			i++
+		}
+	}
+	if started || field.Len() > 0 || len(record) > 0 {
+		endRecord()
+	}
+	return records, nil
+}
+
+// csvTerm applies the documented decode heuristic to one field.
+func csvTerm(field string) rdf.Term {
+	if strings.HasPrefix(field, "_:") {
+		return rdf.NewBlank(field[2:])
+	}
+	if looksLikeIRI(field) {
+		return rdf.NewIRI(field)
+	}
+	return rdf.NewLiteral(field)
+}
+
+// looksLikeIRI reports whether the field has the shape of an absolute
+// IRI: an RFC 3986 scheme followed by ':' with no whitespace anywhere.
+func looksLikeIRI(s string) bool {
+	colon := strings.IndexByte(s, ':')
+	if colon <= 0 {
+		return false
+	}
+	for i := 0; i < colon; i++ {
+		c := s[i]
+		alpha := (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z')
+		digit := c >= '0' && c <= '9'
+		if i == 0 && !alpha {
+			return false
+		}
+		if !alpha && !digit && c != '+' && c != '-' && c != '.' {
+			return false
+		}
+	}
+	return !strings.ContainsAny(s, " \t\r\n")
+}

@@ -1,0 +1,125 @@
+package results
+
+// SPARQL 1.1 Query Results JSON Format (W3C REC sparql11-results-json):
+// {"head":{"vars":[...]},"results":{"bindings":[{var:{"type":...}}]}}
+// for SELECT, {"head":{},"boolean":b} for ASK. Unbound variables are
+// simply absent from a binding object. The decoder also accepts the
+// legacy "typed-literal" type emitted by pre-1.1 endpoints.
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"db2rdf"
+	"db2rdf/internal/rdf"
+)
+
+type jsonResults struct {
+	Head    jsonHead   `json:"head"`
+	Results *jsonSolns `json:"results,omitempty"`
+	Boolean *bool      `json:"boolean,omitempty"`
+}
+
+type jsonHead struct {
+	Vars []string `json:"vars,omitempty"`
+}
+
+type jsonSolns struct {
+	Bindings []map[string]jsonTerm `json:"bindings"`
+}
+
+type jsonTerm struct {
+	Type     string `json:"type"`
+	Value    string `json:"value"`
+	Lang     string `json:"xml:lang,omitempty"`
+	Datatype string `json:"datatype,omitempty"`
+}
+
+// WriteJSON encodes r in the SPARQL 1.1 Query Results JSON Format.
+func WriteJSON(w io.Writer, r *db2rdf.Results) error {
+	doc := jsonResults{}
+	if r.IsAsk {
+		b := r.Ask
+		doc.Boolean = &b
+	} else {
+		doc.Head.Vars = r.Vars
+		solns := &jsonSolns{Bindings: make([]map[string]jsonTerm, 0, len(r.Rows))}
+		for _, row := range r.Rows {
+			b := make(map[string]jsonTerm, len(row))
+			for i, cell := range row {
+				if i >= len(r.Vars) || !cell.Bound {
+					continue
+				}
+				b[r.Vars[i]] = encodeJSONTerm(cell.Term)
+			}
+			solns.Bindings = append(solns.Bindings, b)
+		}
+		doc.Results = solns
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(doc)
+}
+
+func encodeJSONTerm(t rdf.Term) jsonTerm {
+	switch t.Kind {
+	case rdf.IRI:
+		return jsonTerm{Type: "uri", Value: t.Value}
+	case rdf.Blank:
+		return jsonTerm{Type: "bnode", Value: t.Value}
+	default:
+		return jsonTerm{Type: "literal", Value: t.Value, Lang: t.Lang, Datatype: t.Datatype}
+	}
+}
+
+// ReadJSON decodes a SPARQL 1.1 JSON result document. The decode is
+// lossless: it is the exact inverse of WriteJSON.
+func ReadJSON(rd io.Reader) (*db2rdf.Results, error) {
+	var doc jsonResults
+	dec := json.NewDecoder(rd)
+	if err := dec.Decode(&doc); err != nil {
+		return nil, fmt.Errorf("results: decoding JSON: %w", err)
+	}
+	if doc.Boolean != nil {
+		return &db2rdf.Results{IsAsk: true, Ask: *doc.Boolean}, nil
+	}
+	if doc.Results == nil {
+		return nil, fmt.Errorf("results: JSON document has neither boolean nor results")
+	}
+	out := &db2rdf.Results{Vars: doc.Head.Vars}
+	for _, b := range doc.Results.Bindings {
+		row := make([]db2rdf.Binding, len(out.Vars))
+		for i, v := range out.Vars {
+			jt, ok := b[v]
+			if !ok {
+				continue
+			}
+			t, err := decodeJSONTerm(jt)
+			if err != nil {
+				return nil, err
+			}
+			row[i] = db2rdf.Binding{Bound: true, Term: t}
+		}
+		out.Rows = append(out.Rows, row)
+	}
+	return out, nil
+}
+
+func decodeJSONTerm(jt jsonTerm) (rdf.Term, error) {
+	switch jt.Type {
+	case "uri":
+		return rdf.NewIRI(jt.Value), nil
+	case "bnode":
+		return rdf.NewBlank(jt.Value), nil
+	case "literal", "typed-literal":
+		switch {
+		case jt.Lang != "":
+			return rdf.NewLangLiteral(jt.Value, jt.Lang), nil
+		case jt.Datatype != "":
+			return rdf.NewTypedLiteral(jt.Value, jt.Datatype), nil
+		default:
+			return rdf.NewLiteral(jt.Value), nil
+		}
+	}
+	return rdf.Term{}, fmt.Errorf("results: unknown term type %q", jt.Type)
+}

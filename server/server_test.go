@@ -1,0 +1,400 @@
+package server_test
+
+// SPARQL 1.1 Protocol conformance suite (ISSUE 10 satellite): the
+// method × content-type matrix, content negotiation, the status-code
+// mapping (400 malformed / 403 read-only / 406 / 413 / 415 / 503
+// governance and load shedding), concurrent traffic under -race, and
+// graceful drain without goroutine leaks.
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"net/url"
+	"runtime"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"db2rdf"
+	"db2rdf/internal/rdf"
+	"db2rdf/results"
+	"db2rdf/server"
+)
+
+const selectAll = `SELECT ?s ?o WHERE { ?s <http://t/p> ?o }`
+
+// newTestStore opens an in-memory store with n simple triples.
+func newTestStore(t testing.TB, n int, opts db2rdf.Options) *db2rdf.Store {
+	t.Helper()
+	s, err := db2rdf.Open(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { s.Close() })
+	var triples []rdf.Triple
+	for i := 0; i < n; i++ {
+		triples = append(triples, rdf.NewTriple(
+			rdf.NewIRI(fmt.Sprintf("http://t/s%d", i)),
+			rdf.NewIRI("http://t/p"),
+			rdf.NewLiteral(fmt.Sprintf("v%d", i))))
+	}
+	if err := s.LoadTriples(triples); err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func newTestServer(t testing.TB, cfg server.Config) *httptest.Server {
+	t.Helper()
+	ts := httptest.NewServer(server.New(cfg))
+	t.Cleanup(ts.Close)
+	return ts
+}
+
+func TestProtocolMatrix(t *testing.T) {
+	store := newTestStore(t, 10, db2rdf.Options{K: 4})
+	ts := newTestServer(t, server.Config{Store: store})
+
+	form := url.Values{"query": {selectAll}}.Encode()
+	updForm := url.Values{"update": {`INSERT DATA { <http://t/x> <http://t/p> "y" }`}}.Encode()
+	cases := []struct {
+		name        string
+		method      string
+		path        string
+		contentType string
+		body        string
+		wantStatus  int
+	}{
+		{"get query", http.MethodGet, "/sparql?query=" + url.QueryEscape(selectAll), "", "", 200},
+		{"get missing query", http.MethodGet, "/sparql", "", "", 400},
+		{"get update refused", http.MethodGet, "/sparql?update=" + url.QueryEscape("CLEAR ALL"), "", "", 405},
+		{"post form query", http.MethodPost, "/sparql", "application/x-www-form-urlencoded", form, 200},
+		{"post direct query", http.MethodPost, "/sparql", "application/sparql-query", selectAll, 200},
+		{"post form empty", http.MethodPost, "/sparql", "application/x-www-form-urlencoded", "", 400},
+		{"post both query and update", http.MethodPost, "/sparql", "application/x-www-form-urlencoded",
+			form + "&" + updForm, 400},
+		{"post update read-only", http.MethodPost, "/sparql", "application/sparql-update",
+			`INSERT DATA { <http://t/x> <http://t/p> "y" }`, 403},
+		{"post form update read-only", http.MethodPost, "/sparql", "application/x-www-form-urlencoded", updForm, 403},
+		{"post wrong media type", http.MethodPost, "/sparql", "text/plain", selectAll, 415},
+		{"put refused", http.MethodPut, "/sparql", "application/sparql-query", selectAll, 405},
+		{"delete refused", http.MethodDelete, "/sparql?query=x", "", "", 405},
+		{"malformed query", http.MethodGet, "/sparql?query=" + url.QueryEscape("SELECT WHERE {"), "", "", 400},
+		{"malformed direct query", http.MethodPost, "/sparql", "application/sparql-query", "NOT SPARQL", 400},
+		{"metrics", http.MethodGet, "/metrics", "", "", 200},
+		{"metrics post refused", http.MethodPost, "/metrics", "", "", 405},
+		{"healthz", http.MethodGet, "/healthz", "", "", 200},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			req, err := http.NewRequest(c.method, ts.URL+c.path, strings.NewReader(c.body))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if c.contentType != "" {
+				req.Header.Set("Content-Type", c.contentType)
+			}
+			resp, err := http.DefaultClient.Do(req)
+			if err != nil {
+				t.Fatal(err)
+			}
+			body, _ := io.ReadAll(resp.Body)
+			resp.Body.Close()
+			if resp.StatusCode != c.wantStatus {
+				t.Fatalf("status = %d, want %d (body: %s)", resp.StatusCode, c.wantStatus, body)
+			}
+			if c.wantStatus == 405 && resp.Header.Get("Allow") == "" {
+				t.Error("405 without Allow header")
+			}
+		})
+	}
+}
+
+func TestContentNegotiation(t *testing.T) {
+	store := newTestStore(t, 5, db2rdf.Options{K: 4})
+	ts := newTestServer(t, server.Config{Store: store})
+	cases := []struct {
+		accept   string
+		wantCT   string
+		decode   func(io.Reader) (*db2rdf.Results, error)
+		wantCode int
+	}{
+		{"", results.JSONContentType, results.ReadJSON, 200},
+		{"application/sparql-results+json", results.JSONContentType, results.ReadJSON, 200},
+		{"text/csv", results.CSVContentType, results.ReadCSV, 200},
+		{"text/tab-separated-values", results.TSVContentType, results.ReadTSV, 200},
+		{"text/csv;q=0.2, application/json", results.JSONContentType, results.ReadJSON, 200},
+		{"application/rdf+xml", "", nil, 406},
+	}
+	for _, c := range cases {
+		req, _ := http.NewRequest(http.MethodGet,
+			ts.URL+"/sparql?query="+url.QueryEscape(selectAll), nil)
+		if c.accept != "" {
+			req.Header.Set("Accept", c.accept)
+		}
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if resp.StatusCode != c.wantCode {
+			body, _ := io.ReadAll(resp.Body)
+			resp.Body.Close()
+			t.Fatalf("Accept %q: status %d, want %d (%s)", c.accept, resp.StatusCode, c.wantCode, body)
+		}
+		if c.wantCode != 200 {
+			resp.Body.Close()
+			continue
+		}
+		if ct := resp.Header.Get("Content-Type"); ct != c.wantCT {
+			t.Errorf("Accept %q: Content-Type %q, want %q", c.accept, ct, c.wantCT)
+		}
+		res, err := c.decode(resp.Body)
+		resp.Body.Close()
+		if err != nil {
+			t.Fatalf("Accept %q: decoding body: %v", c.accept, err)
+		}
+		if len(res.Rows) != 5 {
+			t.Errorf("Accept %q: %d rows, want 5", c.accept, len(res.Rows))
+		}
+	}
+}
+
+func TestWritableUpdates(t *testing.T) {
+	store := newTestStore(t, 2, db2rdf.Options{K: 4})
+	ts := newTestServer(t, server.Config{Store: store, Writable: true})
+
+	post := func(ct, body string) (*http.Response, string) {
+		t.Helper()
+		resp, err := http.Post(ts.URL+"/sparql", ct, strings.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		return resp, string(b)
+	}
+
+	resp, body := post("application/sparql-update", `INSERT DATA { <http://t/new> <http://t/p> "z" }`)
+	if resp.StatusCode != 200 {
+		t.Fatalf("insert: status %d (%s)", resp.StatusCode, body)
+	}
+	if !strings.Contains(body, `"inserted":1`) {
+		t.Fatalf("insert response %q lacks inserted count", body)
+	}
+	resp, body = post("application/sparql-update", `DELETE DATA { <http://t/new> <http://t/p> "z" }`)
+	if resp.StatusCode != 200 || !strings.Contains(body, `"deleted":1`) {
+		t.Fatalf("delete: status %d body %q", resp.StatusCode, body)
+	}
+	resp, body = post("application/sparql-update", `INSERT DATA { ?v <http://t/p> "z" }`)
+	if resp.StatusCode != 400 {
+		t.Fatalf("malformed update: status %d (%s), want 400", resp.StatusCode, body)
+	}
+	// A governed update (canceled context) never reports success; the
+	// writable path maps governance to 503 like queries do.
+	resp, body = post("application/sparql-query", selectAll)
+	if resp.StatusCode != 200 {
+		t.Fatalf("query on writable server: status %d (%s)", resp.StatusCode, body)
+	}
+}
+
+func TestGovernanceMapsTo503(t *testing.T) {
+	// A one-row budget trips ErrBudgetExceeded on any real query.
+	store := newTestStore(t, 50, db2rdf.Options{K: 4, MaxResultRows: 1})
+	ts := newTestServer(t, server.Config{Store: store})
+	resp, err := http.Get(ts.URL + "/sparql?query=" + url.QueryEscape(selectAll))
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("budget abort: status %d (%s), want 503", resp.StatusCode, body)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Error("503 without Retry-After")
+	}
+	// The body is an error message, never a partial result document.
+	if strings.Contains(string(body), `"bindings"`) {
+		t.Errorf("503 body looks like a result document: %s", body)
+	}
+}
+
+func TestDeadlineMapsTo503(t *testing.T) {
+	store := newTestStore(t, 50, db2rdf.Options{K: 4})
+	// A nanosecond request budget cannot finish parse+plan+execute.
+	ts := newTestServer(t, server.Config{Store: store, RequestTimeout: time.Nanosecond})
+	resp, err := http.Get(ts.URL + "/sparql?query=" + url.QueryEscape(selectAll))
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("deadline abort: status %d (%s), want 503", resp.StatusCode, body)
+	}
+}
+
+func TestAdmissionControlSheds(t *testing.T) {
+	store := newTestStore(t, 100, db2rdf.Options{K: 4})
+	ts := newTestServer(t, server.Config{Store: store, MaxConcurrent: 1})
+
+	// Flood with concurrent requests: with one execution slot, some
+	// must succeed and — given enough overlap — some shed with 503.
+	// Every response must be exactly 200 or 503, nothing else.
+	const n = 64
+	codes := make(chan int, n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			resp, err := http.Get(ts.URL + "/sparql?query=" + url.QueryEscape(selectAll))
+			if err != nil {
+				codes <- -1
+				return
+			}
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+			codes <- resp.StatusCode
+		}()
+	}
+	wg.Wait()
+	close(codes)
+	ok, shed := 0, 0
+	for c := range codes {
+		switch c {
+		case 200:
+			ok++
+		case 503:
+			shed++
+		default:
+			t.Fatalf("unexpected status %d under load", c)
+		}
+	}
+	if ok == 0 {
+		t.Fatal("no request succeeded under load shedding")
+	}
+	t.Logf("admission: %d served, %d shed", ok, shed)
+}
+
+func TestConcurrentMixedTraffic(t *testing.T) {
+	store := newTestStore(t, 50, db2rdf.Options{K: 4})
+	ts := newTestServer(t, server.Config{Store: store, Writable: true})
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			for j := 0; j < 10; j++ {
+				switch i % 3 {
+				case 0:
+					resp, err := http.Get(ts.URL + "/sparql?query=" + url.QueryEscape(selectAll))
+					if err == nil {
+						io.Copy(io.Discard, resp.Body)
+						resp.Body.Close()
+					}
+				case 1:
+					u := fmt.Sprintf(`INSERT DATA { <http://t/c%d-%d> <http://t/p> "w" }`, i, j)
+					resp, err := http.Post(ts.URL+"/sparql", "application/sparql-update", strings.NewReader(u))
+					if err == nil {
+						io.Copy(io.Discard, resp.Body)
+						resp.Body.Close()
+					}
+				default:
+					resp, err := http.Get(ts.URL + "/metrics")
+					if err == nil {
+						io.Copy(io.Discard, resp.Body)
+						resp.Body.Close()
+					}
+				}
+			}
+		}(i)
+	}
+	wg.Wait()
+}
+
+func TestOversizeBodyRejected(t *testing.T) {
+	store := newTestStore(t, 1, db2rdf.Options{K: 4})
+	ts := newTestServer(t, server.Config{Store: store, MaxRequestBytes: 128})
+	big := selectAll + strings.Repeat(" ", 4096)
+	resp, err := http.Post(ts.URL+"/sparql", "application/sparql-query", strings.NewReader(big))
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusRequestEntityTooLarge {
+		t.Fatalf("oversize body: status %d, want 413", resp.StatusCode)
+	}
+}
+
+// TestGracefulDrain exercises the binary's shutdown sequence in-process:
+// Shutdown drains in-flight requests before returning, the store closes
+// cleanly afterwards, and the whole cycle leaks no goroutines.
+func TestGracefulDrain(t *testing.T) {
+	before := runtime.NumGoroutine()
+
+	store, err := db2rdf.Open(db2rdf.Options{K: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var triples []rdf.Triple
+	for i := 0; i < 200; i++ {
+		triples = append(triples, rdf.NewTriple(
+			rdf.NewIRI(fmt.Sprintf("http://t/s%d", i)),
+			rdf.NewIRI("http://t/p"),
+			rdf.NewLiteral(fmt.Sprintf("v%d", i))))
+	}
+	if err := store.LoadTriples(triples); err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(server.New(server.Config{Store: store}))
+
+	// In-flight traffic racing the shutdown.
+	var wg sync.WaitGroup
+	for i := 0; i < 16; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			resp, err := http.Get(ts.URL + "/sparql?query=" + url.QueryEscape(selectAll))
+			if err != nil {
+				return // connection refused after listener closed is fine
+			}
+			defer resp.Body.Close()
+			body, _ := io.ReadAll(resp.Body)
+			// A drained response must be complete: any 200 body decodes.
+			if resp.StatusCode == 200 {
+				if _, err := results.ReadJSON(strings.NewReader(string(body))); err != nil {
+					t.Errorf("truncated 200 body during drain: %v", err)
+				}
+			}
+		}()
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := ts.Config.Shutdown(ctx); err != nil {
+		t.Fatalf("drain: %v", err)
+	}
+	wg.Wait()
+	if err := store.Close(); err != nil {
+		t.Fatalf("close after drain: %v", err)
+	}
+	ts.Close()
+
+	// Goroutine-leak check: allow the runtime a moment to reap
+	// connection goroutines, then require the count to settle back.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if runtime.NumGoroutine() <= before+2 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("goroutine leak after drain: %d before, %d after", before, runtime.NumGoroutine())
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+}

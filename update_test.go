@@ -231,8 +231,8 @@ func TestUpdateErrorsAndStoreUsable(t *testing.T) {
 	bad := []string{
 		``,
 		`SELECT ?s WHERE { ?s ?p ?o }`,
-		`INSERT DATA { ?s <p> <o> }`,            // variable in ground block
-		`DELETE DATA { _:b <p> <o> }`,           // blank node in delete data
+		`INSERT DATA { ?s <p> <o> }`,  // variable in ground block
+		`DELETE DATA { _:b <p> <o> }`, // blank node in delete data
 		`DELETE { _:b <p> ?o } WHERE { ?s <p> ?o }`, // blank in delete template
 		`CLEAR NAMED`,
 		`CLEAR GRAPH <g>`,
